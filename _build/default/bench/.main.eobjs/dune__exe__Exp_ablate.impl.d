@@ -1,0 +1,1 @@
+bench/exp_ablate.ml: Exp_common Im_advisor Im_catalog Im_merging Im_sqlir Im_workload Lazy List Printf

@@ -1,0 +1,1 @@
+bench/exp_common.ml: Im_catalog Im_tuning Im_util Im_workload Lazy Printf String Sys

@@ -1,0 +1,1 @@
+bench/exp_costval.ml: Array Exp_common Im_catalog Im_engine Im_merging Im_optimizer Im_storage Im_workload Lazy List Printf

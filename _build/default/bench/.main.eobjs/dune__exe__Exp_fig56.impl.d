@@ -1,0 +1,1 @@
+bench/exp_fig56.ml: Exp_common Im_merging Im_util List Printf

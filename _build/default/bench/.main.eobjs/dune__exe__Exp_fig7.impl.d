@@ -1,0 +1,1 @@
+bench/exp_fig7.ml: Exp_common Im_merging Im_util List Printf

@@ -1,0 +1,1 @@
+bench/exp_fig8.ml: Exp_common Im_catalog Im_merging Im_sqlir Im_util List Printf

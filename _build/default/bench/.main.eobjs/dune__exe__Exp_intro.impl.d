@@ -1,0 +1,1 @@
+bench/exp_intro.ml: Exp_common Im_catalog Im_merging Im_tuning Im_workload Lazy List Printf

@@ -1,0 +1,1 @@
+bench/exp_micro.ml: Analyze Array Bechamel Benchmark Exp_common Hashtbl Im_catalog Im_merging Im_optimizer Im_util Im_workload Instance Lazy List Measure Printf Staged Test Time Toolkit

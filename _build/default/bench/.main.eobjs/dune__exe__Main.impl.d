@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablate Exp_common Exp_costval Exp_fig56 Exp_fig7 Exp_fig8 Exp_intro Exp_micro Im_util List Printf String Sys

@@ -1,0 +1,367 @@
+(* index-merge: command-line index merging utility.
+
+   The executable mirrors the paper's client utility for SQL Server 7.0:
+   given a database, a workload and an initial configuration, it finds a
+   storage-minimal merged configuration under a cost constraint.
+
+   Subcommands:
+     info     describe a generated database
+     tune     per-query index recommendations for a workload
+     merge    run index merging end to end (the main mode)
+     explain  show optimizer plans for workload queries under a config
+
+   Databases and workloads are generated deterministically from seeds,
+   so runs are reproducible. *)
+
+open Cmdliner
+
+module Database = Im_catalog.Database
+module Index = Im_catalog.Index
+module Schema = Im_sqlir.Schema
+module Workload = Im_workload.Workload
+module Search = Im_merging.Search
+module Cost_eval = Im_merging.Cost_eval
+module Merge_pair = Im_merging.Merge_pair
+
+(* ---- Shared arguments ---- *)
+
+let db_arg =
+  let doc =
+    "Database: tpcd, synthetic1, synthetic2, or csv (with --schema and \
+     --data)."
+  in
+  Arg.(value & opt string "tpcd" & info [ "d"; "database" ] ~docv:"DB" ~doc)
+
+let schema_arg =
+  let doc = "DDL schema file (CREATE TABLE statements), for -d csv." in
+  Arg.(value & opt (some string) None & info [ "schema" ] ~docv:"FILE" ~doc)
+
+let data_arg =
+  let doc = "Directory of <table>.csv files, for -d csv." in
+  Arg.(value & opt (some string) None & info [ "data" ] ~docv:"DIR" ~doc)
+
+let sf_arg =
+  let doc = "TPC-D scale factor (ignored for synthetic databases)." in
+  Arg.(value & opt float 0.004 & info [ "sf" ] ~docv:"SF" ~doc)
+
+let seed_arg =
+  let doc = "Seed for data, workload and tuning randomness." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let workload_arg =
+  let doc = "Workload: complex, projection, or tpcd17 (TPC-D only)." in
+  Arg.(value & opt string "complex" & info [ "w"; "workload" ] ~docv:"KIND" ~doc)
+
+let queries_arg =
+  let doc = "Number of generated queries (complex/projection workloads)." in
+  Arg.(value & opt int 30 & info [ "q"; "queries" ] ~docv:"N" ~doc)
+
+let initial_arg =
+  let doc =
+    "Size of the initial configuration built by random per-query tuning; 0 \
+     tunes every query and takes the union."
+  in
+  Arg.(value & opt int 0 & info [ "n"; "initial" ] ~docv:"N" ~doc)
+
+let constraint_arg =
+  let doc = "Cost constraint: allowed relative workload-cost increase." in
+  Arg.(value & opt float 0.10 & info [ "c"; "constraint" ] ~docv:"FRACTION" ~doc)
+
+let cost_model_arg =
+  let doc = "Cost evaluation: optimizer, external, or nocost." in
+  Arg.(value & opt string "optimizer" & info [ "cost-model" ] ~docv:"MODEL" ~doc)
+
+let merge_pair_arg =
+  let doc = "MergePair procedure: cost, syntactic, or exhaustive." in
+  Arg.(value & opt string "cost" & info [ "merge-pair" ] ~docv:"PROC" ~doc)
+
+let strategy_arg =
+  let doc = "Search strategy: greedy or exhaustive." in
+  Arg.(value & opt string "greedy" & info [ "strategy" ] ~docv:"STRAT" ~doc)
+
+let updates_arg =
+  let doc =
+    "Attach a batch-insert profile to the workload: 'table:rows', \
+     repeatable. Numeric cost models then charge configurations for \
+     index maintenance."
+  in
+  Arg.(value & opt_all string [] & info [ "u"; "updates" ] ~docv:"TBL:ROWS" ~doc)
+
+let parse_updates specs =
+  let parse one =
+    match String.split_on_char ':' one with
+    | [ tbl; rows ] ->
+      (match int_of_string_opt rows with
+       | Some r when r > 0 -> Ok (tbl, r)
+       | Some _ | None -> Error (Printf.sprintf "bad row count in %S" one))
+    | _ -> Error (Printf.sprintf "expected table:rows, got %S" one)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest ->
+      (match parse s with Ok u -> go (u :: acc) rest | Error _ as e -> e)
+  in
+  go [] specs
+
+let workload_file_arg =
+  let doc =
+    "Load the workload from a SQL script file (semicolon-terminated SELECT \
+     statements, optional '-- freq: N' annotations) instead of generating \
+     one."
+  in
+  Arg.(value & opt (some string) None & info [ "f"; "workload-file" ] ~docv:"FILE" ~doc)
+
+(* ---- Construction helpers ---- *)
+
+let build_database ?schema_file ?data_dir name sf seed =
+  match String.lowercase_ascii name with
+  | "tpcd" | "tpc-d" -> Ok (Im_workload.Tpcd.database ~sf ~seed ())
+  | "synthetic1" ->
+    Ok (Im_workload.Synthetic.database ~seed Im_workload.Synthetic.synthetic1)
+  | "synthetic2" ->
+    Ok (Im_workload.Synthetic.database ~seed Im_workload.Synthetic.synthetic2)
+  | "csv" ->
+    (match (schema_file, data_dir) with
+     | Some schema_file, Some data_dir ->
+       Im_io.Loader.load ~schema_file ~data_dir
+     | _ -> Error "-d csv requires --schema FILE and --data DIR")
+  | other -> Error (Printf.sprintf "unknown database %S" other)
+
+let build_workload ?file db kind n seed =
+  match file with
+  | Some path -> Im_workload.Workload_file.load ~schema:(Database.schema db) path
+  | None ->
+    let rng = Im_util.Rng.create ((seed * 7) + 3) in
+    (match String.lowercase_ascii kind with
+     | "complex" -> Ok (Im_workload.Ragsgen.generate db ~rng ~n)
+     | "projection" -> Ok (Im_workload.Projgen.generate db ~rng ~n)
+     | "tpcd17" ->
+       if Schema.mem_table (Database.schema db) "lineitem" then
+         Ok (Im_workload.Tpcd_queries.workload ())
+       else Error "tpcd17 workload requires the tpcd database"
+     | other -> Error (Printf.sprintf "unknown workload %S" other))
+
+let build_initial db workload n seed =
+  if n <= 0 then Im_tuning.Initial_config.per_query_union db workload
+  else
+    Im_tuning.Initial_config.build db workload
+      ~rng:(Im_util.Rng.create ((seed * 13) + 5))
+      ~n
+
+let parse_cost_model = function
+  | "optimizer" -> Ok Cost_eval.Optimizer_estimated
+  | "external" -> Ok Cost_eval.External
+  | "nocost" | "no-cost" -> Ok Cost_eval.default_no_cost
+  | other -> Error (Printf.sprintf "unknown cost model %S" other)
+
+let parse_merge_pair = function
+  | "cost" -> Ok Merge_pair.Cost_based
+  | "syntactic" -> Ok Merge_pair.Syntactic
+  | "exhaustive" -> Ok (Merge_pair.Exhaustive { perm_limit = 720 })
+  | other -> Error (Printf.sprintf "unknown merge-pair procedure %S" other)
+
+let parse_strategy = function
+  | "greedy" -> Ok Search.Greedy
+  | "exhaustive" -> Ok (Search.Exhaustive_search { config_limit = 100_000 })
+  | other -> Error (Printf.sprintf "unknown strategy %S" other)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("index-merge: " ^ msg);
+    exit 2
+
+(* ---- info ---- *)
+
+let run_info db_name sf seed schema_file data_dir =
+  let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
+  let schema = Database.schema db in
+  Printf.printf "database %s: %d tables, %d data pages\n" db_name
+    (List.length schema.Schema.tables)
+    (Database.data_pages db);
+  List.iter
+    (fun (t : Schema.table) ->
+      Printf.printf "  %-12s %8d rows  %6d pages  %3d columns  row width %d\n"
+        t.Schema.tbl_name
+        (Database.row_count db t.Schema.tbl_name)
+        (Database.table_pages db t.Schema.tbl_name)
+        (List.length t.Schema.tbl_columns)
+        (Schema.row_width t))
+    schema.Schema.tables
+
+let info_cmd =
+  Cmd.v
+    (Cmd.info "info" ~doc:"Describe a generated database.")
+    Term.(const run_info $ db_arg $ sf_arg $ seed_arg $ schema_arg $ data_arg)
+
+(* ---- tune ---- *)
+
+let run_tune db_name sf seed wl_kind n_queries file schema_file data_dir =
+  let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
+  let workload = or_die (build_workload ?file db wl_kind n_queries seed) in
+  List.iter
+    (fun q ->
+      Printf.printf "%s: %s\n" q.Im_sqlir.Query.q_id (Im_sqlir.Query.to_sql q);
+      let recommended = Im_tuning.Wizard.tune_query db q in
+      if recommended = [] then print_endline "  (no index recommended)"
+      else
+        List.iter
+          (fun ix ->
+            Printf.printf "  recommend %s (%d pages)\n" (Index.to_string ix)
+              (Database.index_pages db ix))
+          recommended)
+    (Workload.queries workload)
+
+let tune_cmd =
+  Cmd.v
+    (Cmd.info "tune" ~doc:"Per-query index recommendations.")
+    Term.(
+      const run_tune $ db_arg $ sf_arg $ seed_arg $ workload_arg $ queries_arg
+      $ workload_file_arg $ schema_arg $ data_arg)
+
+(* ---- merge ---- *)
+
+let run_merge db_name sf seed wl_kind n_queries n_initial constraint_ cost_model
+    merge_pair strategy file updates schema_file data_dir =
+  let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
+  let workload = or_die (build_workload ?file db wl_kind n_queries seed) in
+  let workload =
+    match or_die (parse_updates updates) with
+    | [] -> workload
+    | profile -> Workload.with_updates workload profile
+  in
+  let cost_model = or_die (parse_cost_model cost_model) in
+  let merge_pair = or_die (parse_merge_pair merge_pair) in
+  let strategy = or_die (parse_strategy strategy) in
+  let initial = build_initial db workload n_initial seed in
+  Printf.printf "initial configuration (%d indexes, %d pages):\n"
+    (List.length initial)
+    (Database.config_storage_pages db initial);
+  List.iter (fun ix -> Printf.printf "  %s\n" (Index.to_string ix)) initial;
+  let outcome =
+    Search.run ~merge_pair ~cost_model ~cost_constraint:constraint_ db workload
+      ~initial strategy
+  in
+  print_newline ();
+  print_endline (Im_merging.Report.summary outcome);
+  print_endline "merged configuration:";
+  print_endline (Im_merging.Report.configuration_listing outcome)
+
+let merge_cmd =
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:
+         "Run storage-minimal index merging over a workload (the paper's \
+          main algorithm).")
+    Term.(
+      const run_merge $ db_arg $ sf_arg $ seed_arg $ workload_arg $ queries_arg
+      $ initial_arg $ constraint_arg $ cost_model_arg $ merge_pair_arg
+      $ strategy_arg $ workload_file_arg $ updates_arg $ schema_arg $ data_arg)
+
+(* ---- explain ---- *)
+
+let run_explain db_name sf seed wl_kind n_queries n_initial file schema_file
+    data_dir =
+  let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
+  let workload = or_die (build_workload ?file db wl_kind n_queries seed) in
+  let config = build_initial db workload n_initial seed in
+  Printf.printf "configuration: %d indexes\n\n" (List.length config);
+  List.iter
+    (fun q ->
+      print_string
+        (Im_optimizer.Plan.explain (Im_optimizer.Optimizer.optimize db config q));
+      print_newline ())
+    (Workload.queries workload)
+
+let explain_cmd =
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Show optimizer plans for the workload.")
+    Term.(
+      const run_explain $ db_arg $ sf_arg $ seed_arg $ workload_arg
+      $ queries_arg $ initial_arg $ workload_file_arg $ schema_arg $ data_arg)
+
+(* ---- advise ---- *)
+
+let budget_arg =
+  let doc = "Storage budget for the recommendation, in pages." in
+  Arg.(required & opt (some int) None & info [ "b"; "budget" ] ~docv:"PAGES" ~doc)
+
+let run_advise db_name sf seed wl_kind n_queries file budget schema_file
+    data_dir =
+  let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
+  let workload = or_die (build_workload ?file db wl_kind n_queries seed) in
+  let outcome = Im_advisor.Advisor.advise db workload ~budget_pages:budget in
+  print_endline (Im_advisor.Advisor.summary outcome);
+  print_endline "recommended configuration:";
+  List.iter
+    (fun (it : Im_merging.Merge.item) ->
+      Printf.printf "  %s (%d pages)\n"
+        (Index.to_string it.Im_merging.Merge.it_index)
+        (Database.index_pages db it.Im_merging.Merge.it_index))
+    outcome.Im_advisor.Advisor.a_final
+
+let advise_cmd =
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:
+         "Recommend indexes for a workload under a storage budget \
+          (selection with an integrated merging phase).")
+    Term.(
+      const run_advise $ db_arg $ sf_arg $ seed_arg $ workload_arg
+      $ queries_arg $ workload_file_arg $ budget_arg $ schema_arg $ data_arg)
+
+(* ---- generate ---- *)
+
+let run_generate db_name sf seed wl_kind n_queries out =
+  let db = or_die (build_database db_name sf seed) in
+  let workload = or_die (build_workload db wl_kind n_queries seed) in
+  Im_workload.Workload_file.save workload out;
+  Printf.printf "wrote %d statements to %s\n" (Workload.size workload) out
+
+let out_arg =
+  let doc = "Output file for the generated workload." in
+  Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let generate_cmd =
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Generate a workload and write it as a SQL script file.")
+    Term.(
+      const run_generate $ db_arg $ sf_arg $ seed_arg $ workload_arg
+      $ queries_arg $ out_arg)
+
+(* ---- export ---- *)
+
+let run_export db_name sf seed out_schema out_dir =
+  let db = or_die (build_database db_name sf seed) in
+  if not (Sys.file_exists out_dir && Sys.is_directory out_dir) then
+    Sys.mkdir out_dir 0o755;
+  Im_io.Loader.dump db ~schema_file:out_schema ~data_dir:out_dir;
+  Printf.printf "wrote %s and CSVs under %s\n" out_schema out_dir
+
+let out_schema_arg =
+  let doc = "Output DDL schema file." in
+  Arg.(
+    required & opt (some string) None & info [ "out-schema" ] ~docv:"FILE" ~doc)
+
+let out_dir_arg =
+  let doc = "Output directory for the <table>.csv files (created if absent)." in
+  Arg.(required & opt (some string) None & info [ "out-data" ] ~docv:"DIR" ~doc)
+
+let export_cmd =
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Export a generated database as DDL + CSV files (the -d csv \
+             input format).")
+    Term.(
+      const run_export $ db_arg $ sf_arg $ seed_arg $ out_schema_arg
+      $ out_dir_arg)
+
+let () =
+  let doc = "index merging for workload-driven physical database design" in
+  let info = Cmd.info "index-merge" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+       [
+         info_cmd; tune_cmd; merge_cmd; explain_cmd; generate_cmd; advise_cmd;
+         export_cmd;
+       ]))

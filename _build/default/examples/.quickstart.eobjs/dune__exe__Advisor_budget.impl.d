@@ -1,0 +1,1 @@
+examples/advisor_budget.ml: Im_advisor Im_catalog Im_merging Im_sqlir Im_util Im_workload List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Im_catalog Im_engine Im_merging Im_optimizer Im_sqlir Im_workload List Printf

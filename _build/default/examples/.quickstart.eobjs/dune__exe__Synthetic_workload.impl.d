@@ -1,0 +1,1 @@
+examples/synthetic_workload.ml: Im_catalog Im_merging Im_sqlir Im_tuning Im_util Im_workload List Printf

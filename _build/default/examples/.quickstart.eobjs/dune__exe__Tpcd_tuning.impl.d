@@ -1,0 +1,1 @@
+examples/tpcd_tuning.ml: Im_catalog Im_merging Im_sqlir Im_tuning Im_workload List Printf

@@ -1,0 +1,1 @@
+examples/whatif_explain.ml: Im_catalog Im_merging Im_optimizer Im_sqlir Im_workload List Printf

@@ -1,0 +1,86 @@
+(* What-if index analysis: cost a query under hypothetical indexes that
+   are never built, and read the optimizer's plans — the AutoAdmin
+   interface the paper's cost evaluation is built on (§3.5.3).
+
+   Run with: dune exec examples/whatif_explain.exe *)
+
+module Database = Im_catalog.Database
+module Index = Im_catalog.Index
+module Optimizer = Im_optimizer.Optimizer
+module Plan = Im_optimizer.Plan
+module Query = Im_sqlir.Query
+module Predicate = Im_sqlir.Predicate
+module Value = Im_sqlir.Value
+
+let () =
+  print_endline "== what-if index analysis ==";
+  let db = Im_workload.Tpcd.database ~sf:0.004 () in
+  let cr = Predicate.colref in
+  (* Orders shipped in one quarter for one customer segment, by date. *)
+  let q =
+    Query.make ~id:"demo"
+      ~select:
+        [
+          Query.Sel_col (cr "orders" "o_orderdate");
+          Query.Sel_col (cr "orders" "o_totalprice");
+        ]
+      ~where:
+        [
+          Predicate.Cmp
+            (Predicate.Eq, cr "orders" "o_orderpriority", Value.Str "1-URGENT");
+          Predicate.Between
+            ( cr "orders" "o_orderdate",
+              Im_workload.Tpcd.date 1995 1 1,
+              Im_workload.Tpcd.date 1995 3 31 );
+        ]
+      ~order_by:[ (cr "orders" "o_orderdate", Query.Asc) ]
+      [ "orders" ]
+  in
+  Printf.printf "query: %s\n\n" (Query.to_sql q);
+
+  (* Alternative hypothetical configurations: none of these indexes is
+     materialized; the optimizer costs them from statistics alone. *)
+  let alternatives =
+    [
+      ("no indexes", []);
+      ("seek only", [ Index.make ~table:"orders" [ "o_orderpriority" ] ]);
+      ( "seek + range",
+        [ Index.make ~table:"orders" [ "o_orderpriority"; "o_orderdate" ] ] );
+      ( "covering",
+        [
+          Index.make ~table:"orders"
+            [ "o_orderpriority"; "o_orderdate"; "o_totalprice" ];
+        ] );
+      ( "covering, wrong order",
+        [
+          Index.make ~table:"orders"
+            [ "o_totalprice"; "o_orderdate"; "o_orderpriority" ];
+        ] );
+    ]
+  in
+  List.iter
+    (fun (label, config) ->
+      let plan = Optimizer.optimize db config q in
+      Printf.printf "--- %s: cost %.2f ---\n%s\n" label (Plan.cost plan)
+        (Plan.explain plan))
+    alternatives;
+
+  (* The same interface drives index-usage attribution: which index
+     would each TPC-D query seek or scan under a configuration? *)
+  print_endline "index usage over the TPC-D workload (covering config):";
+  let covering =
+    [
+      Index.make ~table:"orders" [ "o_orderpriority"; "o_orderdate"; "o_totalprice" ];
+      Im_workload.Tpcd_queries.i1;
+    ]
+  in
+  let analysis =
+    Im_merging.Seek_cost.analyze db covering (Im_workload.Tpcd_queries.workload ())
+  in
+  List.iter
+    (fun ix ->
+      Printf.printf "  %-70s seek-cost %8.1f  scan-cost %8.1f\n"
+        (Index.to_string ix)
+        (Im_merging.Seek_cost.seek_cost analysis ix)
+        (Im_merging.Seek_cost.scan_cost analysis ix))
+    covering

@@ -1,0 +1,1 @@
+lib/advisor/advisor.ml: Im_catalog Im_merging List Printf Selection

@@ -1,0 +1,1 @@
+lib/advisor/advisor.mli: Im_catalog Im_merging Im_workload

@@ -1,0 +1,1 @@
+lib/advisor/selection.ml: Im_catalog Im_merging Im_tuning Im_util Im_workload List

@@ -1,0 +1,1 @@
+lib/advisor/selection.mli: Im_catalog Im_workload

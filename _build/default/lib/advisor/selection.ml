@@ -1,0 +1,67 @@
+module Database = Im_catalog.Database
+module Config = Im_catalog.Config
+module Index = Im_catalog.Index
+module Workload = Im_workload.Workload
+module Cost_eval = Im_merging.Cost_eval
+
+type outcome = {
+  s_config : Config.t;
+  s_budget_pages : int;
+  s_pages : int;
+  s_base_cost : float;
+  s_final_cost : float;
+  s_candidates : int;
+  s_optimizer_calls : int;
+}
+
+let select ?(max_indexes = 40) ?(min_benefit = 0.002) db workload ~budget_pages =
+  let evaluator = Cost_eval.create Cost_eval.Optimizer_estimated db workload in
+  let schema = Database.schema db in
+  let candidates =
+    List.concat_map
+      (fun q -> Im_tuning.Candidates.for_query schema q)
+      (Workload.queries workload)
+    |> Im_util.List_ext.dedup_keep_order Index.equal
+  in
+  let base_cost = Cost_eval.workload_cost evaluator Config.empty in
+  let pages config = Database.config_storage_pages db config in
+  let rec grow config cost_now =
+    if List.length config >= max_indexes then config
+    else begin
+      let remaining =
+        List.filter
+          (fun ix ->
+            (not (Config.mem ix config))
+            && pages (Config.add ix config) <= budget_pages)
+          candidates
+      in
+      (* Benefit per page: the classic knapsack-style greedy score. *)
+      let scored =
+        List.filter_map
+          (fun ix ->
+            let with_ix = Config.add ix config in
+            let cost = Cost_eval.workload_cost evaluator with_ix in
+            let benefit = cost_now -. cost in
+            if benefit > min_benefit *. cost_now then
+              Some
+                ( ix,
+                  cost,
+                  benefit /. float_of_int (Database.index_pages db ix) )
+            else None)
+          remaining
+      in
+      match Im_util.List_ext.max_by (fun (_, _, score) -> score) scored with
+      | Some (best, cost_best, _) -> grow (Config.add best config) cost_best
+      | None -> config
+    end
+  in
+  let config = grow Config.empty base_cost in
+  {
+    s_config = config;
+    s_budget_pages = budget_pages;
+    s_pages = pages config;
+    s_base_cost = base_cost;
+    s_final_cost = Cost_eval.workload_cost evaluator config;
+    s_candidates = List.length candidates;
+    s_optimizer_calls = Cost_eval.optimizer_calls evaluator;
+  }

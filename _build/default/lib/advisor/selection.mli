@@ -1,0 +1,27 @@
+(** Workload-level index selection under a storage budget.
+
+    The cost-driven greedy selection of [CN97]: candidates are the
+    union of per-query proposals; indexes are added one at a time,
+    maximizing workload-cost benefit per storage page, while the
+    configuration fits the budget. This is the "index selection tool"
+    whose output the paper says index merging should post-process. *)
+
+type outcome = {
+  s_config : Im_catalog.Config.t;
+  s_budget_pages : int;
+  s_pages : int;
+  s_base_cost : float;  (** workload cost with no indexes *)
+  s_final_cost : float;
+  s_candidates : int;  (** size of the candidate pool *)
+  s_optimizer_calls : int;
+}
+
+val select :
+  ?max_indexes:int ->
+  ?min_benefit:float ->
+  Im_catalog.Database.t ->
+  Im_workload.Workload.t ->
+  budget_pages:int ->
+  outcome
+(** Defaults: at most 40 indexes, stop when the best candidate improves
+    workload cost by less than 0.2 % relative. *)

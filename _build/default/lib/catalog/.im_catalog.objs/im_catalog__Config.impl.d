@@ -1,0 +1,1 @@
+lib/catalog/config.ml: Format Im_storage Im_util Index List String

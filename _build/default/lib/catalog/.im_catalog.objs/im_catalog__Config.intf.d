@@ -1,0 +1,1 @@
+lib/catalog/config.mli: Format Im_sqlir Index

@@ -1,0 +1,1 @@
+lib/catalog/database.ml: Config Hashtbl Im_sqlir Im_stats Im_storage Im_util Index List

@@ -1,0 +1,1 @@
+lib/catalog/database.mli: Config Im_sqlir Im_stats Im_storage Index

@@ -1,0 +1,1 @@
+lib/catalog/index.ml: Format Im_sqlir List Printf Stdlib String

@@ -1,0 +1,45 @@
+type t = Index.t list
+
+let empty = []
+
+let mem ix t = List.exists (Index.equal ix) t
+
+let add ix t = if mem ix t then t else t @ [ ix ]
+
+let remove ix t = List.filter (fun i -> not (Index.equal i ix)) t
+
+let on_table t name = List.filter (fun i -> i.Index.idx_table = name) t
+
+let tables t =
+  List.map (fun i -> i.Index.idx_table) t
+  |> Im_util.List_ext.dedup_keep_order String.equal
+
+let dedup t = Im_util.List_ext.dedup_keep_order Index.equal t
+
+let index_pages schema ~row_count ix =
+  let size =
+    Im_storage.Size_model.index_size
+      ~key_width:(Index.key_width schema ix)
+      ~rows:(row_count ix.Index.idx_table)
+      ()
+  in
+  Im_storage.Size_model.total_pages size
+
+let storage_pages schema ~row_count t =
+  Im_util.List_ext.sum_by (index_pages schema ~row_count) t
+
+let validate schema t =
+  let rec go seen = function
+    | [] -> Ok ()
+    | ix :: rest ->
+      (match Index.validate schema ix with
+       | Error _ as e -> e
+       | Ok () ->
+         if List.exists (Index.equal ix) seen then
+           Error ("duplicate index definition: " ^ Index.to_string ix)
+         else go (ix :: seen) rest)
+  in
+  go [] t
+
+let pp fmt t =
+  Format.fprintf fmt "{%s}" (String.concat "; " (List.map Index.to_string t))

@@ -1,0 +1,31 @@
+(** Configurations: sets of indexes (paper §3.1: "we use the term
+    configuration to mean a set of indexes"). Order is irrelevant but
+    kept stable for reproducibility. *)
+
+type t = Index.t list
+
+val empty : t
+
+val add : Index.t -> t -> t
+(** Add unless an equal definition is already present. *)
+
+val mem : Index.t -> t -> bool
+val remove : Index.t -> t -> t
+val on_table : t -> string -> Index.t list
+val tables : t -> string list
+
+val dedup : t -> t
+(** Drop duplicate definitions, keeping first occurrences. *)
+
+val storage_pages : Im_sqlir.Schema.t -> row_count:(string -> int) -> t -> int
+(** Total pages of the configuration's indexes under the
+    {!Im_storage.Size_model} (paper: "the storage of a configuration C
+    is the sum of the storage of indexes in C"). [row_count] maps a
+    table name to its cardinality. *)
+
+val index_pages : Im_sqlir.Schema.t -> row_count:(string -> int) -> Index.t -> int
+
+val validate : Im_sqlir.Schema.t -> t -> (unit, string) result
+(** Validate every index, and reject duplicate definitions. *)
+
+val pp : Format.formatter -> t -> unit

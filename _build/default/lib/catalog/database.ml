@@ -1,0 +1,121 @@
+module Schema = Im_sqlir.Schema
+module Heap = Im_storage.Heap
+module Bptree = Im_storage.Bptree
+
+type t = {
+  db_schema : Schema.t;
+  heaps : (string, Heap.t) Hashtbl.t;
+  stats_cache : (string * string, Im_stats.Column_stats.t) Hashtbl.t;
+  materialized : (string, Bptree.t) Hashtbl.t;  (* keyed by index name *)
+  mat_defs : (string, Index.t) Hashtbl.t;
+  stats_rng : Im_util.Rng.t;
+  sample_threshold : int;
+  sample_size : int;
+}
+
+let create ?(seed = 42) ?(sample_threshold = 20_000) ?(sample_size = 5_000)
+    schema rows_by_table =
+  (match Schema.validate schema with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Database.create: " ^ msg));
+  let heaps = Hashtbl.create 16 in
+  List.iter
+    (fun (tbl : Schema.table) ->
+      let rows =
+        match List.assoc_opt tbl.Schema.tbl_name rows_by_table with
+        | Some rows -> rows
+        | None -> []
+      in
+      Hashtbl.replace heaps tbl.Schema.tbl_name (Heap.of_rows tbl rows))
+    schema.Schema.tables;
+  {
+    db_schema = schema;
+    heaps;
+    stats_cache = Hashtbl.create 64;
+    materialized = Hashtbl.create 16;
+    mat_defs = Hashtbl.create 16;
+    stats_rng = Im_util.Rng.create seed;
+    sample_threshold;
+    sample_size;
+  }
+
+let schema t = t.db_schema
+
+let heap t name =
+  match Hashtbl.find_opt t.heaps name with
+  | Some h -> h
+  | None -> invalid_arg ("Database.heap: unknown table " ^ name)
+
+let row_count t name = Heap.row_count (heap t name)
+
+let table_pages t name = Heap.pages (heap t name)
+
+let data_pages t =
+  List.fold_left
+    (fun acc (tbl : Schema.table) -> acc + table_pages t tbl.Schema.tbl_name)
+    0 t.db_schema.Schema.tables
+
+let stats t tbl col =
+  match Hashtbl.find_opt t.stats_cache (tbl, col) with
+  | Some s -> s
+  | None ->
+    let h = heap t tbl in
+    let values = Heap.column_values h col in
+    let sample =
+      if Heap.row_count h > t.sample_threshold then
+        Some (t.sample_size, Im_util.Rng.split t.stats_rng)
+      else None
+    in
+    let s = Im_stats.Column_stats.build ~table:tbl ~column:col ?sample values in
+    Hashtbl.replace t.stats_cache (tbl, col) s;
+    s
+
+let index_pages t ix =
+  Config.index_pages t.db_schema ~row_count:(row_count t) ix
+
+let config_storage_pages t config =
+  Config.storage_pages t.db_schema ~row_count:(row_count t) config
+
+let index_key t ix rid =
+  Heap.project (heap t ix.Index.idx_table) rid ix.Index.idx_columns
+
+let materialize t ix =
+  match Hashtbl.find_opt t.materialized ix.Index.idx_name with
+  | Some tree -> tree
+  | None ->
+    let h = heap t ix.Index.idx_table in
+    let entries =
+      Heap.fold h ~init:[] ~f:(fun acc rid _row ->
+          (Heap.project h rid ix.Index.idx_columns, rid) :: acc)
+    in
+    let tree =
+      Bptree.bulk_load ~key_width:(Index.key_width t.db_schema ix) entries
+    in
+    Hashtbl.replace t.materialized ix.Index.idx_name tree;
+    Hashtbl.replace t.mat_defs ix.Index.idx_name ix;
+    tree
+
+let drop_materialized t ix =
+  Hashtbl.remove t.materialized ix.Index.idx_name;
+  Hashtbl.remove t.mat_defs ix.Index.idx_name
+
+let invalidate_stats t tbl =
+  let keys =
+    Hashtbl.fold
+      (fun (tbl', col) _ acc -> if tbl' = tbl then (tbl', col) :: acc else acc)
+      t.stats_cache []
+  in
+  List.iter (Hashtbl.remove t.stats_cache) keys
+
+let insert_row t tbl row =
+  let h = heap t tbl in
+  let rid = Heap.append h row in
+  Hashtbl.iter
+    (fun name tree ->
+      match Hashtbl.find_opt t.mat_defs name with
+      | Some ix when ix.Index.idx_table = tbl ->
+        Bptree.insert tree (index_key t ix rid) rid
+      | Some _ | None -> ())
+    t.materialized;
+  invalidate_stats t tbl;
+  rid

@@ -1,0 +1,79 @@
+module Schema = Im_sqlir.Schema
+
+type t = { idx_name : string; idx_table : string; idx_columns : string list }
+
+let default_name table cols = "ix_" ^ table ^ "__" ^ String.concat "_" cols
+
+let make ?name ~table cols =
+  if cols = [] then invalid_arg "Index.make: no columns";
+  if
+    List.length (List.sort_uniq String.compare cols) <> List.length cols
+  then invalid_arg "Index.make: duplicate columns";
+  {
+    idx_name = (match name with Some n -> n | None -> default_name table cols);
+    idx_table = table;
+    idx_columns = cols;
+  }
+
+let equal a b = a.idx_table = b.idx_table && a.idx_columns = b.idx_columns
+
+let compare a b =
+  match String.compare a.idx_table b.idx_table with
+  | 0 -> Stdlib.compare a.idx_columns b.idx_columns
+  | c -> c
+
+let same_columns a b =
+  a.idx_table = b.idx_table
+  && List.sort String.compare a.idx_columns
+     = List.sort String.compare b.idx_columns
+
+let is_prefix_of a b =
+  a.idx_table = b.idx_table
+  &&
+  let rec prefix xs ys =
+    match (xs, ys) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs', y :: ys' -> x = y && prefix xs' ys'
+  in
+  prefix a.idx_columns b.idx_columns
+
+let covers t cols = List.for_all (fun c -> List.mem c t.idx_columns) cols
+
+let leading_column t =
+  match t.idx_columns with
+  | c :: _ -> c
+  | [] -> assert false (* make rejects empty column lists *)
+
+let key_width schema t =
+  Schema.columns_width (Schema.table schema t.idx_table) t.idx_columns
+
+let width_fraction_of_table schema t =
+  let tbl = Schema.table schema t.idx_table in
+  float_of_int (Schema.columns_width tbl t.idx_columns)
+  /. float_of_int (Schema.row_width tbl)
+
+let validate schema t =
+  if not (Schema.mem_table schema t.idx_table) then
+    Error (Printf.sprintf "index %s: unknown table %S" t.idx_name t.idx_table)
+  else begin
+    let tbl = Schema.table schema t.idx_table in
+    match
+      List.find_opt
+        (fun c ->
+          match Schema.column tbl c with
+          | (_ : Schema.column) -> false
+          | exception Not_found -> true)
+        t.idx_columns
+    with
+    | Some c ->
+      Error
+        (Printf.sprintf "index %s: unknown column %S on %S" t.idx_name c
+           t.idx_table)
+    | None -> Ok ()
+  end
+
+let to_string t =
+  Printf.sprintf "%s(%s)" t.idx_table (String.concat ", " t.idx_columns)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,1 @@
+lib/core/cost_eval.ml: Float Hashtbl Im_catalog Im_optimizer Im_sqlir Im_stats Im_util Im_workload List Maintenance Merge String

@@ -1,0 +1,1 @@
+lib/core/cost_eval.mli: Im_catalog Im_workload Merge

@@ -1,0 +1,1 @@
+lib/core/dual.ml: Cost_eval Im_catalog Im_util List Merge Merge_pair Seek_cost

@@ -1,0 +1,1 @@
+lib/core/dual.mli: Cost_eval Im_catalog Im_workload Merge Merge_pair

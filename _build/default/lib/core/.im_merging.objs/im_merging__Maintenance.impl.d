@@ -1,0 +1,1 @@
+lib/core/maintenance.ml: Array Float Im_catalog Im_optimizer Im_sqlir Im_storage Im_util List

@@ -1,0 +1,1 @@
+lib/core/maintenance.mli: Im_catalog Im_sqlir Im_util

@@ -1,0 +1,1 @@
+lib/core/merge.ml: Im_catalog Im_util List String

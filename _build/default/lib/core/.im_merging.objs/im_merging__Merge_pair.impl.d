@@ -1,0 +1,1 @@
+lib/core/merge_pair.ml: Cost_eval Im_catalog Im_sqlir Im_util Im_workload List Merge Seek_cost

@@ -1,0 +1,1 @@
+lib/core/merge_pair.mli: Cost_eval Im_catalog Im_workload Seek_cost

@@ -1,0 +1,1 @@
+lib/core/report.ml: Im_catalog List Merge Printf Search String

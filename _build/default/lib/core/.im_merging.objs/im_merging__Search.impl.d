@@ -1,0 +1,1 @@
+lib/core/search.ml: Cost_eval Im_catalog Im_util Im_workload List Merge Merge_pair Option Seek_cost

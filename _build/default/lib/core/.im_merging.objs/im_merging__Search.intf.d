@@ -1,0 +1,1 @@
+lib/core/search.mli: Cost_eval Im_catalog Im_workload Merge Merge_pair

@@ -1,0 +1,1 @@
+lib/core/seek_cost.ml: Float Hashtbl Im_catalog Im_optimizer Im_sqlir Im_workload List

@@ -1,0 +1,1 @@
+lib/core/seek_cost.mli: Im_catalog Im_workload

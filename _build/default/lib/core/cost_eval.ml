@@ -1,0 +1,177 @@
+module Database = Im_catalog.Database
+module Config = Im_catalog.Config
+module Index = Im_catalog.Index
+module Schema = Im_sqlir.Schema
+module Query = Im_sqlir.Query
+module Optimizer = Im_optimizer.Optimizer
+module Plan = Im_optimizer.Plan
+module Workload = Im_workload.Workload
+
+type model =
+  | No_cost of { f : float; p : float }
+  | External
+  | Optimizer_estimated
+
+let default_no_cost = No_cost { f = 0.60; p = 0.25 }
+
+type t = {
+  ce_model : model;
+  db : Database.t;
+  workload : Workload.t;
+  query_cache : (string, float) Hashtbl.t;
+  mutable evals : int;
+  mutable opt_calls : int;
+}
+
+let create model db workload =
+  {
+    ce_model = model;
+    db;
+    workload;
+    query_cache = Hashtbl.create 256;
+    evals = 0;
+    opt_calls = 0;
+  }
+
+let model t = t.ce_model
+
+let is_numeric t =
+  match t.ce_model with
+  | No_cost _ -> false
+  | External | Optimizer_estimated -> true
+
+(* Cache key: query id + the configuration restricted to the query's
+   tables. Merging indexes of other tables leaves the key — and thus the
+   cached cost — untouched, which is the paper's "only relevant queries
+   need re-optimization". *)
+let cache_key q config =
+  let relevant =
+    List.filter
+      (fun ix -> List.mem ix.Index.idx_table q.Query.q_tables)
+      config
+  in
+  let names =
+    List.sort String.compare
+      (List.map
+         (fun ix ->
+           ix.Index.idx_table ^ ":" ^ String.concat "," ix.Index.idx_columns)
+         relevant)
+  in
+  q.Query.q_id ^ "|" ^ String.concat ";" names
+
+(* ---- External model (deliberately coarse) ---- *)
+
+let external_query_cost t config q =
+  let db = t.db in
+  let per_table tbl =
+    let heap_pages = float_of_int (Database.table_pages db tbl) in
+    let referenced = Query.referenced_columns q tbl in
+    let sargable = Query.sargable_columns q tbl in
+    let indexes = Config.on_table config tbl in
+    let covering_pages =
+      List.filter_map
+        (fun ix ->
+          if Index.covers ix referenced then
+            Some (float_of_int (Database.index_pages db ix))
+          else None)
+        indexes
+    in
+    let seek_costs =
+      List.filter_map
+        (fun ix ->
+          let leading = Index.leading_column ix in
+          if List.mem leading sargable then begin
+            let sel =
+              List.fold_left
+                (fun acc p ->
+                  match Im_sqlir.Predicate.selection_column p with
+                  | Some c when c.Im_sqlir.Predicate.cr_column = leading ->
+                    acc
+                    *. Im_stats.Column_stats.selectivity
+                         (Database.stats db tbl leading)
+                         p
+                  | Some _ | None -> acc)
+                1.0
+                (Query.selection_predicates q tbl)
+            in
+            let pages = float_of_int (Database.index_pages db ix) in
+            let fetch =
+              if Index.covers ix referenced then sel *. pages
+              else sel *. float_of_int (Database.row_count db tbl)
+            in
+            Some (3. +. fetch)
+          end
+          else None)
+        indexes
+    in
+    List.fold_left Float.min heap_pages (covering_pages @ seek_costs)
+  in
+  let base = Im_util.List_ext.sum_by_f per_table q.Query.q_tables in
+  (* Flat penalty per join: the model deliberately does not plan joins. *)
+  base +. (float_of_int (max 0 (List.length q.Query.q_tables - 1)) *. 5.)
+
+(* ---- Optimizer-estimated model ---- *)
+
+let optimizer_query_cost t config q =
+  let key = cache_key q config in
+  match Hashtbl.find_opt t.query_cache key with
+  | Some c -> c
+  | None ->
+    t.opt_calls <- t.opt_calls + 1;
+    let c = Plan.cost (Optimizer.optimize t.db config q) in
+    Hashtbl.replace t.query_cache key c;
+    c
+
+let workload_cost t config =
+  t.evals <- t.evals + 1;
+  let per_query =
+    match t.ce_model with
+    | No_cost _ ->
+      invalid_arg "Cost_eval.workload_cost: the No-Cost model has no costs"
+    | External -> external_query_cost t config
+    | Optimizer_estimated -> optimizer_query_cost t config
+  in
+  let query_cost = Workload.weighted_cost ~cost:per_query t.workload in
+  (* Updates in the workload charge the configuration for its upkeep
+     (§3.1: the workload consists of queries and updates). *)
+  let update_cost =
+    match t.workload.Workload.updates with
+    | [] -> 0.
+    | inserts -> Maintenance.config_batch_cost t.db config ~inserts
+  in
+  query_cost +. update_cost
+
+let no_cost_accepts ~f ~p schema ~merged ~parents =
+  let left, right = parents in
+  let width ix = float_of_int (Index.key_width schema ix) in
+  let tbl = Schema.table schema merged.Index.idx_table in
+  let table_width = float_of_int (Schema.row_width tbl) in
+  width merged <= f *. table_width
+  && width merged <= (1. +. p) *. width left
+  && width merged <= (1. +. p) *. width right
+
+let accepts t ~items ~merged ~parents ~bound =
+  match t.ce_model with
+  | No_cost { f; p } ->
+    no_cost_accepts ~f ~p (Database.schema t.db) ~merged ~parents
+  | External | Optimizer_estimated ->
+    workload_cost t (Merge.config_of_items items) <= bound
+
+let accepts_item t (item : Merge.item) =
+  match (t.ce_model, item.Merge.it_parents) with
+  | (External | Optimizer_estimated), _ -> true
+  | No_cost _, ([] | [ _ ]) -> true
+  | No_cost { f; p }, parents ->
+    let schema = Database.schema t.db in
+    let merged = item.Merge.it_index in
+    let width ix = float_of_int (Index.key_width schema ix) in
+    let tbl = Schema.table schema merged.Index.idx_table in
+    let table_width = float_of_int (Schema.row_width tbl) in
+    width merged <= f *. table_width
+    && List.for_all
+         (fun parent -> width merged <= (1. +. p) *. width parent)
+         parents
+
+let evaluations t = t.evals
+
+let optimizer_calls t = t.opt_calls

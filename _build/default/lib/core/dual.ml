@@ -1,0 +1,107 @@
+module Database = Im_catalog.Database
+module Config = Im_catalog.Config
+module Index = Im_catalog.Index
+module List_ext = Im_util.List_ext
+
+type outcome = {
+  d_initial : Config.t;
+  d_items : Merge.item list;
+  d_budget_pages : int;
+  d_initial_pages : int;
+  d_final_pages : int;
+  d_fits : bool;
+  d_initial_cost : float;
+  d_final_cost : float;
+  d_iterations : int;
+  d_optimizer_calls : int;
+  d_elapsed_s : float;
+}
+
+let items_pages db items =
+  Database.config_storage_pages db (Merge.config_of_items items)
+
+let run ?(merge_pair = Merge_pair.Cost_based)
+    ?(cost_model = Cost_eval.Optimizer_estimated) ?(candidates_per_round = 6)
+    db workload ~initial ~budget_pages =
+  let evaluator = Cost_eval.create cost_model db workload in
+  if not (Cost_eval.is_numeric evaluator) then
+    invalid_arg "Dual.run: a numeric cost model is required";
+  let (items, iterations), elapsed =
+    Im_util.Stopwatch.time (fun () ->
+        let seek = Seek_cost.analyze db initial workload in
+        let merge_indexes current i1 i2 =
+          Merge_pair.merge merge_pair ~db ~workload ~seek ~evaluator ~current
+            i1 i2
+        in
+        let rec loop items iterations =
+          if items_pages db items <= budget_pages then (items, iterations)
+          else begin
+            let current_pages = items_pages db items in
+            let current_config = Merge.config_of_items items in
+            let pairs =
+              List.filter
+                (fun ((a : Merge.item), (b : Merge.item)) ->
+                  a.Merge.it_index.Index.idx_table
+                  = b.Merge.it_index.Index.idx_table)
+                (List_ext.pairs items)
+            in
+            let shrinking =
+              List.filter_map
+                (fun (left, right) ->
+                  let merged_index =
+                    merge_indexes current_config left.Merge.it_index
+                      right.Merge.it_index
+                  in
+                  let merged_item =
+                    {
+                      Merge.it_index = merged_index;
+                      it_parents =
+                        left.Merge.it_parents @ right.Merge.it_parents;
+                    }
+                  in
+                  let new_items =
+                    merged_item
+                    :: List.filter (fun it -> it != left && it != right) items
+                  in
+                  let reduction = current_pages - items_pages db new_items in
+                  if reduction > 0 then Some (new_items, reduction) else None)
+                pairs
+              |> List.stable_sort (fun (_, r1) (_, r2) -> compare r2 r1)
+            in
+            match shrinking with
+            | [] -> (items, iterations + 1)
+            | _ ->
+              (* Cost only the most promising few, pick min cost. *)
+              let shortlisted =
+                List_ext.take candidates_per_round shrinking
+              in
+              let scored =
+                List.map
+                  (fun (new_items, _) ->
+                    ( new_items,
+                      Cost_eval.workload_cost evaluator
+                        (Merge.config_of_items new_items) ))
+                  shortlisted
+              in
+              (match List_ext.min_by (fun (_, c) -> c) scored with
+               | Some (best, _) -> loop best (iterations + 1)
+               | None -> (items, iterations + 1))
+          end
+        in
+        loop (Merge.items_of_config initial) 0)
+  in
+  let final_pages = items_pages db items in
+  {
+    d_initial = initial;
+    d_items = items;
+    d_budget_pages = budget_pages;
+    d_initial_pages = Database.config_storage_pages db initial;
+    d_final_pages = final_pages;
+    d_fits = final_pages <= budget_pages;
+    d_initial_cost = Cost_eval.workload_cost evaluator initial;
+    d_final_cost =
+      Cost_eval.workload_cost evaluator (Merge.config_of_items items);
+    d_iterations = iterations;
+    d_optimizer_calls = Cost_eval.optimizer_calls evaluator;
+    d_elapsed_s = elapsed;
+  }

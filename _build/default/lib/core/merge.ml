@@ -1,0 +1,93 @@
+module Index = Im_catalog.Index
+
+type item = { it_index : Index.t; it_parents : Index.t list }
+
+let item_of_index ix = { it_index = ix; it_parents = [ ix ] }
+
+let same_table = function
+  | [] -> invalid_arg "Merge: empty index set"
+  | first :: rest ->
+    if List.for_all (fun ix -> ix.Index.idx_table = first.Index.idx_table) rest
+    then first.Index.idx_table
+    else invalid_arg "Merge: indexes span several tables"
+
+let union_columns indexes =
+  let (_ : string) = same_table indexes in
+  List.concat_map (fun ix -> ix.Index.idx_columns) indexes
+  |> Im_util.List_ext.dedup_keep_order String.equal
+
+let merge_with_order indexes order =
+  let table = same_table indexes in
+  let union = union_columns indexes in
+  let sorted = List.sort String.compare in
+  if sorted order <> sorted union then
+    invalid_arg "Merge.merge_with_order: order is not a permutation of the union";
+  Index.make ~table order
+
+let preserving_merge ~leading rest =
+  let order =
+    List.fold_left
+      (fun acc ix ->
+        acc
+        @ List.filter
+            (fun c -> not (List.mem c acc))
+            ix.Index.idx_columns)
+      leading.Index.idx_columns rest
+  in
+  merge_with_order (leading :: rest) order
+
+let preserving_pair ~leading ~trailing = preserving_merge ~leading [ trailing ]
+
+let is_merge_of m parents =
+  match parents with
+  | [] -> false
+  | first :: _ ->
+    m.Index.idx_table = first.Index.idx_table
+    && (try
+          List.sort String.compare m.Index.idx_columns
+          = List.sort String.compare (union_columns parents)
+        with Invalid_argument _ -> false)
+
+let is_index_preserving m ~parents =
+  if not (is_merge_of m parents) then false
+  else begin
+    let orderings = Im_util.Combin.permutations parents in
+    List.exists
+      (fun order ->
+        match order with
+        | [] -> false
+        | leading :: rest -> Index.equal (preserving_merge ~leading rest) m)
+      orderings
+  end
+
+let parents_disjoint a b =
+  not (List.exists (fun p -> List.exists (Index.equal p) b.it_parents) a.it_parents)
+
+let merge_items ~leading ~trailing =
+  if not (parents_disjoint leading trailing) then
+    invalid_arg "Merge.merge_items: parent sets overlap (Definition 3)";
+  {
+    it_index =
+      preserving_pair ~leading:leading.it_index ~trailing:trailing.it_index;
+    it_parents = leading.it_parents @ trailing.it_parents;
+  }
+
+let items_of_config config = List.map item_of_index config
+
+let config_of_items items = List.map (fun it -> it.it_index) items
+
+let is_minimal_merged_configuration ~initial items =
+  let all_parents = List.concat_map (fun it -> it.it_parents) items in
+  let from_initial p = List.exists (Index.equal p) initial in
+  let no_dup =
+    List.length all_parents
+    = List.length (Im_util.List_ext.dedup_keep_order Index.equal all_parents)
+  in
+  List.for_all from_initial all_parents
+  && no_dup
+  && List.for_all
+       (fun it ->
+         match it.it_parents with
+         | [ p ] -> Index.equal p it.it_index
+         | parents -> is_merge_of it.it_index parents)
+       items

@@ -1,0 +1,62 @@
+(** Merging indexes — Definitions 1–3 of the paper.
+
+    - Definition 1 (merged index): M merges the set I iff M contains
+      exactly the union of the columns of I, in any order; k distinct
+      columns admit k! mergings.
+    - Definition 2 (index-preserving merge): one parent's columns form
+      M's leading prefix, and the remaining parents' columns are
+      appended in their own order, parent by parent.
+    - Definition 3 (minimal merged configuration): each original index
+      contributes to exactly one surviving index; no two survivors
+      share a parent.
+
+    {!item} carries the parent bookkeeping Definition 3 requires. *)
+
+module Index = Im_catalog.Index
+
+type item = {
+  it_index : Index.t;  (** the (possibly merged) index *)
+  it_parents : Index.t list;
+      (** original-configuration indexes folded into it; a singleton
+          for an unmerged original index *)
+}
+
+val item_of_index : Index.t -> item
+
+val union_columns : Index.t list -> string list
+(** Distinct columns of the set, in first-appearance order. Requires a
+    non-empty list of same-table indexes ([Invalid_argument]). *)
+
+val merge_with_order : Index.t list -> string list -> Index.t
+(** Definition 1: merged index with an explicit column order. The order
+    must be a permutation of {!union_columns} ([Invalid_argument]). *)
+
+val preserving_merge : leading:Index.t -> Index.t list -> Index.t
+(** Definition 2 with the append sequence given by the list order:
+    [leading]'s columns first, then each further index's unseen columns
+    in that index's order. *)
+
+val preserving_pair : leading:Index.t -> trailing:Index.t -> Index.t
+(** Two-index case used by MergePair. *)
+
+val is_merge_of : Index.t -> Index.t list -> bool
+(** Definition 1 check: same table, exact column-set union. *)
+
+val is_index_preserving : Index.t -> parents:Index.t list -> bool
+(** Does some parent ordering realize M via {!preserving_merge}? *)
+
+val merge_items : leading:item -> trailing:item -> item
+(** Merge two items with an index-preserving pair merge, accumulating
+    parents. Requires disjoint parent sets (Definition 3); raises
+    [Invalid_argument] otherwise. *)
+
+val items_of_config : Im_catalog.Config.t -> item list
+
+val config_of_items : item list -> Im_catalog.Config.t
+
+val is_minimal_merged_configuration :
+  initial:Im_catalog.Config.t -> item list -> bool
+(** Definition 3: every item's parents come from the initial
+    configuration, parent sets are pairwise disjoint, every item with
+    one parent is that parent, and every merged item merges its
+    parents per Definition 1. *)

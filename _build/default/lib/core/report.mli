@@ -1,0 +1,10 @@
+(** Human-readable summaries of merging outcomes. *)
+
+val summary : Search.outcome -> string
+(** One paragraph: storage before/after (pages and reduction), cost
+    before/after, constraint bound, iterations, cost evaluations,
+    optimizer calls, elapsed time. *)
+
+val configuration_listing : Search.outcome -> string
+(** One line per final index: definition, pages, and the parents it
+    merged. *)

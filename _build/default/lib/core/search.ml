@@ -1,0 +1,247 @@
+module Database = Im_catalog.Database
+module Config = Im_catalog.Config
+module Index = Im_catalog.Index
+module Workload = Im_workload.Workload
+module List_ext = Im_util.List_ext
+
+type strategy = Greedy | Exhaustive_search of { config_limit : int }
+
+type outcome = {
+  o_initial : Config.t;
+  o_items : Merge.item list;
+  o_initial_pages : int;
+  o_final_pages : int;
+  o_initial_cost : float option;
+  o_final_cost : float option;
+  o_bound : float option;
+  o_iterations : int;
+  o_cost_evaluations : int;
+  o_optimizer_calls : int;
+  o_elapsed_s : float;
+  o_truncated : bool;
+}
+
+let storage_reduction o =
+  if o.o_initial_pages = 0 then 0.
+  else
+    1. -. (float_of_int o.o_final_pages /. float_of_int o.o_initial_pages)
+
+let cost_increase o =
+  match (o.o_initial_cost, o.o_final_cost) with
+  | Some i, Some f when i > 0. -> Some ((f /. i) -. 1.)
+  | _ -> None
+
+let items_pages db items =
+  Database.config_storage_pages db (Merge.config_of_items items)
+
+(* ---- Greedy (Figure 4) ---- *)
+
+let greedy ~procedure ~evaluator ~seek ~bound db workload initial =
+  let numeric = Cost_eval.is_numeric evaluator in
+  let merge_indexes current i1 i2 =
+    Merge_pair.merge procedure ~db ~workload ~seek
+      ?evaluator:(if numeric then Some evaluator else None)
+      ~current i1 i2
+  in
+  let rec loop items iterations =
+    let same_table_pairs =
+      List.filter
+        (fun ((a : Merge.item), (b : Merge.item)) ->
+          a.Merge.it_index.Index.idx_table = b.Merge.it_index.Index.idx_table)
+        (List_ext.pairs items)
+    in
+    if same_table_pairs = [] then (items, iterations)
+    else begin
+      let current_config = Merge.config_of_items items in
+      let current_pages = items_pages db items in
+      let candidates =
+        List.map
+          (fun (left, right) ->
+            let merged_index =
+              merge_indexes current_config left.Merge.it_index
+                right.Merge.it_index
+            in
+            let merged_item =
+              {
+                Merge.it_index = merged_index;
+                it_parents = left.Merge.it_parents @ right.Merge.it_parents;
+              }
+            in
+            let new_items =
+              merged_item
+              :: List.filter (fun it -> it != left && it != right) items
+            in
+            let reduction = current_pages - items_pages db new_items in
+            (left, right, merged_item, new_items, reduction))
+          same_table_pairs
+      in
+      let viable =
+        List.filter (fun (_, _, _, _, r) -> r > 0) candidates
+        |> List.stable_sort (fun (_, _, _, _, r1) (_, _, _, _, r2) ->
+               compare r2 r1)
+      in
+      let accepted =
+        List.find_opt
+          (fun (left, right, merged_item, new_items, _) ->
+            Cost_eval.accepts evaluator ~items:new_items
+              ~merged:merged_item.Merge.it_index
+              ~parents:(left.Merge.it_index, right.Merge.it_index)
+              ~bound:(Option.value bound ~default:infinity))
+          viable
+      in
+      match accepted with
+      | None -> (items, iterations + 1)
+      | Some (_, _, _, new_items, _) -> loop new_items (iterations + 1)
+    end
+  in
+  loop (Merge.items_of_config initial) 0
+
+(* ---- Exhaustive ---- *)
+
+(* Merge one partition block via successive MergePair applications. The
+   fold order is a degree of freedom Definition 2 leaves open, so every
+   permutation of the block is tried (capped) and the distinct resulting
+   indexes are all candidates — making the exhaustive search dominate
+   any order the greedy strategy might pick. *)
+let merge_block ~procedure ~evaluator ~seek ~numeric db workload current block =
+  match block with
+  | [] -> invalid_arg "Search.merge_block: empty block"
+  | [ ix ] -> [ Merge.item_of_index ix ]
+  | _ ->
+    let fold_order order =
+      match order with
+      | [] -> assert false
+      | first :: rest ->
+        List.fold_left
+          (fun acc ix ->
+            let merged =
+              Merge_pair.merge procedure ~db ~workload ~seek
+                ?evaluator:(if numeric then Some evaluator else None)
+                ~current acc.Merge.it_index ix
+            in
+            {
+              Merge.it_index = merged;
+              it_parents = acc.Merge.it_parents @ [ ix ];
+            })
+          (Merge.item_of_index first)
+          rest
+    in
+    Im_util.Combin.permutations ~limit:24 block
+    |> List.map fold_order
+    |> Im_util.List_ext.dedup_keep_order (fun a b ->
+           Im_catalog.Index.equal a.Merge.it_index b.Merge.it_index)
+
+let cartesian (lists : 'a list list) ~limit =
+  let truncated = ref false in
+  let take l = if List.length l > limit then (truncated := true; List_ext.take limit l) else l in
+  let combine acc options =
+    take
+      (List.concat_map
+         (fun partial -> List.map (fun opt -> opt :: partial) options)
+         acc)
+  in
+  let combos = List.fold_left combine [ [] ] lists in
+  (List.map List.rev combos, !truncated)
+
+let exhaustive ~procedure ~evaluator ~seek ~bound ~config_limit db workload
+    initial =
+  let numeric = Cost_eval.is_numeric evaluator in
+  let by_table = List_ext.group_by (fun ix -> ix.Index.idx_table) initial in
+  let truncated_blocks = ref false in
+  let per_table_options =
+    List.map
+      (fun (_tbl, indexes) ->
+        let partitions =
+          Im_util.Combin.set_partitions ~limit:config_limit indexes
+        in
+        (* Each partition yields one option per combination of its
+           blocks' candidate merge orders. *)
+        List.concat_map
+          (fun partition ->
+            let block_candidates =
+              List.map
+                (fun block ->
+                  merge_block ~procedure ~evaluator ~seek ~numeric db workload
+                    initial block)
+                partition
+            in
+            let combos, t = cartesian block_candidates ~limit:config_limit in
+            if t then truncated_blocks := true;
+            combos)
+          partitions)
+      by_table
+  in
+  let combos, truncated = cartesian per_table_options ~limit:config_limit in
+  let truncated = truncated || !truncated_blocks in
+  let configurations = List.map List.concat combos in
+  let scored =
+    List.map (fun items -> (items, items_pages db items)) configurations
+    |> List.stable_sort (fun (_, a) (_, b) -> compare a b)
+  in
+  let ok items =
+    List.for_all (Cost_eval.accepts_item evaluator) items
+    && ((not numeric)
+        || Cost_eval.workload_cost evaluator (Merge.config_of_items items)
+           <= Option.value bound ~default:infinity)
+  in
+  let rec first_ok examined = function
+    | [] -> (Merge.items_of_config initial, examined)
+    | (items, _) :: rest ->
+      if ok items then (items, examined + 1) else first_ok (examined + 1) rest
+  in
+  let result, examined = first_ok 0 scored in
+  (result, examined, truncated)
+
+(* ---- Entry point ---- *)
+
+let run ?(merge_pair = Merge_pair.Cost_based)
+    ?(cost_model = Cost_eval.Optimizer_estimated) ?(cost_constraint = 0.10) db
+    workload ~initial strategy =
+  let evaluator = Cost_eval.create cost_model db workload in
+  let numeric = Cost_eval.is_numeric evaluator in
+  let (items, iterations, truncated), elapsed =
+    Im_util.Stopwatch.time (fun () ->
+        let seek = Seek_cost.analyze db initial workload in
+        let initial_cost =
+          if numeric then Some (Cost_eval.workload_cost evaluator initial)
+          else None
+        in
+        let bound =
+          Option.map (fun c -> c *. (1. +. cost_constraint)) initial_cost
+        in
+        match strategy with
+        | Greedy ->
+          let items, iterations =
+            greedy ~procedure:merge_pair ~evaluator ~seek ~bound db workload
+              initial
+          in
+          (items, iterations, false)
+        | Exhaustive_search { config_limit } ->
+          exhaustive ~procedure:merge_pair ~evaluator ~seek ~bound
+            ~config_limit db workload initial)
+  in
+  (* Recompute reference numbers outside the timed region where they are
+     byproducts, for a truthful report. *)
+  let initial_cost =
+    if numeric then Some (Cost_eval.workload_cost evaluator initial) else None
+  in
+  let bound = Option.map (fun c -> c *. (1. +. cost_constraint)) initial_cost in
+  let final_cost =
+    if numeric then
+      Some (Cost_eval.workload_cost evaluator (Merge.config_of_items items))
+    else None
+  in
+  {
+    o_initial = initial;
+    o_items = items;
+    o_initial_pages = Database.config_storage_pages db initial;
+    o_final_pages = items_pages db items;
+    o_initial_cost = initial_cost;
+    o_final_cost = final_cost;
+    o_bound = bound;
+    o_iterations = iterations;
+    o_cost_evaluations = Cost_eval.evaluations evaluator;
+    o_optimizer_calls = Cost_eval.optimizer_calls evaluator;
+    o_elapsed_s = elapsed;
+    o_truncated = truncated;
+  }

@@ -1,0 +1,55 @@
+(** Search strategies for the Storage-Minimal Index Merging problem
+    (paper §3.1, §3.4).
+
+    Input: an initial configuration C, a workload W, and a
+    cost-constraint c giving the bound U = (1 + c) · Cost(W, C). Output:
+    a minimal merged configuration of lowest (greedy: greedily lowered)
+    storage with Cost(W, C') ≤ U.
+
+    - {b Greedy} (Figure 4): each iteration merges, among all same-table
+      pairs, the pair with the largest storage reduction whose resulting
+      configuration still meets the cost constraint; stops when no
+      acceptable merge remains. Polynomial (O(N³) pair merges).
+    - {b Exhaustive}: enumerates every minimal merged configuration
+      derivable with MergePair (set partitions of each table's indexes,
+      combined across tables), and returns the smallest one meeting the
+      constraint. Exponential; the experiments use N = 5 as in the
+      paper. *)
+
+type strategy =
+  | Greedy
+  | Exhaustive_search of { config_limit : int }
+      (** safety cap on enumerated configurations *)
+
+type outcome = {
+  o_initial : Im_catalog.Config.t;
+  o_items : Merge.item list;  (** the resulting minimal merged configuration *)
+  o_initial_pages : int;
+  o_final_pages : int;
+  o_initial_cost : float option;  (** [None] under the No-Cost model *)
+  o_final_cost : float option;
+  o_bound : float option;
+  o_iterations : int;  (** greedy outer-loop iterations / configs examined *)
+  o_cost_evaluations : int;
+  o_optimizer_calls : int;
+  o_elapsed_s : float;
+  o_truncated : bool;  (** exhaustive enumeration hit [config_limit] *)
+}
+
+val storage_reduction : outcome -> float
+(** [1 - final/initial] (0 if the initial configuration is empty). *)
+
+val cost_increase : outcome -> float option
+(** [final/initial - 1] under a numeric model. *)
+
+val run :
+  ?merge_pair:Merge_pair.procedure ->
+  ?cost_model:Cost_eval.model ->
+  ?cost_constraint:float ->
+  Im_catalog.Database.t ->
+  Im_workload.Workload.t ->
+  initial:Im_catalog.Config.t ->
+  strategy ->
+  outcome
+(** Defaults: MergePair-Cost, optimizer-estimated cost, 10 % constraint
+    (the paper's Figure 5 setting). *)

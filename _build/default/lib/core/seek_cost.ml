@@ -1,0 +1,82 @@
+module Database = Im_catalog.Database
+module Config = Im_catalog.Config
+module Index = Im_catalog.Index
+module Optimizer = Im_optimizer.Optimizer
+module Plan = Im_optimizer.Plan
+module Workload = Im_workload.Workload
+
+type record = {
+  r_seek : float;
+  r_scan : float;
+  r_seekers : string list;
+}
+
+type t = {
+  by_index : (string * string list, record) Hashtbl.t;
+      (* keyed by (table, columns) = index definition *)
+  total : float;
+  by_query : (string, float) Hashtbl.t;
+}
+
+let key ix = (ix.Index.idx_table, ix.Index.idx_columns)
+
+let analyze db config workload =
+  let by_index = Hashtbl.create 16 in
+  let by_query = Hashtbl.create 64 in
+  let total = ref 0. in
+  List.iter
+    (fun { Workload.query = q; freq } ->
+      let plan = Optimizer.optimize db config q in
+      let weighted = freq *. Plan.cost plan in
+      total := !total +. weighted;
+      Hashtbl.replace by_query q.Im_sqlir.Query.q_id weighted;
+      List.iter
+        (fun (ix, usage) ->
+          let prev =
+            match Hashtbl.find_opt by_index (key ix) with
+            | Some r -> r
+            | None -> { r_seek = 0.; r_scan = 0.; r_seekers = [] }
+          in
+          let next =
+            match usage with
+            | Plan.Seek ->
+              {
+                prev with
+                r_seek = prev.r_seek +. weighted;
+                r_seekers = q.Im_sqlir.Query.q_id :: prev.r_seekers;
+              }
+            | Plan.Scan -> { prev with r_scan = prev.r_scan +. weighted }
+          in
+          Hashtbl.replace by_index (key ix) next)
+        plan.Plan.usages)
+    workload.Workload.entries;
+  { by_index; total = !total; by_query }
+
+let find t ix = Hashtbl.find_opt t.by_index (key ix)
+
+let seek_cost t ix = match find t ix with Some r -> r.r_seek | None -> 0.
+
+let effective_seek_cost t ix =
+  Hashtbl.fold
+    (fun (table, columns) r best ->
+      if table <> ix.Index.idx_table then best
+      else begin
+        let rec prefix xs ys =
+          match (xs, ys) with
+          | [], _ -> true
+          | _, [] -> false
+          | x :: xs', y :: ys' -> x = y && prefix xs' ys'
+        in
+        if prefix columns ix.Index.idx_columns then Float.max best r.r_seek
+        else best
+      end)
+    t.by_index 0.
+
+let scan_cost t ix = match find t ix with Some r -> r.r_scan | None -> 0.
+
+let total_cost t = t.total
+
+let query_cost t id = Hashtbl.find_opt t.by_query id
+
+let seeking_queries t ix =
+  match find t ix with Some r -> List.rev r.r_seekers | None -> []

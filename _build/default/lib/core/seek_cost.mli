@@ -1,0 +1,36 @@
+(** Index-usage analysis over a workload.
+
+    "Seek-Cost (W, I) denotes the cost of all queries in the workload W
+    where I was used for index seek" (paper Figure 2). The analysis
+    optimizes every query once under a configuration and attributes each
+    query's (frequency-weighted) cost to the indexes its plan seeks or
+    scans — the paper gathers the same data from Showplan. *)
+
+type t
+
+val analyze :
+  Im_catalog.Database.t ->
+  Im_catalog.Config.t ->
+  Im_workload.Workload.t ->
+  t
+
+val seek_cost : t -> Im_catalog.Index.t -> float
+(** 0. for indexes never used for a seek. *)
+
+val effective_seek_cost : t -> Im_catalog.Index.t -> float
+(** Seek cost with prefix inheritance: a merged index that keeps an
+    analyzed index as its leading prefix still serves that index's
+    seeks, so it inherits the largest seek cost among analyzed indexes
+    that are prefixes of it (including itself). Lets MergePair order
+    indexes sensibly when merging an already-merged index further. *)
+
+val scan_cost : t -> Im_catalog.Index.t -> float
+
+val total_cost : t -> float
+(** Frequency-weighted workload cost under the analyzed configuration. *)
+
+val query_cost : t -> string -> float option
+(** Cost of the query with the given id, if present. *)
+
+val seeking_queries : t -> Im_catalog.Index.t -> string list
+(** Ids of queries whose plan seeks the index. *)

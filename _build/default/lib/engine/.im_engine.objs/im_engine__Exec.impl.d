@@ -1,0 +1,1 @@
+lib/engine/exec.ml: Array Hashtbl Im_catalog Im_optimizer Im_sqlir Im_storage Im_util List

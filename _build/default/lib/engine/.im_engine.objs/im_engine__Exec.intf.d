@@ -1,0 +1,1 @@
+lib/engine/exec.mli: Im_catalog Im_optimizer Im_sqlir Im_storage

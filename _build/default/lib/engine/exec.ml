@@ -1,0 +1,391 @@
+module Database = Im_catalog.Database
+module Index = Im_catalog.Index
+module Heap = Im_storage.Heap
+module Bptree = Im_storage.Bptree
+module Buffer_pool = Im_storage.Buffer_pool
+module Plan = Im_optimizer.Plan
+module Query = Im_sqlir.Query
+module Predicate = Im_sqlir.Predicate
+module Value = Im_sqlir.Value
+
+(* A tuple in flight binds each joined table to one of its rows. *)
+type tuple = (string * Value.t array) list
+
+(* Optional page-level accounting: every page an access path touches is
+   routed through a buffer pool. *)
+type io = { pool : Buffer_pool.t }
+
+let touch io obj page =
+  match io with
+  | None -> ()
+  | Some { pool } ->
+    ignore
+      (Buffer_pool.access pool
+         { Buffer_pool.pg_object = obj; pg_number = page })
+
+let tuple_value db tuple (c : Predicate.colref) =
+  let row = List.assoc c.cr_table tuple in
+  let idx = Heap.column_index (Database.heap db c.cr_table) c.cr_column in
+  row.(idx)
+
+let cmp_matches op c =
+  match op with
+  | Predicate.Eq -> c = 0
+  | Predicate.Ne -> c <> 0
+  | Predicate.Lt -> c < 0
+  | Predicate.Le -> c <= 0
+  | Predicate.Gt -> c > 0
+  | Predicate.Ge -> c >= 0
+
+let eval_pred db tuple p =
+  match p with
+  | Predicate.Cmp (op, c, v) ->
+    cmp_matches op (Value.compare (tuple_value db tuple c) v)
+  | Predicate.Between (c, lo, hi) ->
+    let x = tuple_value db tuple c in
+    Value.compare x lo >= 0 && Value.compare x hi <= 0
+  | Predicate.In_list (c, vs) ->
+    let x = tuple_value db tuple c in
+    List.exists (Value.equal x) vs
+  | Predicate.Join (a, b) ->
+    Value.equal (tuple_value db tuple a) (tuple_value db tuple b)
+
+(* ---- Seek bounds ----
+
+   Reconstruct lo/hi key prefixes for an index seek from the sargable
+   conjuncts on the seek columns; correctness does not depend on the
+   bounds being tight since every selection is re-checked on fetch. *)
+
+let bounds_for_column preds col =
+  let lo = ref None and hi = ref None in
+  let tighten_lo v =
+    match !lo with
+    | None -> lo := Some v
+    | Some cur -> if Value.compare v cur > 0 then lo := Some v
+  in
+  let tighten_hi v =
+    match !hi with
+    | None -> hi := Some v
+    | Some cur -> if Value.compare v cur < 0 then hi := Some v
+  in
+  List.iter
+    (fun p ->
+      match p with
+      | Predicate.Cmp (op, c, v) when c.Predicate.cr_column = col ->
+        (match op with
+         | Predicate.Eq ->
+           tighten_lo v;
+           tighten_hi v
+         | Predicate.Gt | Predicate.Ge -> tighten_lo v
+         | Predicate.Lt | Predicate.Le -> tighten_hi v
+         | Predicate.Ne -> ())
+      | Predicate.Between (c, l, h) when c.Predicate.cr_column = col ->
+        tighten_lo l;
+        tighten_hi h
+      | Predicate.In_list (c, vs) when c.Predicate.cr_column = col && vs <> []
+        ->
+        let sorted = List.sort Value.compare vs in
+        tighten_lo (List.hd sorted);
+        tighten_hi (List.nth sorted (List.length sorted - 1))
+      | Predicate.Cmp _ | Predicate.Between _ | Predicate.In_list _
+      | Predicate.Join _ -> ())
+    preds;
+  (!lo, !hi)
+
+let seek_bounds preds seek_cols =
+  (* Build the longest usable lo and hi key prefixes independently. *)
+  let rec build side = function
+    | [] -> []
+    | col :: rest ->
+      let lo, hi = bounds_for_column preds col in
+      let bound = match side with `Lo -> lo | `Hi -> hi in
+      (match bound with
+       | None -> []
+       | Some v ->
+         (* Continue deeper only when the column is pinned from both
+            sides to a single value. *)
+         let pinned =
+           match (lo, hi) with
+           | Some l, Some h -> Value.compare l h = 0
+           | _ -> false
+         in
+         if pinned then v :: build side rest else [ v ])
+  in
+  let arr = function [] -> None | l -> Some (Array.of_list l) in
+  (arr (build `Lo seek_cols), arr (build `Hi seek_cols))
+
+(* ---- Access-path execution ---- *)
+
+let exec_access db q (access : Plan.access) ~extra_eq ~io : tuple list =
+  let fetch_table tbl =
+    let selections = Query.selection_predicates q tbl in
+    (tbl, selections)
+  in
+  match access with
+  | Plan.Seq_scan tbl ->
+    let tbl, selections = fetch_table tbl in
+    let h = Database.heap db tbl in
+    (match io with
+     | Some _ ->
+       for p = 0 to Heap.pages h - 1 do
+         touch io tbl p
+       done
+     | None -> ());
+    Heap.fold h ~init:[] ~f:(fun acc _rid row ->
+        let t = [ (tbl, row) ] in
+        if List.for_all (eval_pred db t) selections then t :: acc else acc)
+    |> List.rev
+  | Plan.Index_seek { index; seek_cols; lookup; eq_len = _ } ->
+    let tbl, selections = fetch_table index.Index.idx_table in
+    let preds =
+      selections
+      @ List.map
+          (fun (col, v) ->
+            Predicate.Cmp (Predicate.Eq, Predicate.colref tbl col, v))
+          extra_eq
+    in
+    let lo, hi = seek_bounds preds seek_cols in
+    let tree = Database.materialize db index in
+    let h = Database.heap db tbl in
+    let on_node nid = touch io index.Index.idx_name nid in
+    Bptree.fold_range ~on_node tree ~lo ~hi ~init:[] ~f:(fun acc _key rid ->
+        if lookup then touch io tbl (Heap.page_of_rid h rid);
+        let t = [ (tbl, Heap.get h rid) ] in
+        if List.for_all (eval_pred db t) preds then t :: acc else acc)
+    |> List.rev
+  | Plan.Index_scan index ->
+    (* A covering scan still fetches the base row here: the executor
+       checks semantics, not byte traffic; no heap pages are charged. *)
+    let tbl, selections = fetch_table index.Index.idx_table in
+    let tree = Database.materialize db index in
+    let h = Database.heap db tbl in
+    let on_node nid = touch io index.Index.idx_name nid in
+    Bptree.fold_all ~on_node tree ~init:[] ~f:(fun acc _key rid ->
+        let t = [ (tbl, Heap.get h rid) ] in
+        if List.for_all (eval_pred db t) selections then t :: acc else acc)
+    |> List.rev
+  | Plan.Index_intersection { left; left_cols; right; right_cols } ->
+    let tbl, selections = fetch_table left.Index.idx_table in
+    let rids_of index seek_cols =
+      let lo, hi = seek_bounds selections seek_cols in
+      let tree = Database.materialize db index in
+      let on_node nid = touch io index.Index.idx_name nid in
+      Bptree.fold_range ~on_node tree ~lo ~hi ~init:[] ~f:(fun acc _key rid ->
+          rid :: acc)
+    in
+    let left_rids = rids_of left left_cols in
+    let right_rids = rids_of right right_cols in
+    let members = Hashtbl.create (List.length left_rids) in
+    List.iter (fun rid -> Hashtbl.replace members rid ()) left_rids;
+    let h = Database.heap db tbl in
+    List.filter_map
+      (fun rid ->
+        if Hashtbl.mem members rid then begin
+          touch io tbl (Heap.page_of_rid h rid);
+          let t = [ (tbl, Heap.get h rid) ] in
+          if List.for_all (eval_pred db t) selections then Some t else None
+        end
+        else None)
+      (List.sort_uniq compare right_rids)
+
+let rec exec_node db q (node : Plan.node) ~io : tuple list =
+  match node.Plan.op with
+  | Plan.Access (access, _) -> exec_access db q access ~extra_eq:[] ~io
+  | Plan.Hash_join (l, r, p) ->
+    let left = exec_node db q l ~io in
+    let right = exec_node db q r ~io in
+    (match p with
+     | Predicate.Join (a, b) when a.Predicate.cr_column <> "<cartesian>" ->
+       (* Decide which side binds which column by inspecting tuples. *)
+       let binds side_tuples (c : Predicate.colref) =
+         match side_tuples with
+         | [] -> false
+         | t :: _ -> List.mem_assoc c.cr_table t
+       in
+       let left_col, right_col = if binds left a then (a, b) else (b, a) in
+       if left = [] || right = [] then []
+       else begin
+         let table = Hashtbl.create 256 in
+         List.iter
+           (fun t ->
+             let key = tuple_value db t right_col in
+             Hashtbl.add table key t)
+           right;
+         List.concat_map
+           (fun lt ->
+             let key = tuple_value db lt left_col in
+             Hashtbl.find_all table key |> List.map (fun rt -> lt @ rt))
+           left
+       end
+     | Predicate.Join _ ->
+       (* Cartesian product. *)
+       List.concat_map (fun lt -> List.map (fun rt -> lt @ rt) right) left
+     | Predicate.Cmp _ | Predicate.Between _ | Predicate.In_list _ ->
+       assert false)
+  | Plan.Index_nlj (outer, inner_access, p) ->
+    let outer_tuples = exec_node db q outer ~io in
+    (match p with
+     | Predicate.Join (a, b) ->
+       let inner_tbl =
+         match inner_access with
+         | Plan.Index_seek { index; _ } -> index.Index.idx_table
+         | Plan.Seq_scan tbl -> tbl
+         | Plan.Index_scan ix -> ix.Index.idx_table
+         | Plan.Index_intersection { left; _ } -> left.Index.idx_table
+       in
+       let outer_col, inner_col =
+         if a.Predicate.cr_table = inner_tbl then (b, a) else (a, b)
+       in
+       List.concat_map
+         (fun ot ->
+           let v = tuple_value db ot outer_col in
+           let matches =
+             exec_access db q inner_access
+               ~extra_eq:[ (inner_col.Predicate.cr_column, v) ]
+               ~io
+           in
+           List.map (fun it -> ot @ it) matches)
+         outer_tuples
+     | Predicate.Cmp _ | Predicate.Between _ | Predicate.In_list _ ->
+       assert false)
+  | Plan.Sort (n, _) | Plan.Hash_aggregate n ->
+    (* Ordering and grouping are applied once, at the top of [run]. *)
+    exec_node db q n ~io
+
+(* ---- Aggregation and projection ---- *)
+
+let compute_agg db fn arg tuples =
+  let values =
+    match arg with
+    | None -> []
+    | Some c -> List.map (fun t -> tuple_value db t c) tuples
+  in
+  let floats = List.map Value.to_float values in
+  match fn with
+  | Query.Count_star -> Value.Int (List.length tuples)
+  | Query.Sum -> Value.Float (List.fold_left ( +. ) 0. floats)
+  | Query.Avg ->
+    if floats = [] then Value.Null
+    else
+      Value.Float
+        (List.fold_left ( +. ) 0. floats /. float_of_int (List.length floats))
+  | Query.Min ->
+    (match values with
+     | [] -> Value.Null
+     | v :: rest ->
+       List.fold_left
+         (fun acc x -> if Value.compare x acc < 0 then x else acc)
+         v rest)
+  | Query.Max ->
+    (match values with
+     | [] -> Value.Null
+     | v :: rest ->
+       List.fold_left
+         (fun acc x -> if Value.compare x acc > 0 then x else acc)
+         v rest)
+
+let project_plain db q tuples =
+  List.map
+    (fun t ->
+      Array.of_list
+        (List.map
+           (function
+             | Query.Sel_col c -> tuple_value db t c
+             | Query.Sel_agg _ ->
+               invalid_arg "Exec: aggregate in non-aggregate projection")
+           q.Query.q_select))
+    tuples
+
+let aggregate db q tuples =
+  let key_of t = List.map (tuple_value db t) q.Query.q_group_by in
+  let groups = Im_util.List_ext.group_by key_of tuples in
+  List.map
+    (fun (key, members) ->
+      Array.of_list
+        (List.map
+           (function
+             | Query.Sel_col c ->
+               (* Validation guarantees grouped columns only. *)
+               let rec find cols keys =
+                 match (cols, keys) with
+                 | gc :: _, kv :: _ when Predicate.equal_colref gc c -> kv
+                 | _ :: cols', _ :: keys' -> find cols' keys'
+                 | [], _ | _, [] -> assert false
+               in
+               find q.Query.q_group_by key
+             | Query.Sel_agg (fn, arg) -> compute_agg db fn arg members)
+           q.Query.q_select))
+    groups
+
+let order_tuples db q tuples =
+  if q.Query.q_order_by = [] then tuples
+  else begin
+    let cmp t1 t2 =
+      let rec go = function
+        | [] -> 0
+        | (c, dir) :: rest ->
+          let v1 = tuple_value db t1 c and v2 = tuple_value db t2 c in
+          let c0 = Value.compare v1 v2 in
+          let c0 = match dir with Query.Asc -> c0 | Query.Desc -> -c0 in
+          if c0 <> 0 then c0 else go rest
+      in
+      go q.Query.q_order_by
+    in
+    List.stable_sort cmp tuples
+  end
+
+let order_agg_rows q rows =
+  (* For aggregate queries, ORDER BY keys must appear in GROUP BY (and
+     the SELECT list exposes grouped columns); sort rows by the selected
+     positions corresponding to the order keys when present. *)
+  if q.Query.q_order_by = [] then rows
+  else begin
+    let position_of (c : Predicate.colref) =
+      Im_util.List_ext.index_of
+        (function
+          | Query.Sel_col c' -> Predicate.equal_colref c c'
+          | Query.Sel_agg _ -> false)
+        q.Query.q_select
+    in
+    let keys =
+      List.filter_map
+        (fun (c, dir) ->
+          match position_of c with Some i -> Some (i, dir) | None -> None)
+        q.Query.q_order_by
+    in
+    let cmp (r1 : Value.t array) r2 =
+      let rec go = function
+        | [] -> 0
+        | (i, dir) :: rest ->
+          let c0 = Value.compare r1.(i) r2.(i) in
+          let c0 = match dir with Query.Asc -> c0 | Query.Desc -> -c0 in
+          if c0 <> 0 then c0 else go rest
+      in
+      go keys
+    in
+    List.stable_sort cmp rows
+  end
+
+let run_with_io db plan q ~io =
+  let tuples = exec_node db q plan.Plan.root ~io in
+  (* Plans realize one join predicate per table pair; any further join
+     conjuncts (e.g. composite FK joins) are enforced here. *)
+  let tuples =
+    match Query.join_predicates q with
+    | [] -> tuples
+    | joins -> List.filter (fun t -> List.for_all (eval_pred db t) joins) tuples
+  in
+  if Query.has_aggregates q || q.Query.q_group_by <> [] then
+    order_agg_rows q (aggregate db q tuples)
+  else project_plain db q (order_tuples db q tuples)
+
+let run db plan q = run_with_io db plan q ~io:None
+
+let run_query db config q =
+  let plan = Im_optimizer.Optimizer.optimize db config q in
+  run db plan q
+
+let run_measured ?(pool_pages = 512) db plan q =
+  let pool = Buffer_pool.create ~capacity:pool_pages in
+  let rows = run_with_io db plan q ~io:(Some { pool }) in
+  (rows, Buffer_pool.stats pool)

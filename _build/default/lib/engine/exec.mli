@@ -1,0 +1,37 @@
+(** Plan execution.
+
+    The executor interprets the optimizer's physical plan against real
+    data: access paths and join operators follow the plan (seeks run
+    against materialized B+-trees, built on demand), while grouping,
+    aggregation, final projection and ordering are computed from the
+    query itself. Because results must not depend on the configuration
+    the optimizer planned under, "same query, any configuration, same
+    result" is a key cross-validation property exercised in tests. *)
+
+val run :
+  Im_catalog.Database.t ->
+  Im_optimizer.Plan.t ->
+  Im_sqlir.Query.t ->
+  Im_sqlir.Value.t array list
+(** Execute the plan, returning one projected row per result tuple (or
+    per group for aggregate queries), ordered per the query's ORDER BY
+    (ties and unordered queries: deterministic but unspecified order). *)
+
+val run_query :
+  Im_catalog.Database.t ->
+  Im_catalog.Config.t ->
+  Im_sqlir.Query.t ->
+  Im_sqlir.Value.t array list
+(** Optimize under the configuration, then {!run}. *)
+
+val run_measured :
+  ?pool_pages:int ->
+  Im_catalog.Database.t ->
+  Im_optimizer.Plan.t ->
+  Im_sqlir.Query.t ->
+  Im_sqlir.Value.t array list * Im_storage.Buffer_pool.stats
+(** Execute with page-level accounting through a fresh buffer pool of
+    [?pool_pages] pages (default 512): every heap page a scan or rid
+    lookup touches, and every B+-tree node a seek or index scan visits,
+    counts a hit or a miss. Grounds the optimizer's abstract costs in a
+    measurable quantity (see the cost-model validation benchmark). *)

@@ -1,0 +1,1 @@
+lib/io/csv.ml: Buffer In_channel List Out_channel String

@@ -1,0 +1,1 @@
+lib/io/ddl.ml: Im_sqlir In_channel List Out_channel Printf String

@@ -1,0 +1,1 @@
+lib/io/ddl.mli: Im_sqlir

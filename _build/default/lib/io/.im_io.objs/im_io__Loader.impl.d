@@ -1,0 +1,1 @@
+lib/io/loader.ml: Array Csv Ddl Filename Im_catalog Im_sqlir Im_storage List Printf Result String Sys

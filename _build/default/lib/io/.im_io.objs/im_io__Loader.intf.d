@@ -1,0 +1,1 @@
+lib/io/loader.mli: Im_catalog Im_sqlir

@@ -1,0 +1,89 @@
+let parse text =
+  let n = String.length text in
+  let records = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_record () =
+    let fs = List.rev !fields in
+    fields := [];
+    (* Skip genuinely empty lines (no fields at all). *)
+    match fs with [ "" ] -> () | fs -> records := fs :: !records
+  in
+  let rec plain i =
+    if i >= n then begin
+      flush_field ();
+      flush_record ();
+      Ok (List.rev !records)
+    end
+    else
+      match text.[i] with
+      | ',' ->
+        flush_field ();
+        plain (i + 1)
+      | '\n' ->
+        (* Strip a CR that precedes the LF. *)
+        let len = Buffer.length buf in
+        if len > 0 && Buffer.nth buf (len - 1) = '\r' then begin
+          let s = Buffer.sub buf 0 (len - 1) in
+          Buffer.clear buf;
+          Buffer.add_string buf s
+        end;
+        flush_field ();
+        flush_record ();
+        plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        plain (i + 1)
+  and quoted i =
+    if i >= n then Error "unterminated quoted field"
+    else
+      match text.[i] with
+      | '"' ->
+        if i + 1 < n && text.[i + 1] = '"' then begin
+          Buffer.add_char buf '"';
+          quoted (i + 2)
+        end
+        else plain (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        quoted (i + 1)
+  in
+  if n = 0 then Ok [] else plain 0
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let render_field s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let render records =
+  String.concat ""
+    (List.map
+       (fun fields ->
+         String.concat "," (List.map render_field fields) ^ "\n")
+       records)
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+let save_file path records =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (render records))

@@ -1,0 +1,17 @@
+(** Minimal CSV reader/writer (RFC 4180 subset).
+
+    Fields are separated by commas; a field may be quoted with double
+    quotes, in which case embedded commas, newlines and doubled quotes
+    ([""]) are preserved. Records are separated by [\n] (a trailing
+    [\r] is stripped, so CRLF files load). *)
+
+val parse : string -> (string list list, string) result
+(** Parse CSV text into records of fields. The final record may omit
+    the trailing newline. Empty lines are skipped. *)
+
+val render : string list list -> string
+(** Render records; fields containing commas, quotes or newlines are
+    quoted. *)
+
+val load_file : string -> (string list list, string) result
+val save_file : string -> string list list -> unit

@@ -1,0 +1,94 @@
+module Schema = Im_sqlir.Schema
+module Datatype = Im_sqlir.Datatype
+module Lexer = Im_sqlir.Lexer
+
+exception Ddl_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Ddl_error m)) fmt
+
+(* The query lexer tokenizes DDL fine: CREATE/TABLE/INT/... come out as
+   plain identifiers (they are not query keywords). *)
+let ident_is tok word =
+  match tok with
+  | Lexer.Ident s -> String.uppercase_ascii s = word
+  | _ -> false
+
+let parse_column_type = function
+  | Lexer.Ident ty :: rest ->
+    (match String.uppercase_ascii ty with
+     | "INT" | "INTEGER" -> (Datatype.Int, rest)
+     | "FLOAT" | "DOUBLE" | "REAL" -> (Datatype.Float, rest)
+     | "VARCHAR" | "CHAR" ->
+       (match rest with
+        | Lexer.Lparen :: Lexer.Int_lit n :: Lexer.Rparen :: rest' ->
+          if n >= 1 then (Datatype.Varchar n, rest')
+          else fail "varchar width must be >= 1"
+        | _ -> fail "expected (width) after %s" ty)
+     | other -> fail "unknown type %s" other)
+  | Lexer.Kw "DATE" :: rest -> (Datatype.Date, rest)
+  | tok :: _ -> fail "expected a type, found %s" (Lexer.pp_token tok)
+  | [] -> fail "expected a type"
+
+let rec parse_columns acc = function
+  | Lexer.Ident name :: rest ->
+    let ty, rest = parse_column_type rest in
+    let acc = (name, ty) :: acc in
+    (match rest with
+     | Lexer.Comma :: rest' -> parse_columns acc rest'
+     | Lexer.Rparen :: rest' -> (List.rev acc, rest')
+     | tok :: _ -> fail "expected , or ) after column, found %s" (Lexer.pp_token tok)
+     | [] -> fail "unterminated column list")
+  | tok :: _ -> fail "expected a column name, found %s" (Lexer.pp_token tok)
+  | [] -> fail "expected a column name"
+
+let rec parse_tables acc = function
+  | [] | [ Lexer.Eof ] -> List.rev acc
+  | Lexer.Semicolon :: rest -> parse_tables acc rest
+  | create :: table :: Lexer.Ident name :: Lexer.Lparen :: rest
+    when ident_is create "CREATE" && ident_is table "TABLE" ->
+    let cols, rest = parse_columns [] rest in
+    let rest =
+      match rest with Lexer.Semicolon :: r -> r | r -> r
+    in
+    parse_tables (Schema.make_table name cols :: acc) rest
+  | tok :: _ -> fail "expected CREATE TABLE, found %s" (Lexer.pp_token tok)
+
+let parse_schema text =
+  match Lexer.tokenize text with
+  | Error msg -> Error msg
+  | Ok tokens ->
+    (match parse_tables [] tokens with
+     | tables ->
+       let schema = Schema.make tables in
+       (match Schema.validate schema with
+        | Ok () -> Ok schema
+        | Error msg -> Error msg)
+     | exception Ddl_error msg -> Error msg)
+
+let type_to_ddl = function
+  | Datatype.Int -> "INT"
+  | Datatype.Float -> "FLOAT"
+  | Datatype.Date -> "DATE"
+  | Datatype.Varchar n -> Printf.sprintf "VARCHAR(%d)" n
+
+let render_schema (schema : Schema.t) =
+  String.concat "\n"
+    (List.map
+       (fun (t : Schema.table) ->
+         Printf.sprintf "CREATE TABLE %s (\n%s\n);\n" t.Schema.tbl_name
+           (String.concat ",\n"
+              (List.map
+                 (fun (c : Schema.column) ->
+                   Printf.sprintf "  %s %s" c.Schema.col_name
+                     (type_to_ddl c.Schema.col_type))
+                 t.Schema.tbl_columns)))
+       schema.Schema.tables)
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse_schema text
+  | exception Sys_error msg -> Error msg
+
+let save_file path schema =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (render_schema schema))

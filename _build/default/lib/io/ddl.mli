@@ -1,0 +1,21 @@
+(** DDL parser: CREATE TABLE statements into a schema.
+
+    Supported form (case-insensitive keywords, semicolon-terminated):
+    {v
+    CREATE TABLE lineitem (
+      l_orderkey INT,
+      l_extendedprice FLOAT,
+      l_shipdate DATE,
+      l_comment VARCHAR(44)
+    );
+    v} *)
+
+val parse_schema : string -> (Im_sqlir.Schema.t, string) result
+(** Parse a script of CREATE TABLE statements; the resulting schema is
+    validated. *)
+
+val render_schema : Im_sqlir.Schema.t -> string
+(** Render back to the loadable DDL form. *)
+
+val load_file : string -> (Im_sqlir.Schema.t, string) result
+val save_file : string -> Im_sqlir.Schema.t -> unit

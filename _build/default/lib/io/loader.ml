@@ -1,0 +1,104 @@
+module Schema = Im_sqlir.Schema
+module Datatype = Im_sqlir.Datatype
+module Value = Im_sqlir.Value
+module Database = Im_catalog.Database
+
+let parse_date_field s =
+  match String.split_on_char '-' s with
+  | [ y; m; d ] ->
+    (match (int_of_string_opt y, int_of_string_opt m, int_of_string_opt d) with
+     | Some y, Some m, Some d when m >= 1 && m <= 12 ->
+       Some (((y - 1992) * 365) + int_of_float (30.4 *. float_of_int (m - 1)) + d)
+     | _ -> None)
+  | _ -> int_of_string_opt s
+
+let value_of_field ty field =
+  if field = "" then Ok Value.Null
+  else
+    match ty with
+    | Datatype.Int ->
+      (match int_of_string_opt field with
+       | Some i -> Ok (Value.Int i)
+       | None -> Error (Printf.sprintf "not an integer: %S" field))
+    | Datatype.Float ->
+      (match float_of_string_opt field with
+       | Some f -> Ok (Value.Float f)
+       | None -> Error (Printf.sprintf "not a number: %S" field))
+    | Datatype.Date ->
+      (match parse_date_field field with
+       | Some d -> Ok (Value.Date d)
+       | None -> Error (Printf.sprintf "not a date: %S" field))
+    | Datatype.Varchar n ->
+      if String.length field <= n then Ok (Value.Str field)
+      else Error (Printf.sprintf "string too long for varchar(%d): %S" n field)
+
+let field_of_value = function
+  | Value.Null -> ""
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Printf.sprintf "%.9g" f
+  | Value.Date d -> string_of_int d
+  | Value.Str s -> s
+
+let load_table (t : Schema.table) path =
+  if not (Sys.file_exists path) then Ok []
+  else begin
+    let ( let* ) r f = Result.bind r f in
+    let* records = Csv.load_file path in
+    let n_cols = List.length t.Schema.tbl_columns in
+    let rec rows acc line = function
+      | [] -> Ok (List.rev acc)
+      | record :: rest ->
+        if List.length record <> n_cols then
+          Error
+            (Printf.sprintf "%s line %d: %d fields, expected %d" path line
+               (List.length record) n_cols)
+        else begin
+          let rec convert acc cols fields =
+            match (cols, fields) with
+            | [], [] -> Ok (List.rev acc)
+            | (c : Schema.column) :: cols', field :: fields' ->
+              (match value_of_field c.Schema.col_type field with
+               | Ok v -> convert (v :: acc) cols' fields'
+               | Error msg ->
+                 Error
+                   (Printf.sprintf "%s line %d, column %s: %s" path line
+                      c.Schema.col_name msg))
+            | _ -> assert false
+          in
+          match convert [] t.Schema.tbl_columns record with
+          | Ok values -> rows (Array.of_list values :: acc) (line + 1) rest
+          | Error _ as e -> e
+        end
+    in
+    rows [] 1 records
+  end
+
+let load ~schema_file ~data_dir =
+  let ( let* ) r f = Result.bind r f in
+  let* schema = Ddl.load_file schema_file in
+  let rec tables acc = function
+    | [] -> Ok (List.rev acc)
+    | (t : Schema.table) :: rest ->
+      let path = Filename.concat data_dir (t.Schema.tbl_name ^ ".csv") in
+      (match load_table t path with
+       | Ok rows -> tables ((t.Schema.tbl_name, rows) :: acc) rest
+       | Error _ as e -> e)
+  in
+  let* rows_by_table = tables [] schema.Schema.tables in
+  Ok (Database.create schema rows_by_table)
+
+let dump db ~schema_file ~data_dir =
+  let schema = Database.schema db in
+  Ddl.save_file schema_file schema;
+  List.iter
+    (fun (t : Schema.table) ->
+      let heap = Database.heap db t.Schema.tbl_name in
+      let records =
+        Im_storage.Heap.fold heap ~init:[] ~f:(fun acc _ row ->
+            List.map field_of_value (Array.to_list row) :: acc)
+        |> List.rev
+      in
+      Csv.save_file
+        (Filename.concat data_dir (t.Schema.tbl_name ^ ".csv"))
+        records)
+    schema.Schema.tables

@@ -1,0 +1,1 @@
+lib/optimizer/access_path.ml: Cardinality Cost_params Float Fun Im_catalog Im_sqlir Im_storage Im_util List Plan

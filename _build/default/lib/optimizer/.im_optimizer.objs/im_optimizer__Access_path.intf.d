@@ -1,0 +1,1 @@
+lib/optimizer/access_path.mli: Im_catalog Im_sqlir Plan

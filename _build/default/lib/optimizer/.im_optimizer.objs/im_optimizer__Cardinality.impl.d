@@ -1,0 +1,1 @@
+lib/optimizer/cardinality.ml: Cost_params Float Im_catalog Im_sqlir Im_stats List

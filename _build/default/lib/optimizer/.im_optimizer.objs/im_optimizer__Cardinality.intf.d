@@ -1,0 +1,1 @@
+lib/optimizer/cardinality.mli: Im_catalog Im_sqlir

@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.ml: Access_path Cardinality Cost_params Float Im_catalog Im_sqlir Im_util List Plan

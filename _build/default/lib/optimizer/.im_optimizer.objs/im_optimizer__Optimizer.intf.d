@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.mli: Im_catalog Im_sqlir Plan

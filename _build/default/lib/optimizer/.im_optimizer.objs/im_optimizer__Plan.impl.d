@@ -1,0 +1,1 @@
+lib/optimizer/plan.ml: Buffer Im_catalog Im_sqlir List Printf String

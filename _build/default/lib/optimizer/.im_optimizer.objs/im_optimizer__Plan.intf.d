@@ -1,0 +1,1 @@
+lib/optimizer/plan.mli: Im_catalog Im_sqlir

@@ -1,0 +1,276 @@
+module Database = Im_catalog.Database
+module Config = Im_catalog.Config
+module Index = Im_catalog.Index
+module Predicate = Im_sqlir.Predicate
+module Page = Im_storage.Page
+module Size_model = Im_storage.Size_model
+
+type input = {
+  ap_table : string;
+  ap_selections : Predicate.t list;
+  ap_param_eq : (string * float) list;
+  ap_required : string list;
+}
+
+type choice = {
+  access : Plan.access;
+  residual : Predicate.t list;
+  out_rows : float;
+  cost : float;
+}
+
+let seek_prefix ix ~eq_cols ~range_cols =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | c :: rest ->
+      if List.mem c eq_cols then go (c :: acc) rest
+      else if List.mem c range_cols then List.rev (c :: acc)
+      else List.rev acc
+  in
+  go [] ix.Index.idx_columns
+
+(* Predicates on one column, split into sargable equalities / other
+   sargables / non-sargable filters. *)
+let classify_selections selections =
+  let eq_cols, range_cols =
+    List.fold_left
+      (fun (eqs, ranges) p ->
+        match Predicate.selection_column p with
+        | None -> (eqs, ranges)
+        | Some c ->
+          if Predicate.is_equality_on p c then (c.Predicate.cr_column :: eqs, ranges)
+          else if Predicate.is_sargable_on p c then
+            (eqs, c.Predicate.cr_column :: ranges)
+          else (eqs, ranges))
+      ([], []) selections
+  in
+  (eq_cols, range_cols)
+
+let column_selectivity db tbl selections col =
+  (* Combined selectivity of the sargable conjuncts on [col]. *)
+  List.fold_left
+    (fun acc p ->
+      match Predicate.selection_column p with
+      | Some c
+        when c.Predicate.cr_column = col
+             && c.Predicate.cr_table = tbl
+             && Predicate.is_sargable_on p c ->
+        acc *. Cardinality.selection_selectivity db p
+      | Some _ | None -> acc)
+    1.0 selections
+
+let candidates db config input =
+  let tbl = input.ap_table in
+  let schema = Database.schema db in
+  let n = float_of_int (Database.row_count db tbl) in
+  let heap_pages = float_of_int (Database.table_pages db tbl) in
+  let param_sel =
+    List.fold_left (fun acc (_, s) -> acc *. s) 1.0 input.ap_param_eq
+  in
+  let sel_all =
+    Cardinality.conjunction_selectivity db input.ap_selections *. param_sel
+  in
+  let out_rows = n *. sel_all in
+  (* Heap scan: reads every page, applies every predicate. When used as
+     the inner of a nested loop (param_eq non-empty) this is a full
+     rescan per probe — costed as such, so the optimizer avoids it. *)
+  let seq_scan =
+    {
+      access = Plan.Seq_scan tbl;
+      residual = input.ap_selections;
+      out_rows;
+      cost = (heap_pages *. Cost_params.seq_page) +. (n *. Cost_params.cpu_row);
+    }
+  in
+  let eq_cols, range_cols = classify_selections input.ap_selections in
+  let eq_cols = List.map fst input.ap_param_eq @ eq_cols in
+  let index_choice ix =
+    let key_width = Index.key_width schema ix in
+    let size = Size_model.index_size ~key_width ~rows:(int_of_float n) () in
+    let index_pages = float_of_int (Size_model.total_pages size) in
+    let covering = Index.covers ix input.ap_required in
+    let prefix = seek_prefix ix ~eq_cols ~range_cols in
+    let seek =
+      if prefix = [] then None
+      else begin
+        let seek_sel =
+          List.fold_left
+            (fun acc col ->
+              let from_preds =
+                column_selectivity db tbl input.ap_selections col
+              in
+              let from_param =
+                match List.assoc_opt col input.ap_param_eq with
+                | Some s -> s
+                | None -> 1.0
+              in
+              acc *. from_preds *. from_param)
+            1.0 prefix
+        in
+        let matching = n *. seek_sel in
+        let per_leaf =
+          float_of_int (Page.rows_per_page (key_width + Page.rid_width))
+        in
+        let leaf_io = Float.max 1.0 (matching /. per_leaf) in
+        let descend =
+          float_of_int size.Size_model.depth *. Cost_params.random_page
+        in
+        let base = descend +. (leaf_io *. Cost_params.seq_page) in
+        let residual =
+          List.filter
+            (fun p ->
+              match Predicate.selection_column p with
+              | Some c -> not (List.mem c.Predicate.cr_column prefix)
+              | None -> true)
+            input.ap_selections
+        in
+        let cost, lookup =
+          if covering then (base +. (matching *. Cost_params.cpu_row), false)
+          else
+            ( base
+              +. (matching *. Cost_params.random_page)
+              +. (matching *. Cost_params.cpu_row),
+              true )
+        in
+        let eq_len =
+          List.length (List.filter (fun c -> List.mem c eq_cols) prefix)
+        in
+        (* A non-covering seek cannot produce columns outside the index:
+           the RID lookup fetches them, which is what [lookup] pays for. *)
+        Some
+          {
+            access =
+              Plan.Index_seek { index = ix; seek_cols = prefix; eq_len; lookup };
+            residual;
+            out_rows;
+            cost;
+          }
+      end
+    in
+    let scan =
+      if covering && input.ap_param_eq = [] then
+        Some
+          {
+            access = Plan.Index_scan ix;
+            residual = input.ap_selections;
+            out_rows;
+            cost =
+              (index_pages *. Cost_params.seq_page)
+              +. (n *. Cost_params.cpu_row);
+          }
+      else None
+    in
+    List.filter_map Fun.id [ seek; scan ]
+  in
+  (* Index intersection (two seeks, rid-set intersection, one lookup per
+     surviving rid): competitive when two moderately selective
+     predicates sit on different indexes and no single index covers. *)
+  let seek_stats ix =
+    let prefix = seek_prefix ix ~eq_cols ~range_cols in
+    (* Join-parameter columns have no constant available at execution
+       time for a standalone intersection seek. *)
+    if prefix = [] || input.ap_param_eq <> [] then None
+    else begin
+      let key_width = Index.key_width schema ix in
+      let size = Size_model.index_size ~key_width ~rows:(int_of_float n) () in
+      let seek_sel =
+        List.fold_left
+          (fun acc col -> acc *. column_selectivity db tbl input.ap_selections col)
+          1.0 prefix
+      in
+      let matching = n *. seek_sel in
+      let per_leaf =
+        float_of_int (Page.rows_per_page (key_width + Page.rid_width))
+      in
+      let base =
+        (float_of_int size.Size_model.depth *. Cost_params.random_page)
+        +. (Float.max 1.0 (matching /. per_leaf) *. Cost_params.seq_page)
+      in
+      Some (ix, prefix, seek_sel, matching, base)
+    end
+  in
+  let seekable = List.filter_map seek_stats (Config.on_table config tbl) in
+  let intersections =
+    Im_util.List_ext.pairs seekable
+    |> List.filter_map
+         (fun ((ixa, prefa, sela, ma, basea), (ixb, prefb, selb, mb, baseb)) ->
+           match (prefa, prefb) with
+           | ha :: _, hb :: _ when ha <> hb ->
+             let combined = n *. sela *. selb in
+             let cost =
+               basea +. baseb
+               +. ((ma +. mb) *. Cost_params.cpu_hash)
+               +. (combined *. Cost_params.random_page)
+               +. (combined *. Cost_params.cpu_row)
+             in
+             Some
+               {
+                 access =
+                   Plan.Index_intersection
+                     {
+                       left = ixa;
+                       left_cols = prefa;
+                       right = ixb;
+                       right_cols = prefb;
+                     };
+                 residual = input.ap_selections;
+                 out_rows;
+                 cost;
+               }
+           | _, _ -> None)
+  in
+  (seq_scan :: List.concat_map index_choice (Config.on_table config tbl))
+  @ intersections
+
+let best db config input =
+  match Im_util.List_ext.min_by (fun c -> c.cost) (candidates db config input) with
+  | Some c -> c
+  | None -> assert false (* seq scan is always a candidate *)
+
+let provides_order db choice order_keys =
+  ignore db;
+  match order_keys with
+  | [] -> true
+  | _ ->
+    let key_cols =
+      List.map
+        (fun ((c : Predicate.colref), _) -> (c.cr_table, c.cr_column))
+        order_keys
+    in
+    let dirs = List.map snd order_keys in
+    let uniform_direction =
+      List.for_all (fun d -> d = List.hd dirs) dirs
+    in
+    let matches_index ix ~pinned =
+      let tbl = ix.Index.idx_table in
+      let rec strip cols = function
+        | [] -> cols
+        | p :: rest ->
+          (match cols with
+           | c :: cols' when c = p -> strip cols' rest
+           | _ -> cols)
+      in
+      let after_pinned = strip ix.Index.idx_columns pinned in
+      let rec is_prefix keys cols =
+        match (keys, cols) with
+        | [], _ -> true
+        | _, [] -> false
+        | (kt, kc) :: keys', c :: cols' ->
+          kt = tbl && kc = c && is_prefix keys' cols'
+      in
+      is_prefix key_cols after_pinned || is_prefix key_cols ix.Index.idx_columns
+    in
+    uniform_direction
+    &&
+    (match choice.access with
+     | Plan.Seq_scan _ -> false
+     (* rid-set intersection loses leaf order *)
+     | Plan.Index_intersection _ -> false
+     | Plan.Index_scan ix -> matches_index ix ~pinned:[]
+     | Plan.Index_seek { index; seek_cols; eq_len; lookup } ->
+       (* RID lookups do not disturb order (fetched in key order); the
+          equality-pinned part of the seek prefix may be skipped when
+          matching the sort keys. *)
+       ignore lookup;
+       let pinned = Im_util.List_ext.take eq_len seek_cols in
+       matches_index index ~pinned)

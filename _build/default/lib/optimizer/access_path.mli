@@ -1,0 +1,55 @@
+(** Single-table access-path selection.
+
+    Decides, for one table within a query, between a heap scan, an index
+    seek (with or without RID lookups) and a covering index scan, under
+    a given — possibly hypothetical — configuration. This module is
+    where the paper's two index usages (§3.3.1) arise:
+
+    - {e index seek}: some leading prefix of the index is sargable
+      (equalities may extend the prefix; one final range ends it);
+    - {e index scan}: the index covers every referenced column, so its
+      leaf level substitutes for the (wider) heap regardless of column
+      order. *)
+
+type input = {
+  ap_table : string;
+  ap_selections : Im_sqlir.Predicate.t list;
+      (** single-table selection conjuncts on this table *)
+  ap_param_eq : (string * float) list;
+      (** join-parameter equality columns (inner side of an index
+          nested-loop join) with their per-probe selectivity *)
+  ap_required : string list;
+      (** every column of the table the query references *)
+}
+
+type choice = {
+  access : Plan.access;
+  residual : Im_sqlir.Predicate.t list;
+      (** conjuncts not consumed by the seek *)
+  out_rows : float;  (** rows produced (per probe if [ap_param_eq] ≠ []) *)
+  cost : float;  (** cost (per probe if [ap_param_eq] ≠ []) *)
+}
+
+val seek_prefix :
+  Im_catalog.Index.t ->
+  eq_cols:string list ->
+  range_cols:string list ->
+  string list
+(** The longest usable seek prefix of the index: equality columns may
+    continue it, the first range-only column ends it. Exposed for tests. *)
+
+val candidates : Im_catalog.Database.t -> Im_catalog.Config.t -> input -> choice list
+(** Every considered access path (heap scan always included). *)
+
+val best : Im_catalog.Database.t -> Im_catalog.Config.t -> input -> choice
+(** Minimum-cost candidate. *)
+
+val provides_order :
+  Im_catalog.Database.t ->
+  choice ->
+  (Im_sqlir.Predicate.colref * Im_sqlir.Query.order_dir) list ->
+  bool
+(** Does the access deliver rows already sorted on the given keys?
+    True when the keys follow the index's column order, possibly after
+    equality-pinned seek columns; direction is uniform (a B+-tree leaf
+    level can be walked either way). *)

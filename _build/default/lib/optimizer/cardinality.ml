@@ -1,0 +1,40 @@
+module Database = Im_catalog.Database
+module Predicate = Im_sqlir.Predicate
+
+let clamp s = Float.max Cost_params.min_selectivity (Float.min 1.0 s)
+
+let selection_selectivity db p =
+  match Predicate.selection_column p with
+  | None -> invalid_arg "Cardinality.selection_selectivity: join predicate"
+  | Some c ->
+    let stats = Database.stats db c.Predicate.cr_table c.Predicate.cr_column in
+    clamp (Im_stats.Column_stats.selectivity stats p)
+
+let conjunction_selectivity db preds =
+  List.fold_left (fun acc p -> acc *. selection_selectivity db p) 1.0 preds
+
+let distinct db (c : Predicate.colref) =
+  let stats = Database.stats db c.cr_table c.cr_column in
+  max 1 (Im_stats.Column_stats.distinct stats)
+
+let density db c = clamp (1.0 /. float_of_int (distinct db c))
+
+let join_selectivity db p =
+  match p with
+  | Predicate.Join (a, b) ->
+    clamp (1.0 /. float_of_int (max (distinct db a) (distinct db b)))
+  | Predicate.Cmp _ | Predicate.Between _ | Predicate.In_list _ ->
+    invalid_arg "Cardinality.join_selectivity: not a join"
+
+let group_count db cols ~rows =
+  if cols = [] then 1.0
+  else begin
+    let product =
+      List.fold_left
+        (fun acc c ->
+          let d = float_of_int (distinct db c) in
+          if acc > 1e12 then acc else acc *. d)
+        1.0 cols
+    in
+    Float.max 1.0 (Float.min rows product)
+  end

@@ -1,0 +1,20 @@
+(** Cardinality estimation from catalog statistics. *)
+
+val selection_selectivity : Im_catalog.Database.t -> Im_sqlir.Predicate.t -> float
+(** Selectivity of a selection predicate via the column's histogram,
+    clamped to [\[min_selectivity, 1\]]. *)
+
+val conjunction_selectivity :
+  Im_catalog.Database.t -> Im_sqlir.Predicate.t list -> float
+(** Product under the independence assumption (selections only). *)
+
+val join_selectivity : Im_catalog.Database.t -> Im_sqlir.Predicate.t -> float
+(** Equi-join selectivity [1 / max(d_left, d_right)]. *)
+
+val distinct : Im_catalog.Database.t -> Im_sqlir.Predicate.colref -> int
+
+val density : Im_catalog.Database.t -> Im_sqlir.Predicate.colref -> float
+(** Fraction of rows matched by pinning the column to one value. *)
+
+val group_count : Im_catalog.Database.t -> Im_sqlir.Predicate.colref list -> rows:float -> float
+(** Estimated number of groups: capped product of distinct counts. *)

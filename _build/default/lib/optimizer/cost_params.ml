@@ -1,0 +1,6 @@
+let seq_page = 1.0
+let random_page = 4.0
+let cpu_row = 0.001
+let cpu_hash = 0.002
+let cpu_sort_factor = 0.003
+let min_selectivity = 1e-6

@@ -1,0 +1,26 @@
+(** Cost-model constants.
+
+    Costs are in abstract units where one sequential page read = 1.
+    The ratios follow textbook values (random I/O several times dearer
+    than sequential; CPU orders of magnitude cheaper than I/O). The
+    merging algorithms only consume cost *comparisons* and *ratios*
+    (the cost constraint is "within X % of the initial cost"), so exact
+    constants affect numbers, not conclusions. *)
+
+val seq_page : float
+(** Sequential page read. *)
+
+val random_page : float
+(** Random page read (index traversal, RID lookup). *)
+
+val cpu_row : float
+(** Per-row CPU: predicate evaluation / tuple copy. *)
+
+val cpu_hash : float
+(** Per-row hash-table build or probe. *)
+
+val cpu_sort_factor : float
+(** Sort costs [cpu_sort_factor * n * log2 n]. *)
+
+val min_selectivity : float
+(** Floor for estimated selectivities to avoid zero cardinalities. *)

@@ -1,0 +1,275 @@
+module Database = Im_catalog.Database
+module Config = Im_catalog.Config
+module Query = Im_sqlir.Query
+module Predicate = Im_sqlir.Predicate
+
+let counter = ref 0
+let invocations () = !counter
+let reset_invocations () = counter := 0
+
+let join_order_limit = 5
+
+(* ---- Single-table building blocks ---- *)
+
+let access_input q tbl =
+  {
+    Access_path.ap_table = tbl;
+    ap_selections = Query.selection_predicates q tbl;
+    ap_param_eq = [];
+    ap_required = Query.referenced_columns q tbl;
+  }
+
+let node_of_choice (c : Access_path.choice) =
+  {
+    Plan.op = Plan.Access (c.access, c.residual);
+    est_rows = c.out_rows;
+    est_cost = c.cost;
+  }
+
+(* ---- Join planning ---- *)
+
+type intermediate = {
+  tables : string list;
+  node : Plan.node;
+}
+
+let join_pred_between q joined tbl =
+  List.find_opt
+    (fun p ->
+      match p with
+      | Predicate.Join (a, b) ->
+        (List.mem a.Predicate.cr_table joined && b.Predicate.cr_table = tbl)
+        || (List.mem b.Predicate.cr_table joined && a.Predicate.cr_table = tbl)
+      | Predicate.Cmp _ | Predicate.Between _ | Predicate.In_list _ -> false)
+    (Query.join_predicates q)
+
+(* Cost of joining [inter] with base table [tbl]. Considers a hash join
+   (building on the table's own best access path) and an index
+   nested-loop join (parameterized seek into [tbl]). *)
+let join_step db config q inter tbl =
+  match join_pred_between q inter.tables tbl with
+  | None ->
+    (* Cartesian fallback: hash join with selectivity 1 and no key. *)
+    let inner = Access_path.best db config (access_input q tbl) in
+    let inner_node = node_of_choice inner in
+    let rows = inter.node.Plan.est_rows *. inner.out_rows in
+    let cost =
+      inter.node.Plan.est_cost +. inner.Access_path.cost
+      +. ((inter.node.Plan.est_rows +. inner.Access_path.out_rows)
+          *. Cost_params.cpu_hash)
+      +. (rows *. Cost_params.cpu_row)
+    in
+    let fake_pred =
+      Predicate.Join
+        ( Predicate.colref (List.hd inter.tables) "<cartesian>",
+          Predicate.colref tbl "<cartesian>" )
+    in
+    {
+      tables = tbl :: inter.tables;
+      node =
+        {
+          Plan.op = Plan.Hash_join (inter.node, inner_node, fake_pred);
+          est_rows = rows;
+          est_cost = cost;
+        };
+    }
+  | Some (Predicate.Join (a, b) as p) ->
+    let inner_col = if a.Predicate.cr_table = tbl then a else b in
+    let join_sel = Cardinality.join_selectivity db p in
+    let inner_plain = Access_path.best db config (access_input q tbl) in
+    let rows =
+      inter.node.Plan.est_rows *. inner_plain.Access_path.out_rows *. join_sel
+    in
+    (* Hash join. *)
+    let hash_cost =
+      inter.node.Plan.est_cost +. inner_plain.Access_path.cost
+      +. ((inter.node.Plan.est_rows +. inner_plain.Access_path.out_rows)
+          *. Cost_params.cpu_hash)
+      +. (rows *. Cost_params.cpu_row)
+    in
+    let hash_node =
+      {
+        Plan.op = Plan.Hash_join (inter.node, node_of_choice inner_plain, p);
+        est_rows = rows;
+        est_cost = hash_cost;
+      }
+    in
+    (* Index nested loop: probe tbl once per outer row. *)
+    let probe_input =
+      {
+        (access_input q tbl) with
+        Access_path.ap_param_eq =
+          [ (inner_col.Predicate.cr_column, Cardinality.density db inner_col) ];
+      }
+    in
+    let probe = Access_path.best db config probe_input in
+    let is_seek =
+      match probe.Access_path.access with
+      | Plan.Index_seek _ -> true
+      | Plan.Seq_scan _ | Plan.Index_scan _ | Plan.Index_intersection _ ->
+        false
+    in
+    let best_node =
+      if not is_seek then hash_node
+      else begin
+        let nlj_cost =
+          inter.node.Plan.est_cost
+          +. (inter.node.Plan.est_rows *. probe.Access_path.cost)
+          +. (rows *. Cost_params.cpu_row)
+        in
+        if nlj_cost < hash_cost then
+          {
+            Plan.op = Plan.Index_nlj (inter.node, probe.Access_path.access, p);
+            est_rows =
+              inter.node.Plan.est_rows *. probe.Access_path.out_rows;
+            est_cost = nlj_cost;
+          }
+        else hash_node
+      end
+    in
+    { tables = tbl :: inter.tables; node = best_node }
+  | Some (Predicate.Cmp _ | Predicate.Between _ | Predicate.In_list _) ->
+    assert false (* join_pred_between only returns Join *)
+
+let plan_join db config q order =
+  match order with
+  | [] -> invalid_arg "Optimizer.plan_join: no tables"
+  | first :: rest ->
+    let start =
+      {
+        tables = [ first ];
+        node = node_of_choice (Access_path.best db config (access_input q first));
+      }
+    in
+    let final =
+      List.fold_left (fun inter tbl -> join_step db config q inter tbl) start rest
+    in
+    final.node
+
+let best_join db config q =
+  let tables = q.Query.q_tables in
+  if List.length tables <= 1 then plan_join db config q tables
+  else if List.length tables <= join_order_limit then begin
+    let orders = Im_util.Combin.permutations tables in
+    let planned = List.map (plan_join db config q) orders in
+    match
+      Im_util.List_ext.min_by (fun (n : Plan.node) -> n.Plan.est_cost) planned
+    with
+    | Some n -> n
+    | None -> assert false
+  end
+  else begin
+    (* Greedy: start from the most selective base table, then repeatedly
+       add the join partner yielding the cheapest intermediate. *)
+    let base_rows tbl =
+      (Access_path.best db config (access_input q tbl)).Access_path.out_rows
+    in
+    let first =
+      match Im_util.List_ext.min_by base_rows tables with
+      | Some t -> t
+      | None -> assert false
+    in
+    let rec grow inter remaining =
+      match remaining with
+      | [] -> inter.node
+      | _ ->
+        let extended =
+          List.map (fun tbl -> (tbl, join_step db config q inter tbl)) remaining
+        in
+        (match
+           Im_util.List_ext.min_by
+             (fun (_, i) -> i.node.Plan.est_cost)
+             extended
+         with
+         | Some (tbl, next) ->
+           grow next (List.filter (fun t -> t <> tbl) remaining)
+         | None -> assert false)
+    in
+    let start =
+      {
+        tables = [ first ];
+        node = node_of_choice (Access_path.best db config (access_input q first));
+      }
+    in
+    grow start (List.filter (fun t -> t <> first) tables)
+  end
+
+(* ---- Aggregation and ordering ---- *)
+
+let add_aggregate db q (node : Plan.node) =
+  if Query.has_aggregates q || q.Query.q_group_by <> [] then begin
+    let groups =
+      Cardinality.group_count db q.Query.q_group_by ~rows:node.Plan.est_rows
+    in
+    Some
+      {
+        Plan.op = Plan.Hash_aggregate node;
+        est_rows = groups;
+        est_cost =
+          node.Plan.est_cost
+          +. (node.Plan.est_rows *. Cost_params.cpu_hash)
+          +. (groups *. Cost_params.cpu_row);
+      }
+  end
+  else None
+
+let add_sort q (node : Plan.node) =
+  if q.Query.q_order_by = [] then node
+  else begin
+    let n = Float.max 2.0 node.Plan.est_rows in
+    {
+      Plan.op = Plan.Sort (node, q.Query.q_order_by);
+      est_rows = node.Plan.est_rows;
+      est_cost =
+        node.Plan.est_cost
+        +. (Cost_params.cpu_sort_factor *. n *. (Float.log n /. Float.log 2.));
+    }
+  end
+
+let optimize db config q =
+  incr counter;
+  match q.Query.q_tables with
+  | [ tbl ] ->
+    (* Single table: access-path choice can also satisfy ORDER BY. *)
+    let choice = Access_path.best db config (access_input q tbl) in
+    let base = node_of_choice choice in
+    (match add_aggregate db q base with
+     | Some agg ->
+       let root = add_sort q agg in
+       { Plan.root; query_id = q.Query.q_id; usages = Plan.collect_usages root }
+     | None ->
+       let sorted_for_free =
+         Access_path.provides_order db choice q.Query.q_order_by
+       in
+       let root = if sorted_for_free then base else add_sort q base in
+       (* If sorting is required, re-examine candidates: a pricier access
+          path that avoids the sort may win overall. *)
+       let root =
+         if sorted_for_free || q.Query.q_order_by = [] then root
+         else begin
+           let alternatives =
+             Access_path.candidates db config (access_input q tbl)
+           in
+           let with_sort_cost (c : Access_path.choice) =
+             let n = node_of_choice c in
+             if Access_path.provides_order db c q.Query.q_order_by then n
+             else add_sort q n
+           in
+           match
+             Im_util.List_ext.min_by
+               (fun (n : Plan.node) -> n.Plan.est_cost)
+               (List.map with_sort_cost alternatives)
+           with
+           | Some best -> best
+           | None -> root
+         end
+       in
+       { Plan.root; query_id = q.Query.q_id; usages = Plan.collect_usages root })
+  | _ ->
+    let joined = best_join db config q in
+    let root =
+      match add_aggregate db q joined with
+      | Some agg -> add_sort q agg
+      | None -> add_sort q joined
+    in
+    { Plan.root; query_id = q.Query.q_id; usages = Plan.collect_usages root }

@@ -1,0 +1,24 @@
+(** The cost-based query optimizer.
+
+    [optimize db config q] plans [q] as if exactly the indexes in
+    [config] existed — the configuration may contain *hypothetical*
+    indexes that were never materialized, since planning consumes only
+    statistics and the size model. This is the reproduction's analogue
+    of the AutoAdmin what-if interface + Showplan (paper §3.5.3): the
+    returned {!Plan.t} carries the estimated cost and the per-index
+    seek/scan usages the merging algorithms need.
+
+    An invocation counter mirrors the paper's accounting of "number of
+    optimizer invocations" (§4.3.1B). *)
+
+val optimize :
+  Im_catalog.Database.t -> Im_catalog.Config.t -> Im_sqlir.Query.t -> Plan.t
+
+val invocations : unit -> int
+(** Optimizer calls since the last reset (process-wide). *)
+
+val reset_invocations : unit -> unit
+
+val join_order_limit : int
+(** FROM-clause sizes up to this bound are planned with exhaustive
+    left-deep enumeration; larger ones greedily. *)

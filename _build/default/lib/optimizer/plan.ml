@@ -1,0 +1,135 @@
+module Index = Im_catalog.Index
+module Predicate = Im_sqlir.Predicate
+
+type index_usage = Seek | Scan
+
+type access =
+  | Seq_scan of string
+  | Index_seek of {
+      index : Index.t;
+      seek_cols : string list;
+      eq_len : int;
+      lookup : bool;
+    }
+  | Index_scan of Index.t
+  | Index_intersection of {
+      left : Index.t;
+      left_cols : string list;
+      right : Index.t;
+      right_cols : string list;
+    }
+
+type node = { op : op; est_rows : float; est_cost : float }
+
+and op =
+  | Access of access * Predicate.t list
+  | Hash_join of node * node * Predicate.t
+  | Index_nlj of node * access * Predicate.t
+  | Sort of node * (Predicate.colref * Im_sqlir.Query.order_dir) list
+  | Hash_aggregate of node
+
+type t = {
+  root : node;
+  query_id : string;
+  usages : (Index.t * index_usage) list;
+}
+
+let cost t = t.root.est_cost
+let rows t = t.root.est_rows
+
+let access_usage = function
+  | Seq_scan _ -> []
+  | Index_seek { index; _ } -> [ (index, Seek) ]
+  | Index_scan index -> [ (index, Scan) ]
+  | Index_intersection { left; right; _ } -> [ (left, Seek); (right, Seek) ]
+
+let rec collect_node node =
+  match node.op with
+  | Access (a, _) -> access_usage a
+  | Hash_join (l, r, _) -> collect_node l @ collect_node r
+  | Index_nlj (outer, inner, _) -> collect_node outer @ access_usage inner
+  | Sort (n, _) | Hash_aggregate n -> collect_node n
+
+let collect_usages node =
+  let raw = collect_node node in
+  (* Deduplicate per index; Seek dominates Scan. *)
+  let rec merge acc = function
+    | [] -> List.rev acc
+    | (ix, usage) :: rest ->
+      (match List.find_opt (fun (ix', _) -> Index.equal ix ix') acc with
+       | None -> merge ((ix, usage) :: acc) rest
+       | Some (_, Seek) -> merge acc rest
+       | Some (_, Scan) ->
+         if usage = Seek then
+           merge
+             ((ix, Seek)
+              :: List.filter (fun (ix', _) -> not (Index.equal ix ix')) acc)
+             rest
+         else merge acc rest)
+  in
+  merge [] raw
+
+let uses_index t ix =
+  List.find_map
+    (fun (ix', u) -> if Index.equal ix ix' then Some u else None)
+    t.usages
+
+let access_to_string = function
+  | Seq_scan tbl -> Printf.sprintf "SeqScan(%s)" tbl
+  | Index_seek { index; seek_cols; lookup; eq_len = _ } ->
+    Printf.sprintf "IndexSeek(%s; seek on %s%s)" (Index.to_string index)
+      (String.concat "," seek_cols)
+      (if lookup then "; +RID lookup" else "; covering")
+  | Index_scan index -> Printf.sprintf "IndexScan(%s)" (Index.to_string index)
+  | Index_intersection { left; left_cols; right; right_cols } ->
+    Printf.sprintf "IndexIntersection(%s seek %s; %s seek %s; +RID lookup)"
+      (Index.to_string left)
+      (String.concat "," left_cols)
+      (Index.to_string right)
+      (String.concat "," right_cols)
+
+let explain t =
+  let buf = Buffer.create 256 in
+  let line depth s rows cost =
+    Buffer.add_string buf (String.make (2 * depth) ' ');
+    Buffer.add_string buf (Printf.sprintf "%s  [rows=%.1f cost=%.2f]\n" s rows cost)
+  in
+  let rec go depth node =
+    match node.op with
+    | Access (a, residual) ->
+      let extra =
+        if residual = [] then ""
+        else
+          " filter: "
+          ^ String.concat " AND " (List.map Predicate.to_string residual)
+      in
+      line depth (access_to_string a ^ extra) node.est_rows node.est_cost
+    | Hash_join (l, r, p) ->
+      line depth
+        (Printf.sprintf "HashJoin(%s)" (Predicate.to_string p))
+        node.est_rows node.est_cost;
+      go (depth + 1) l;
+      go (depth + 1) r
+    | Index_nlj (outer, inner, p) ->
+      line depth
+        (Printf.sprintf "IndexNestedLoop(%s)" (Predicate.to_string p))
+        node.est_rows node.est_cost;
+      go (depth + 1) outer;
+      line (depth + 1) (access_to_string inner) node.est_rows 0.
+    | Sort (n, keys) ->
+      line depth
+        (Printf.sprintf "Sort(%s)"
+           (String.concat ","
+              (List.map
+                 (fun ((c : Predicate.colref), _) ->
+                   c.cr_table ^ "." ^ c.cr_column)
+                 keys)))
+        node.est_rows node.est_cost;
+      go (depth + 1) n
+    | Hash_aggregate n ->
+      line depth "HashAggregate" node.est_rows node.est_cost;
+      go (depth + 1) n
+  in
+  Buffer.add_string buf (Printf.sprintf "Plan for %s:\n" t.query_id);
+  go 1 t.root;
+  Buffer.contents buf

@@ -1,0 +1,64 @@
+(** Physical plans.
+
+    A plan is what the optimizer returns and what the cost-evaluation
+    and MergePair-Cost components of index merging inspect: total
+    estimated cost, and *how* each index is used — seek or scan — which
+    is the paper's key distinction (§3.3.1). *)
+
+type index_usage = Seek | Scan
+(** [Seek]: the plan navigates the B+-tree with sargable predicates on a
+    leading prefix. [Scan]: the plan reads the index's leaf level as a
+    narrow vertical slice (covering-index scan). *)
+
+type access =
+  | Seq_scan of string  (** heap scan of the table *)
+  | Index_seek of {
+      index : Im_catalog.Index.t;
+      seek_cols : string list;  (** leading prefix driving the seek *)
+      eq_len : int;  (** how many leading seek columns are equality-pinned *)
+      lookup : bool;  (** true when non-covering: RID lookups follow *)
+    }
+  | Index_scan of Im_catalog.Index.t  (** covering leaf-level scan *)
+  | Index_intersection of {
+      left : Im_catalog.Index.t;
+      left_cols : string list;
+      right : Im_catalog.Index.t;
+      right_cols : string list;
+    }
+      (** two seeks whose rid sets are intersected before the heap
+          lookups — the "index intersection" technique the paper notes
+          external cost models fail to capture (§3.5.2) *)
+
+type node = {
+  op : op;
+  est_rows : float;  (** estimated output cardinality *)
+  est_cost : float;  (** cumulative estimated cost *)
+}
+
+and op =
+  | Access of access * Im_sqlir.Predicate.t list
+      (** base access plus the residual filter applied on top *)
+  | Hash_join of node * node * Im_sqlir.Predicate.t
+  | Index_nlj of node * access * Im_sqlir.Predicate.t
+      (** outer node; inner is a parameterized index seek *)
+  | Sort of node * (Im_sqlir.Predicate.colref * Im_sqlir.Query.order_dir) list
+  | Hash_aggregate of node
+
+type t = {
+  root : node;
+  query_id : string;
+  usages : (Im_catalog.Index.t * index_usage) list;
+      (** every index the plan touches, with its usage; deduplicated,
+          [Seek] wins when both usages occur *)
+}
+
+val cost : t -> float
+val rows : t -> float
+
+val uses_index : t -> Im_catalog.Index.t -> index_usage option
+
+val collect_usages : node -> (Im_catalog.Index.t * index_usage) list
+(** Walk a node tree for usages (used by the constructor of {!t}). *)
+
+val explain : t -> string
+(** Multi-line, indented physical plan — our Showplan. *)

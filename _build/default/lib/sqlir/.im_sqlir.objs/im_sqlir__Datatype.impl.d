@@ -1,0 +1,1 @@
+lib/sqlir/datatype.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/sqlir/lexer.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/sqlir/parser.ml: Datatype Lexer List Predicate Printf Query Schema String Value

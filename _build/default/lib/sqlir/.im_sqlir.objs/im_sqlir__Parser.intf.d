@@ -1,0 +1,1 @@
+lib/sqlir/parser.mli: Query Schema

@@ -1,0 +1,1 @@
+lib/sqlir/predicate.ml: Format List Printf String Value

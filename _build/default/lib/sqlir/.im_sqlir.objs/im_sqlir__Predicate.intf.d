@@ -1,0 +1,1 @@
+lib/sqlir/predicate.mli: Format Value

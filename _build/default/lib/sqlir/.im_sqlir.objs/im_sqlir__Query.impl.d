@@ -1,0 +1,1 @@
+lib/sqlir/query.ml: Buffer Datatype Im_util List Predicate Printf Result Schema String Value

@@ -1,0 +1,1 @@
+lib/sqlir/query.mli: Predicate Schema

@@ -1,0 +1,1 @@
+lib/sqlir/schema.ml: Datatype Im_util List Printf String

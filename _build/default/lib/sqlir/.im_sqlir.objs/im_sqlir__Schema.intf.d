@@ -1,0 +1,1 @@
+lib/sqlir/schema.mli: Datatype

@@ -1,0 +1,1 @@
+lib/sqlir/value.ml: Char Datatype Format Printf Stdlib String

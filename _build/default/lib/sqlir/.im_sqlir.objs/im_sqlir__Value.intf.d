@@ -1,0 +1,1 @@
+lib/sqlir/value.mli: Datatype Format

@@ -1,0 +1,21 @@
+type t = Int | Float | Date | Varchar of int
+
+let width = function
+  | Int -> 4
+  | Float -> 8
+  | Date -> 4
+  | Varchar n -> n
+
+let equal a b =
+  match (a, b) with
+  | Int, Int | Float, Float | Date, Date -> true
+  | Varchar n, Varchar m -> n = m
+  | (Int | Float | Date | Varchar _), _ -> false
+
+let to_string = function
+  | Int -> "int"
+  | Float -> "float"
+  | Date -> "date"
+  | Varchar n -> Printf.sprintf "varchar(%d)" n
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

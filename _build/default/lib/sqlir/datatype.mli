@@ -1,0 +1,20 @@
+(** Column datatypes.
+
+    Widths matter: the paper's index-size and No-Cost-model reasoning is
+    in terms of bytes per row of the index, so every datatype has a
+    fixed on-disk width (variable-width strings are modelled as padded
+    [Varchar n], as in the paper's synthetic schemas with widths between
+    4 and 128 bytes). *)
+
+type t =
+  | Int  (** 4-byte integer *)
+  | Float  (** 8-byte IEEE double *)
+  | Date  (** 4-byte day number *)
+  | Varchar of int  (** fixed-width character column of [n] bytes *)
+
+val width : t -> int
+(** Bytes occupied by one value of this type in a row or index entry. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

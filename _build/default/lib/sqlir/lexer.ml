@@ -1,0 +1,173 @@
+type token =
+  | Ident of string
+  | Qualified of string * string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Date_lit of int
+  | Kw of string
+  | Star
+  | Comma
+  | Lparen
+  | Rparen
+  | Op of string
+  | Semicolon
+  | Eof
+
+let keywords =
+  [
+    "SELECT"; "FROM"; "WHERE"; "AND"; "GROUP"; "ORDER"; "BY"; "ASC"; "DESC";
+    "BETWEEN"; "IN"; "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "DATE";
+  ]
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* Day number with 1992-01-01 = day 1, consistent with Tpcd.date's
+   approximation of 30.4-day months. *)
+let day_of_date y m d = ((y - 1992) * 365) + int_of_float (30.4 *. float_of_int (m - 1)) + d
+
+let tokenize input =
+  let n = String.length input in
+  let error pos msg = Error (Printf.sprintf "char %d: %s" pos msg) in
+  let rec skip_line_comment i = if i < n && input.[i] <> '\n' then skip_line_comment (i + 1) else i in
+  let rec go i acc =
+    if i >= n then Ok (List.rev (Eof :: acc))
+    else begin
+      let c = input.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1) acc
+      else if c = '-' && i + 1 < n && input.[i + 1] = '-' then
+        go (skip_line_comment i) acc
+      else if c = ',' then go (i + 1) (Comma :: acc)
+      else if c = '(' then go (i + 1) (Lparen :: acc)
+      else if c = ')' then go (i + 1) (Rparen :: acc)
+      else if c = ';' then go (i + 1) (Semicolon :: acc)
+      else if c = '*' then go (i + 1) (Star :: acc)
+      else if c = '=' then go (i + 1) (Op "=" :: acc)
+      else if c = '<' then
+        if i + 1 < n && input.[i + 1] = '=' then go (i + 2) (Op "<=" :: acc)
+        else if i + 1 < n && input.[i + 1] = '>' then go (i + 2) (Op "<>" :: acc)
+        else go (i + 1) (Op "<" :: acc)
+      else if c = '>' then
+        if i + 1 < n && input.[i + 1] = '=' then go (i + 2) (Op ">=" :: acc)
+        else go (i + 1) (Op ">" :: acc)
+      else if c = '\'' then begin
+        (* String literal; '' escapes a quote. *)
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then error i "unterminated string literal"
+          else if input.[j] = '\'' then
+            if j + 1 < n && input.[j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              str (j + 2)
+            end
+            else go (j + 1) (String_lit (Buffer.contents buf) :: acc)
+          else begin
+            Buffer.add_char buf input.[j];
+            str (j + 1)
+          end
+        in
+        str (i + 1)
+      end
+      else if is_digit c || (c = '-' && i + 1 < n && is_digit input.[i + 1])
+      then begin
+        let j = ref i in
+        if input.[!j] = '-' then incr j;
+        while !j < n && is_digit input.[!j] do incr j done;
+        let saw_fraction = !j < n && input.[!j] = '.' in
+        if saw_fraction then begin
+          incr j;
+          while !j < n && is_digit input.[!j] do incr j done
+        end;
+        (* Exponent part, as %g prints it: e+06, E-3, e12. *)
+        let saw_exponent =
+          !j < n
+          && (input.[!j] = 'e' || input.[!j] = 'E')
+          && (!j + 1 < n
+              && (is_digit input.[!j + 1]
+                 || ((input.[!j + 1] = '+' || input.[!j + 1] = '-')
+                    && !j + 2 < n && is_digit input.[!j + 2])))
+        in
+        if saw_exponent then begin
+          incr j;
+          if input.[!j] = '+' || input.[!j] = '-' then incr j;
+          while !j < n && is_digit input.[!j] do incr j done
+        end;
+        let s = String.sub input i (!j - i) in
+        if saw_fraction || saw_exponent then
+          go !j (Float_lit (float_of_string s) :: acc)
+        else go !j (Int_lit (int_of_string s) :: acc)
+      end
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char input.[!j] do incr j done;
+        let word = String.sub input i (!j - i) in
+        let upper = String.uppercase_ascii word in
+        if upper = "DATE" && !j < n && input.[!j] = ':' then begin
+          (* date:N — the raw day-number form Value.to_string emits, so
+             that Query.to_sql output parses back. *)
+          let k = ref (!j + 1) in
+          let start = !k in
+          while !k < n && is_digit input.[!k] do incr k done;
+          if !k = start then error !j "expected digits after date:"
+          else
+            go !k (Date_lit (int_of_string (String.sub input start (!k - start))) :: acc)
+        end
+        else if upper = "DATE" then begin
+          (* DATE 'yyyy-mm-dd' is a literal; a bare DATE (as in DDL
+             column types) stays a keyword. *)
+          let k = ref !j in
+          while !k < n && (input.[!k] = ' ' || input.[!k] = '\t') do incr k done;
+          if !k < n && input.[!k] = '\'' then begin
+            let close = ref (!k + 1) in
+            while !close < n && input.[!close] <> '\'' do incr close done;
+            if !close >= n then error !k "unterminated DATE literal"
+            else begin
+              let body = String.sub input (!k + 1) (!close - !k - 1) in
+              match String.split_on_char '-' body with
+              | [ y; m; d ] ->
+                (match
+                   (int_of_string_opt y, int_of_string_opt m, int_of_string_opt d)
+                 with
+                 | Some y, Some m, Some d ->
+                   go (!close + 1) (Date_lit (day_of_date y m d) :: acc)
+                 | _ -> error !k ("malformed DATE literal: " ^ body))
+              | _ -> error !k ("malformed DATE literal: " ^ body)
+            end
+          end
+          else go !j (Kw "DATE" :: acc)
+        end
+        else if List.mem upper keywords then go !j (Kw upper :: acc)
+        else if !j < n && input.[!j] = '.' && !j + 1 < n && is_ident_start input.[!j + 1]
+        then begin
+          let k = ref (!j + 1) in
+          while !k < n && is_ident_char input.[!k] do incr k done;
+          let col = String.sub input (!j + 1) (!k - !j - 1) in
+          go !k (Qualified (word, col) :: acc)
+        end
+        else go !j (Ident word :: acc)
+      end
+      else error i (Printf.sprintf "unexpected character %C" c)
+    end
+  in
+  go 0 []
+
+let pp_token = function
+  | Ident s -> s
+  | Qualified (t, c) -> t ^ "." ^ c
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | String_lit s -> "'" ^ s ^ "'"
+  | Date_lit d -> Printf.sprintf "DATE(day %d)" d
+  | Kw k -> k
+  | Star -> "*"
+  | Comma -> ","
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Op o -> o
+  | Semicolon -> ";"
+  | Eof -> "<eof>"

@@ -1,0 +1,34 @@
+(** SQL lexer for the workload-file front end.
+
+    Tokenizes the SQL subset the reproduction's query AST covers:
+    identifiers (optionally [table.column]-qualified), integer / float /
+    string / DATE literals, comparison operators, parentheses, commas
+    and the keyword set of a select block. Keywords are
+    case-insensitive; identifiers keep their case. *)
+
+type token =
+  | Ident of string
+  | Qualified of string * string  (** [table.column] *)
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Date_lit of int  (** day number, from [DATE 'yyyy-mm-dd'] *)
+  | Kw of string  (** upper-cased keyword: SELECT, FROM, WHERE, ... *)
+  | Star
+  | Comma
+  | Lparen
+  | Rparen
+  | Op of string  (** =, <>, <, <=, >, >= *)
+  | Semicolon
+  | Eof
+
+val keywords : string list
+(** SELECT FROM WHERE AND GROUP ORDER BY ASC DESC BETWEEN IN COUNT SUM
+    AVG MIN MAX DATE *)
+
+val tokenize : string -> (token list, string) result
+(** Tokenize a statement (or several, separated by semicolons). Errors
+    carry a position. SQL comments ([-- ...] to end of line) are
+    skipped. *)
+
+val pp_token : token -> string

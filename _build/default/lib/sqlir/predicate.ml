@@ -1,0 +1,73 @@
+type colref = { cr_table : string; cr_column : string }
+type comparison = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Cmp of comparison * colref * Value.t
+  | Between of colref * Value.t * Value.t
+  | In_list of colref * Value.t list
+  | Join of colref * colref
+
+let colref cr_table cr_column = { cr_table; cr_column }
+
+let equal_colref a b = a.cr_table = b.cr_table && a.cr_column = b.cr_column
+
+let compare_colref a b =
+  match String.compare a.cr_table b.cr_table with
+  | 0 -> String.compare a.cr_column b.cr_column
+  | c -> c
+
+let is_join = function Join _ -> true | Cmp _ | Between _ | In_list _ -> false
+
+let selection_column = function
+  | Cmp (_, c, _) | Between (c, _, _) | In_list (c, _) -> Some c
+  | Join _ -> None
+
+let tables_of = function
+  | Cmp (_, c, _) | Between (c, _, _) | In_list (c, _) -> [ c.cr_table ]
+  | Join (a, b) ->
+    if a.cr_table = b.cr_table then [ a.cr_table ] else [ a.cr_table; b.cr_table ]
+
+let columns_on_table pred tbl =
+  let of_ref c = if c.cr_table = tbl then [ c.cr_column ] else [] in
+  match pred with
+  | Cmp (_, c, _) | Between (c, _, _) | In_list (c, _) -> of_ref c
+  | Join (a, b) -> of_ref a @ of_ref b
+
+let is_sargable_on pred col =
+  match pred with
+  | Cmp (Ne, _, _) -> false
+  | Cmp ((Eq | Lt | Le | Gt | Ge), c, _) | Between (c, _, _) | In_list (c, _) ->
+    equal_colref c col
+  | Join _ -> false
+
+let is_equality_on pred col =
+  match pred with
+  | Cmp (Eq, c, _) -> equal_colref c col
+  | In_list (c, [ _ ]) -> equal_colref c col
+  | Cmp ((Ne | Lt | Le | Gt | Ge), _, _) | Between _ | In_list _ | Join _ ->
+    false
+
+let comparison_to_string = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let colref_to_string c = c.cr_table ^ "." ^ c.cr_column
+
+let to_string = function
+  | Cmp (op, c, v) ->
+    Printf.sprintf "%s %s %s" (colref_to_string c) (comparison_to_string op)
+      (Value.to_string v)
+  | Between (c, lo, hi) ->
+    Printf.sprintf "%s BETWEEN %s AND %s" (colref_to_string c)
+      (Value.to_string lo) (Value.to_string hi)
+  | In_list (c, vs) ->
+    Printf.sprintf "%s IN (%s)" (colref_to_string c)
+      (String.concat ", " (List.map Value.to_string vs))
+  | Join (a, b) ->
+    Printf.sprintf "%s = %s" (colref_to_string a) (colref_to_string b)
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)

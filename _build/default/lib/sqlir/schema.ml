@@ -1,0 +1,54 @@
+type column = { col_name : string; col_type : Datatype.t }
+type table = { tbl_name : string; tbl_columns : column list }
+type t = { tables : table list }
+
+let table t name = List.find (fun tb -> tb.tbl_name = name) t.tables
+
+let mem_table t name = List.exists (fun tb -> tb.tbl_name = name) t.tables
+
+let column tb name = List.find (fun c -> c.col_name = name) tb.tbl_columns
+
+let column_type t tbl col = (column (table t tbl) col).col_type
+
+let row_width tb =
+  Im_util.List_ext.sum_by (fun c -> Datatype.width c.col_type) tb.tbl_columns
+
+let columns_width tb names =
+  Im_util.List_ext.sum_by
+    (fun name -> Datatype.width (column tb name).col_type)
+    names
+
+let column_names tb = List.map (fun c -> c.col_name) tb.tbl_columns
+
+let validate t =
+  let dup names =
+    let sorted = List.sort String.compare names in
+    let rec first_dup = function
+      | a :: (b :: _ as rest) -> if a = b then Some a else first_dup rest
+      | [ _ ] | [] -> None
+    in
+    first_dup sorted
+  in
+  match dup (List.map (fun tb -> tb.tbl_name) t.tables) with
+  | Some name -> Error (Printf.sprintf "duplicate table %S" name)
+  | None ->
+    let bad_table tb =
+      if tb.tbl_columns = [] then
+        Some (Printf.sprintf "table %S has no columns" tb.tbl_name)
+      else
+        match dup (column_names tb) with
+        | Some c ->
+          Some (Printf.sprintf "duplicate column %S in table %S" c tb.tbl_name)
+        | None -> None
+    in
+    (match List.find_map bad_table t.tables with
+     | Some msg -> Error msg
+     | None -> Ok ())
+
+let make_table name cols =
+  {
+    tbl_name = name;
+    tbl_columns = List.map (fun (n, ty) -> { col_name = n; col_type = ty }) cols;
+  }
+
+let make tables = { tables }

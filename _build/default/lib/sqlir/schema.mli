@@ -1,0 +1,42 @@
+(** Logical schema: tables and columns.
+
+    A schema is purely structural — row data and statistics live in the
+    catalog. Column order within a table is significant: it defines row
+    layout and the width of the base relation used by the No-Cost model
+    (width of a merged index must not exceed [f] % of the table width). *)
+
+type column = { col_name : string; col_type : Datatype.t }
+
+type table = {
+  tbl_name : string;
+  tbl_columns : column list;  (** in layout order; names unique *)
+}
+
+type t = { tables : table list }
+
+val table : t -> string -> table
+(** Lookup by name. Raises [Not_found]. *)
+
+val mem_table : t -> string -> bool
+
+val column : table -> string -> column
+(** Lookup by name within a table. Raises [Not_found]. *)
+
+val column_type : t -> string -> string -> Datatype.t
+(** [column_type schema table column]. Raises [Not_found]. *)
+
+val row_width : table -> int
+(** Sum of column widths: bytes per row of the base relation. *)
+
+val columns_width : table -> string list -> int
+(** Combined width of the named columns. Raises [Not_found] if any name
+    is not a column of the table. *)
+
+val column_names : table -> string list
+
+val validate : t -> (unit, string) result
+(** Check name uniqueness (tables, and columns within each table) and
+    non-emptiness of every table's column list. *)
+
+val make_table : string -> (string * Datatype.t) list -> table
+val make : table list -> t

@@ -1,0 +1,1 @@
+lib/stats/column_stats.ml: Float Histogram List Sampler

@@ -1,0 +1,1 @@
+lib/stats/column_stats.mli: Histogram Im_sqlir Im_util

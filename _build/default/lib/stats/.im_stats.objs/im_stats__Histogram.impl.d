@@ -1,0 +1,1 @@
+lib/stats/histogram.ml: Array Float Im_sqlir Im_util List

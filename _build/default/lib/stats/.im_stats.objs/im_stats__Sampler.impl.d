@@ -1,0 +1,1 @@
+lib/stats/sampler.ml: Array Fun Im_util List

@@ -1,0 +1,1 @@
+lib/stats/zipf.mli: Im_util

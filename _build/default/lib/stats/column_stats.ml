@@ -1,0 +1,32 @@
+type t = {
+  cs_table : string;
+  cs_column : string;
+  cs_histogram : Histogram.t;
+  cs_row_count : int;
+  cs_sampled : bool;
+}
+
+let build ~table ~column ?sample ?n_buckets values =
+  let row_count = List.length values in
+  let histogram, sampled =
+    match sample with
+    | Some (k, rng) when k < row_count ->
+      let sampled_values = Sampler.reservoir rng k values in
+      (Histogram.scale (Histogram.build ?n_buckets sampled_values) row_count, true)
+    | Some _ | None -> (Histogram.build ?n_buckets values, false)
+  in
+  {
+    cs_table = table;
+    cs_column = column;
+    cs_histogram = histogram;
+    cs_row_count = row_count;
+    cs_sampled = sampled;
+  }
+
+let selectivity t p =
+  let s = Histogram.sel_pred t.cs_histogram p in
+  Float.max 0. (Float.min 1. s)
+
+let distinct t = t.cs_histogram.Histogram.distinct
+
+let density t = Histogram.density t.cs_histogram

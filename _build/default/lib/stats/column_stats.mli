@@ -1,0 +1,27 @@
+(** Per-column statistics: histogram + density, the "hypothetical index"
+    statistics of the paper's §3.5.3. One record per (table, column). *)
+
+type t = {
+  cs_table : string;
+  cs_column : string;
+  cs_histogram : Histogram.t;
+  cs_row_count : int;  (** rows in the table when stats were built *)
+  cs_sampled : bool;  (** whether built from a sample and scaled up *)
+}
+
+val build :
+  table:string ->
+  column:string ->
+  ?sample:int * Im_util.Rng.t ->
+  ?n_buckets:int ->
+  Im_sqlir.Value.t list ->
+  t
+(** Build statistics from the column's values. With [?sample:(k, rng)],
+    a reservoir sample of [k] values is histogrammed and scaled back to
+    the full row count. *)
+
+val selectivity : t -> Im_sqlir.Predicate.t -> float
+(** Selectivity of a selection predicate on this column, in [\[0, 1\]]. *)
+
+val distinct : t -> int
+val density : t -> float

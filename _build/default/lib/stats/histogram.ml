@@ -1,0 +1,133 @@
+module Value = Im_sqlir.Value
+module Predicate = Im_sqlir.Predicate
+
+type bucket = { b_lo : float; b_hi : float; b_count : int; b_distinct : int }
+
+type t = {
+  buckets : bucket list;
+  total : int;
+  distinct : int;
+  null_count : int;
+}
+
+let build ?(n_buckets = 32) values =
+  let nulls, non_null = List.partition (fun v -> v = Value.Null) values in
+  let floats =
+    List.map Value.to_float non_null |> List.sort Float.compare |> Array.of_list
+  in
+  let n = Array.length floats in
+  let distinct_in lo hi =
+    (* floats is sorted; count distinct in index range [lo, hi]. *)
+    let d = ref 0 in
+    for i = lo to hi do
+      if i = lo || floats.(i) <> floats.(i - 1) then incr d
+    done;
+    !d
+  in
+  let buckets =
+    if n = 0 then []
+    else begin
+      let k = min n_buckets n in
+      let result = ref [] in
+      for b = k - 1 downto 0 do
+        let lo_idx = b * n / k in
+        let hi_idx = (((b + 1) * n) / k) - 1 in
+        if hi_idx >= lo_idx then
+          result :=
+            {
+              b_lo = floats.(lo_idx);
+              b_hi = floats.(hi_idx);
+              b_count = hi_idx - lo_idx + 1;
+              b_distinct = distinct_in lo_idx hi_idx;
+            }
+            :: !result
+      done;
+      !result
+    end
+  in
+  {
+    buckets;
+    total = List.length values;
+    distinct = (if n = 0 then 0 else distinct_in 0 (n - 1));
+    null_count = List.length nulls;
+  }
+
+let scale h total =
+  if h.total = 0 then { h with total }
+  else begin
+    let ratio = float_of_int total /. float_of_int h.total in
+    let scale_count c = max 1 (int_of_float (Float.round (float_of_int c *. ratio))) in
+    {
+      buckets =
+        List.map
+          (fun b -> { b with b_count = scale_count b.b_count })
+          h.buckets;
+      total;
+      (* Distinct counts do not scale linearly; use a first-order
+         birthday-style correction capped by the new total. *)
+      distinct = min total (scale_count h.distinct);
+      null_count =
+        (if h.null_count = 0 then 0 else scale_count h.null_count);
+    }
+  end
+
+let non_null_total h = Im_util.List_ext.sum_by (fun b -> b.b_count) h.buckets
+
+let frac h rows =
+  if h.total = 0 then 0. else float_of_int rows /. float_of_int h.total
+
+let sel_eq h v =
+  let x = Value.to_float v in
+  let matching =
+    List.fold_left
+      (fun acc b ->
+        if x >= b.b_lo && x <= b.b_hi && b.b_distinct > 0 then
+          acc +. (float_of_int b.b_count /. float_of_int b.b_distinct)
+        else acc)
+      0. h.buckets
+  in
+  if h.total = 0 then 0.
+  else Float.min 1.0 (matching /. float_of_int h.total)
+
+let bucket_overlap b lo hi =
+  (* Fraction of the bucket's rows falling in [lo, hi] under a uniform
+     spread assumption within the bucket. *)
+  let blo = b.b_lo and bhi = b.b_hi in
+  let lo = Float.max lo blo and hi = Float.min hi bhi in
+  if hi < lo then 0.
+  else if bhi = blo then 1.
+  else (hi -. lo) /. (bhi -. blo)
+
+let sel_range h ~lo ~hi =
+  let lo_f = match lo with None -> neg_infinity | Some v -> Value.to_float v in
+  let hi_f = match hi with None -> infinity | Some v -> Value.to_float v in
+  if hi_f < lo_f then 0.
+  else begin
+    let matching =
+      List.fold_left
+        (fun acc b -> acc +. (float_of_int b.b_count *. bucket_overlap b lo_f hi_f))
+        0. h.buckets
+    in
+    if h.total = 0 then 0. else Float.min 1.0 (matching /. float_of_int h.total)
+  end
+
+let sel_pred h p =
+  match p with
+  | Predicate.Cmp (Eq, _, v) -> sel_eq h v
+  | Predicate.Cmp (Ne, _, v) -> Float.max 0. (frac h (non_null_total h) -. sel_eq h v)
+  | Predicate.Cmp (Lt, _, v) | Predicate.Cmp (Le, _, v) ->
+    sel_range h ~lo:None ~hi:(Some v)
+  | Predicate.Cmp (Gt, _, v) | Predicate.Cmp (Ge, _, v) ->
+    sel_range h ~lo:(Some v) ~hi:None
+  | Predicate.Between (_, lo, hi) -> sel_range h ~lo:(Some lo) ~hi:(Some hi)
+  | Predicate.In_list (_, vs) ->
+    Float.min 1.0 (Im_util.List_ext.sum_by_f (sel_eq h) vs)
+  | Predicate.Join _ -> invalid_arg "Histogram.sel_pred: join predicate"
+
+let density h = if h.distinct = 0 then 0. else 1. /. float_of_int h.distinct
+
+let min_value h =
+  match h.buckets with [] -> None | b :: _ -> Some b.b_lo
+
+let max_value h =
+  match List.rev h.buckets with [] -> None | b :: _ -> Some b.b_hi

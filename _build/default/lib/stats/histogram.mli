@@ -1,0 +1,48 @@
+(** Equi-depth histograms over one column.
+
+    This is the statistical information the paper says the what-if
+    optimizer needs for a hypothetical index ("a histogram on the
+    column(s) of the indexes and density information", §3.5.3). Values
+    are embedded into floats via {!Im_sqlir.Value.to_float}, which is
+    monotone within a datatype, so range selectivities are meaningful
+    for ints, floats, dates and (approximately) strings. *)
+
+type bucket = {
+  b_lo : float;  (** inclusive lower bound *)
+  b_hi : float;  (** inclusive upper bound *)
+  b_count : int;  (** rows in the bucket *)
+  b_distinct : int;  (** distinct values in the bucket (>= 1 if count > 0) *)
+}
+
+type t = {
+  buckets : bucket list;
+  total : int;  (** rows described (may be a scaled-up sample) *)
+  distinct : int;  (** distinct values overall *)
+  null_count : int;
+}
+
+val build : ?n_buckets:int -> Im_sqlir.Value.t list -> t
+(** Equi-depth construction; default 32 buckets. *)
+
+val scale : t -> int -> t
+(** [scale h total] linearly rescales bucket and distinct counts so the
+    histogram describes [total] rows — used when the histogram was built
+    from a sample (the paper builds statistics by sampling [CMN98]). *)
+
+val sel_eq : t -> Im_sqlir.Value.t -> float
+(** Selectivity of [col = v]. *)
+
+val sel_range :
+  t -> lo:Im_sqlir.Value.t option -> hi:Im_sqlir.Value.t option -> float
+(** Selectivity of an inclusive range; [None] bounds are open ends. *)
+
+val sel_pred : t -> Im_sqlir.Predicate.t -> float
+(** Selectivity of a selection predicate over this column. Joins are
+    rejected with [Invalid_argument]. *)
+
+val density : t -> float
+(** Average fraction of rows sharing one value: 1 / distinct (0 if the
+    histogram is empty). This is SQL Server's "density" statistic. *)
+
+val min_value : t -> float option
+val max_value : t -> float option

@@ -1,0 +1,16 @@
+let reservoir rng k xs =
+  if k <= 0 then []
+  else begin
+    let reservoir = Array.make k None in
+    let seen = ref 0 in
+    List.iter
+      (fun x ->
+        if !seen < k then reservoir.(!seen) <- Some x
+        else begin
+          let j = Im_util.Rng.int rng (!seen + 1) in
+          if j < k then reservoir.(j) <- Some x
+        end;
+        incr seen)
+      xs;
+    Array.to_list reservoir |> List.filter_map Fun.id
+  end

@@ -1,0 +1,7 @@
+(** Reservoir sampling, used to build column statistics without scanning
+    the full table (the paper cites [CMN98]: random sampling suffices
+    for histogram construction). *)
+
+val reservoir : Im_util.Rng.t -> int -> 'a list -> 'a list
+(** [reservoir rng k xs] draws a uniform sample of [min k (length xs)]
+    elements without replacement, in one pass. *)

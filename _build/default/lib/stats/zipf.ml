@@ -1,0 +1,32 @@
+type t = { cdf : float array; probs : float array }
+
+let make ~n_distinct ~z =
+  if n_distinct < 1 then invalid_arg "Zipf.make: n_distinct must be >= 1";
+  let weights =
+    Array.init n_distinct (fun k -> 1. /. Float.pow (float_of_int (k + 1)) z)
+  in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let probs = Array.map (fun w -> w /. total) weights in
+  let cdf = Array.make n_distinct 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i p ->
+      acc := !acc +. p;
+      cdf.(i) <- !acc)
+    probs;
+  cdf.(n_distinct - 1) <- 1.0;
+  { cdf; probs }
+
+let sample t rng =
+  let u = Im_util.Rng.float rng 1.0 in
+  (* Binary search for the first bucket whose cumulative mass covers u. *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let probability t k = t.probs.(k)
+
+let n_distinct t = Array.length t.cdf

@@ -1,0 +1,19 @@
+(** Zipfian rank sampler.
+
+    The paper's synthetic databases draw each column's values from a
+    Zipfian distribution with parameter z picked from {0, 1, 2, 3, 4}
+    (z = 0 is uniform, z = 4 highly skewed). A sampler draws ranks in
+    [\[0, n_distinct)]; rank 0 is the most frequent value. *)
+
+type t
+
+val make : n_distinct:int -> z:float -> t
+(** Precomputes the cumulative distribution. [n_distinct >= 1]. *)
+
+val sample : t -> Im_util.Rng.t -> int
+(** Draw a rank. *)
+
+val probability : t -> int -> float
+(** [probability t k] is the probability of rank [k]. *)
+
+val n_distinct : t -> int

@@ -1,0 +1,1 @@
+lib/storage/bptree.ml: Array Im_sqlir List Page Printf Stdlib

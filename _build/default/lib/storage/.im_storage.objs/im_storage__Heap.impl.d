@@ -1,0 +1,1 @@
+lib/storage/heap.ml: Array Hashtbl Im_sqlir List Page Size_model

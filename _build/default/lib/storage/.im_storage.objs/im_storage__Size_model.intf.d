@@ -1,0 +1,1 @@
+lib/storage/size_model.mli:

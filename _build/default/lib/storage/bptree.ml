@@ -1,0 +1,361 @@
+module Value = Im_sqlir.Value
+
+type key = Value.t array
+
+(* Separators are full (key, rid) entries: with duplicate keys allowed, a
+   key-only separator cannot order entries that straddle a split, so the
+   rid acts as a uniquifier throughout the tree. *)
+type entry = key * int
+
+(* Every node carries a page id so executions can account buffer-pool
+   traffic per node. *)
+type leaf = { l_id : int; mutable entries : entry array }
+
+type internal = {
+  i_id : int;
+  mutable seps : entry array;
+  mutable kids : node array;
+}
+
+and node = Leaf of leaf | Internal of internal
+
+type t = {
+  leaf_capacity : int;
+  internal_capacity : int;
+  mutable root : node;
+  mutable n_entries : int;
+  mutable writes : int;
+  mutable n_splits : int;
+  mutable next_id : int;
+}
+
+let node_id = function Leaf l -> l.l_id | Internal n -> n.i_id
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let compare_key a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la || i >= lb then Stdlib.compare la lb
+    else
+      match Value.compare a.(i) b.(i) with 0 -> go (i + 1) | c -> c
+  in
+  go 0
+
+let prefix_compare k bound =
+  let n = min (Array.length k) (Array.length bound) in
+  let rec go i =
+    if i >= n then 0
+    else
+      match Value.compare k.(i) bound.(i) with 0 -> go (i + 1) | c -> c
+  in
+  go 0
+
+let compare_entry (k1, r1) (k2, r2) =
+  match compare_key k1 k2 with 0 -> Stdlib.compare r1 r2 | c -> c
+
+let capacities ~key_width =
+  ( Page.rows_per_page (key_width + Page.rid_width),
+    Page.rows_per_page (key_width + 4) )
+
+let create ~key_width =
+  let leaf_capacity, internal_capacity = capacities ~key_width in
+  {
+    leaf_capacity;
+    internal_capacity;
+    root = Leaf { l_id = 0; entries = [||] };
+    n_entries = 0;
+    writes = 0;
+    n_splits = 0;
+    next_id = 1;
+  }
+
+(* ---- Insertion ---- *)
+
+let array_insert a pos x =
+  let n = Array.length a in
+  Array.init (n + 1) (fun i ->
+      if i < pos then a.(i) else if i = pos then x else a.(i - 1))
+
+let find_leaf_pos entries e =
+  (* First position whose entry is >= e. *)
+  let lo = ref 0 and hi = ref (Array.length entries) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare_entry entries.(mid) e < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let child_index seps e =
+  (* First separator strictly greater than e; entries equal to a
+     separator live in the child to its right. *)
+  let lo = ref 0 and hi = ref (Array.length seps) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare_entry seps.(mid) e <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Returns [Some (separator, right_node)] if the child split. *)
+let rec insert_into t node e =
+  match node with
+  | Leaf l ->
+    let pos = find_leaf_pos l.entries e in
+    l.entries <- array_insert l.entries pos e;
+    if Array.length l.entries > t.leaf_capacity then begin
+      let n = Array.length l.entries in
+      let mid = n / 2 in
+      let left = Array.sub l.entries 0 mid in
+      let right = Array.sub l.entries mid (n - mid) in
+      l.entries <- left;
+      t.n_splits <- t.n_splits + 1;
+      (* Split: both halves written, plus the parent page update. *)
+      t.writes <- t.writes + 3;
+      Some (right.(0), Leaf { l_id = fresh_id t; entries = right })
+    end
+    else begin
+      t.writes <- t.writes + 1;
+      None
+    end
+  | Internal n ->
+    let i = child_index n.seps e in
+    (match insert_into t n.kids.(i) e with
+     | None -> None
+     | Some (sep, right) ->
+       n.seps <- array_insert n.seps i sep;
+       n.kids <- array_insert n.kids (i + 1) right;
+       if Array.length n.kids > t.internal_capacity then begin
+         let nk = Array.length n.kids in
+         let mid = nk / 2 in
+         (* kids 0..mid-1 stay; kids mid.. move right; seps.(mid-1) is
+            promoted. *)
+         let promoted = n.seps.(mid - 1) in
+         let right_node =
+           Internal
+             {
+               i_id = fresh_id t;
+               seps = Array.sub n.seps mid (Array.length n.seps - mid);
+               kids = Array.sub n.kids mid (nk - mid);
+             }
+         in
+         n.seps <- Array.sub n.seps 0 (mid - 1);
+         n.kids <- Array.sub n.kids 0 mid;
+         t.n_splits <- t.n_splits + 1;
+         t.writes <- t.writes + 3;
+         Some (promoted, right_node)
+       end
+       else None)
+
+let insert t k rid =
+  (match insert_into t t.root (k, rid) with
+   | None -> ()
+   | Some (sep, right) ->
+     t.root <-
+       Internal { i_id = fresh_id t; seps = [| sep |]; kids = [| t.root; right |] };
+     t.writes <- t.writes + 1);
+  t.n_entries <- t.n_entries + 1
+
+(* ---- Bulk load ---- *)
+
+let bulk_load ~key_width ?(fill = 0.69) entries =
+  let t = create ~key_width in
+  let sorted = List.sort compare_entry entries in
+  let per_leaf = max 1 (int_of_float (float_of_int t.leaf_capacity *. fill)) in
+  let per_internal =
+    max 2 (int_of_float (float_of_int t.internal_capacity *. fill))
+  in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  if n = 0 then t
+  else begin
+    let leaves = ref [] in
+    let i = ref 0 in
+    while !i < n do
+      let len = min per_leaf (n - !i) in
+      leaves :=
+        (Leaf { l_id = fresh_id t; entries = Array.sub arr !i len }, arr.(!i))
+        :: !leaves;
+      i := !i + len
+    done;
+    (* Build internal levels bottom-up. [level] pairs each node with its
+       minimum entry, leftmost first. *)
+    let rec build level =
+      match level with
+      | [ (node, _) ] -> node
+      | _ ->
+        let rec pack acc group group_len = function
+          | [] ->
+            List.rev (if group = [] then acc else List.rev group :: acc)
+          | x :: rest ->
+            if group_len = per_internal then
+              pack (List.rev group :: acc) [ x ] 1 rest
+            else pack acc (x :: group) (group_len + 1) rest
+        in
+        let groups = pack [] [] 0 level in
+        let parents =
+          List.map
+            (fun group ->
+              let kids = Array.of_list (List.map fst group) in
+              let mins = List.map snd group in
+              let seps =
+                match mins with
+                | [] -> assert false
+                | _ :: rest -> Array.of_list rest
+              in
+              let node = Internal { i_id = fresh_id t; seps; kids } in
+              (node, List.hd mins))
+            groups
+        in
+        build parents
+    in
+    t.root <- build (List.rev !leaves);
+    t.n_entries <- n;
+    t
+  end
+
+(* ---- Scans ---- *)
+
+let rec fold_node ~lo ~hi ~f ~on_node acc node =
+  on_node (node_id node);
+  match node with
+  | Leaf l ->
+    Array.fold_left
+      (fun acc (k, rid) ->
+        let above_lo =
+          match lo with None -> true | Some b -> prefix_compare k b >= 0
+        in
+        let below_hi =
+          match hi with None -> true | Some b -> prefix_compare k b <= 0
+        in
+        if above_lo && below_hi then f acc k rid else acc)
+      acc l.entries
+  | Internal n ->
+    let nkids = Array.length n.kids in
+    let acc = ref acc in
+    for i = 0 to nkids - 1 do
+      (* Child i holds entries >= seps.(i-1) and < seps.(i): prune when
+         its whole range falls outside a bound. *)
+      let may_reach_lo =
+        i = nkids - 1
+        ||
+        match lo with
+        | None -> true
+        | Some b -> prefix_compare (fst n.seps.(i)) b >= 0
+      in
+      let may_reach_hi =
+        i = 0
+        ||
+        match hi with
+        | None -> true
+        | Some b -> prefix_compare (fst n.seps.(i - 1)) b <= 0
+      in
+      if may_reach_lo && may_reach_hi then
+        acc := fold_node ~lo ~hi ~f ~on_node !acc n.kids.(i)
+    done;
+    !acc
+
+let ignore_node (_ : int) = ()
+
+let fold_range ?(on_node = ignore_node) t ~lo ~hi ~init ~f =
+  fold_node ~lo ~hi ~f ~on_node init t.root
+
+let fold_all ?(on_node = ignore_node) t ~init ~f =
+  fold_node ~lo:None ~hi:None ~f ~on_node init t.root
+
+(* ---- Accounting ---- *)
+
+let entry_count t = t.n_entries
+
+let rec count_nodes node =
+  match node with
+  | Leaf _ -> (1, 0)
+  | Internal n ->
+    Array.fold_left
+      (fun (l, i) kid ->
+        let l', i' = count_nodes kid in
+        (l + l', i + i'))
+      (0, 1) n.kids
+
+let leaf_pages t = fst (count_nodes t.root)
+let internal_pages t = snd (count_nodes t.root)
+
+let total_pages t =
+  let l, i = count_nodes t.root in
+  l + i
+
+let depth t =
+  let rec go node acc =
+    match node with Leaf _ -> acc | Internal n -> go n.kids.(0) (acc + 1)
+  in
+  go t.root 1
+
+let page_writes t = t.writes
+let splits t = t.n_splits
+
+let reset_counters t =
+  t.writes <- 0;
+  t.n_splits <- 0
+
+(* ---- Invariants ---- *)
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let rec check node ~lo ~hi ~is_root =
+    (* Every entry e in this subtree must satisfy lo <= e < hi. *)
+    let in_bounds e =
+      (match lo with None -> true | Some b -> compare_entry e b >= 0)
+      && match hi with None -> true | Some b -> compare_entry e b < 0
+    in
+    match node with
+    | Leaf l ->
+      let n = Array.length l.entries in
+      if (not is_root) && n > t.leaf_capacity then
+        fail "leaf overflow: %d > %d" n t.leaf_capacity
+      else begin
+        let rec entries i =
+          if i >= n then Ok 1
+          else if i > 0 && compare_entry l.entries.(i - 1) l.entries.(i) > 0
+          then fail "leaf entries out of order at %d" i
+          else if not (in_bounds l.entries.(i)) then
+            fail "leaf entry out of separator bounds"
+          else entries (i + 1)
+        in
+        entries 0
+      end
+    | Internal n ->
+      let nkids = Array.length n.kids in
+      if Array.length n.seps <> nkids - 1 then
+        fail "internal node: %d seps, %d kids" (Array.length n.seps) nkids
+      else if nkids > t.internal_capacity then
+        fail "internal overflow: %d > %d" nkids t.internal_capacity
+      else begin
+        let rec seps_sorted i =
+          if i + 1 >= Array.length n.seps then true
+          else
+            compare_entry n.seps.(i) n.seps.(i + 1) <= 0 && seps_sorted (i + 1)
+        in
+        if not (seps_sorted 0) then fail "separators out of order"
+        else begin
+          let rec kids i expected_depth =
+            if i >= nkids then Ok expected_depth
+            else begin
+              let klo = if i = 0 then lo else Some n.seps.(i - 1) in
+              let khi = if i = nkids - 1 then hi else Some n.seps.(i) in
+              match check n.kids.(i) ~lo:klo ~hi:khi ~is_root:false with
+              | Error _ as e -> e
+              | Ok d ->
+                if expected_depth <> 0 && d <> expected_depth then
+                  fail "leaves at unequal depth"
+                else kids (i + 1) d
+            end
+          in
+          match kids 0 0 with Error _ as e -> e | Ok d -> Ok (d + 1)
+        end
+      end
+  in
+  match check t.root ~lo:None ~hi:None ~is_root:true with
+  | Error _ as e -> e
+  | Ok _ -> Ok ()

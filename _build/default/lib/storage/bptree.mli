@@ -1,0 +1,70 @@
+(** Composite-key B+-tree.
+
+    The physical structure behind (non-clustered) indexes: entries are
+    [(key, rid)] pairs where the key is the ordered tuple of the index's
+    column values and the rid points into the table's heap. Node
+    capacities are derived from {!Page} geometry and the key width, so
+    the tree's page counts can be checked against {!Size_model}.
+
+    The tree records page-write accounting during inserts; the
+    maintenance-cost experiment (paper §4.3.3, Figure 8) uses the same
+    accounting model, validated against this tree in tests. *)
+
+type key = Im_sqlir.Value.t array
+
+type t
+
+val create : key_width:int -> t
+(** Empty tree for keys of [key_width] payload bytes. *)
+
+val bulk_load : key_width:int -> ?fill:float -> (key * int) list -> t
+(** Build from (not necessarily sorted) entries, packing leaves at the
+    fill factor (default {!Size_model}'s 0.69). *)
+
+val insert : t -> key -> int -> unit
+(** Insert an entry; duplicates of the key are allowed. Updates the
+    page-write counters. *)
+
+val compare_key : key -> key -> int
+(** Lexicographic componentwise order (by {!Im_sqlir.Value.compare}). *)
+
+val prefix_compare : key -> key -> int
+(** [prefix_compare k bound] compares only the first
+    [Array.length bound] components: the order used by prefix seeks. *)
+
+val fold_range :
+  ?on_node:(int -> unit) ->
+  t ->
+  lo:key option ->
+  hi:key option ->
+  init:'a ->
+  f:('a -> key -> int -> 'a) ->
+  'a
+(** Fold over entries whose key-prefix lies within the inclusive bounds
+    ([None] = open end). Bounds may be shorter than full keys: a seek on
+    the leading columns. Entries are visited in key order. [?on_node]
+    is called with each visited node's page id — the hook the measured
+    executor uses for buffer-pool accounting. *)
+
+val fold_all :
+  ?on_node:(int -> unit) -> t -> init:'a -> f:('a -> key -> int -> 'a) -> 'a
+(** Full index scan in key order. *)
+
+val entry_count : t -> int
+val leaf_pages : t -> int
+val internal_pages : t -> int
+val total_pages : t -> int
+val depth : t -> int
+
+val page_writes : t -> int
+(** Pages written by inserts since creation (leaf writes, plus extra
+    writes for splits and parent updates). Bulk load counts each built
+    page once. *)
+
+val splits : t -> int
+
+val reset_counters : t -> unit
+
+val check_invariants : t -> (unit, string) result
+(** Structural check: sortedness within nodes, separator consistency,
+    capacity bounds, uniform leaf depth. For tests. *)

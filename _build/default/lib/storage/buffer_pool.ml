@@ -1,0 +1,83 @@
+type page_id = { pg_object : string; pg_number : int }
+
+(* Intrusive doubly-linked LRU list over resident pages. *)
+type node = {
+  page : page_id;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type stats = { bp_hits : int; bp_misses : int; bp_evictions : int }
+
+type t = {
+  cap : int;
+  table : (page_id, node) Hashtbl.t;
+  mutable head : node option;  (* most recently used *)
+  mutable tail : node option;  (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity must be >= 1";
+  {
+    cap = capacity;
+    table = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let unlink t node =
+  (match node.prev with
+   | Some p -> p.next <- node.next
+   | None -> t.head <- node.next);
+  (match node.next with
+   | Some n -> n.prev <- node.prev
+   | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let access t page =
+  match Hashtbl.find_opt t.table page with
+  | Some node ->
+    t.hits <- t.hits + 1;
+    unlink t node;
+    push_front t node;
+    `Hit
+  | None ->
+    t.misses <- t.misses + 1;
+    if Hashtbl.length t.table >= t.cap then begin
+      match t.tail with
+      | Some victim ->
+        unlink t victim;
+        Hashtbl.remove t.table victim.page;
+        t.evictions <- t.evictions + 1
+      | None -> ()
+    end;
+    let node = { page; prev = None; next = None } in
+    Hashtbl.replace t.table page node;
+    push_front t node;
+    `Miss
+
+let stats t = { bp_hits = t.hits; bp_misses = t.misses; bp_evictions = t.evictions }
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0
+
+let resident t = Hashtbl.length t.table
+
+let mem t page = Hashtbl.mem t.table page
+
+let capacity t = t.cap

@@ -1,0 +1,40 @@
+(** Simulated buffer pool (LRU).
+
+    The executor can run with page-level accounting: every page touched
+    by a scan, seek or rid lookup goes through a pool, and hits/misses
+    are counted. This grounds the abstract cost model in a measurable
+    quantity — the cost-model validation experiment correlates the
+    optimizer's estimates against misses measured here.
+
+    Pages are identified by an (object, page-number) pair, where the
+    object is a table heap or an index. *)
+
+type page_id = { pg_object : string; pg_number : int }
+
+type t
+
+type stats = {
+  bp_hits : int;
+  bp_misses : int;
+  bp_evictions : int;
+}
+
+val create : capacity:int -> t
+(** Pool holding up to [capacity] pages; [capacity >= 1]. *)
+
+val access : t -> page_id -> [ `Hit | `Miss ]
+(** Touch a page: a hit refreshes its recency; a miss loads it, evicting
+    the least-recently-used page if the pool is full. *)
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+(** Zero the counters; resident pages stay. *)
+
+val resident : t -> int
+(** Pages currently held. *)
+
+val mem : t -> page_id -> bool
+(** Is the page resident (without touching it)? *)
+
+val capacity : t -> int

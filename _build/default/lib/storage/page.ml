@@ -1,0 +1,16 @@
+let page_size = 8192
+let page_header = 96
+let row_overhead = 9
+let rid_width = 8
+let usable = page_size - page_header
+
+let rows_per_page ?(fill = 1.0) width =
+  let effective = int_of_float (float_of_int usable *. fill) in
+  max 1 (effective / (width + row_overhead))
+
+let pages_for_rows ?fill ~row_width n =
+  if n <= 0 then 1
+  else begin
+    let per_page = rows_per_page ?fill row_width in
+    (n + per_page - 1) / per_page
+  end

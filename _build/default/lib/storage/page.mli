@@ -1,0 +1,31 @@
+(** On-disk page geometry.
+
+    The reproduction mirrors SQL Server 7.0's layout at the level of
+    detail the paper's numbers depend on: 8 KiB pages, a fixed page
+    header, and a small per-row overhead (slot pointer + record header).
+    All storage figures in the experiments are page counts under this
+    geometry, so storage *ratios* — the quantity the paper reports —
+    carry over. *)
+
+val page_size : int
+(** 8192 bytes. *)
+
+val page_header : int
+(** Bytes reserved per page (96, as in SQL Server). *)
+
+val row_overhead : int
+(** Per-row overhead in bytes: record header + slot-array entry. *)
+
+val rid_width : int
+(** Width of a row identifier stored in a (non-clustered) index entry. *)
+
+val usable : int
+(** [page_size - page_header]. *)
+
+val rows_per_page : ?fill:float -> int -> int
+(** [rows_per_page width] for rows of [width] payload bytes, with
+    optional fill factor in (0, 1] (default 1.0). At least 1. *)
+
+val pages_for_rows : ?fill:float -> row_width:int -> int -> int
+(** Pages needed to hold [n] rows of the given payload width. 0 rows
+    still occupy 1 page (allocation unit). *)

@@ -1,0 +1,27 @@
+type t = { leaf_pages : int; internal_pages : int; depth : int }
+
+let total_pages t = t.leaf_pages + t.internal_pages
+
+let default_fill = 0.69
+
+let index_size ?(fill = default_fill) ~key_width ~rows () =
+  let entry = key_width + Page.rid_width in
+  let leaf_pages = Page.pages_for_rows ~fill ~row_width:entry rows in
+  (* Internal entries hold a separator key and a page pointer. *)
+  let fanout = Page.rows_per_page ~fill (key_width + 4) in
+  let rec levels below acc depth =
+    if below <= 1 then (acc, depth)
+    else begin
+      let here = (below + fanout - 1) / fanout in
+      levels here (acc + here) (depth + 1)
+    end
+  in
+  let internal_pages, depth = levels leaf_pages 0 1 in
+  { leaf_pages; internal_pages; depth }
+
+let table_pages ~row_width ~rows = Page.pages_for_rows ~row_width rows
+
+let index_bytes ?fill ~key_width ~rows () =
+  total_pages (index_size ?fill ~key_width ~rows ()) * Page.page_size
+
+let table_bytes ~row_width ~rows = table_pages ~row_width ~rows * Page.page_size

@@ -1,0 +1,27 @@
+(** Index and table size estimation.
+
+    "The size of an index can be accurately predicted if we know the
+    on-disk structure used to store the index ... given the width of
+    columns in the index and the number of tuples in the relation"
+    (paper §3.3). This module is that predictor; the B+-tree in
+    {!Bptree} uses the same geometry, and tests check they agree. *)
+
+type t = {
+  leaf_pages : int;
+  internal_pages : int;
+  depth : int;  (** levels including the leaf level; >= 1 *)
+}
+
+val total_pages : t -> int
+
+val index_size : ?fill:float -> key_width:int -> rows:int -> unit -> t
+(** Size of a non-clustered B+-tree index whose entries are
+    [key_width + Page.rid_width] bytes, over [rows] rows. The default
+    fill factor is 0.69 (steady-state B-tree occupancy, ln 2), matching
+    what an index built by page splits converges to. *)
+
+val table_pages : row_width:int -> rows:int -> int
+(** Heap pages of the base relation. *)
+
+val index_bytes : ?fill:float -> key_width:int -> rows:int -> unit -> int
+val table_bytes : row_width:int -> rows:int -> int

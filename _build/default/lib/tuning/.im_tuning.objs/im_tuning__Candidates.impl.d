@@ -1,0 +1,1 @@
+lib/tuning/candidates.ml: Im_catalog Im_sqlir Im_util List Result String

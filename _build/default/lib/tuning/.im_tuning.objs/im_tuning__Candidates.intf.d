@@ -1,0 +1,1 @@
+lib/tuning/candidates.mli: Im_catalog Im_sqlir

@@ -1,0 +1,1 @@
+lib/tuning/initial_config.ml: Array Im_catalog Im_util Im_workload List Wizard

@@ -1,0 +1,1 @@
+lib/tuning/initial_config.mli: Im_catalog Im_util Im_workload

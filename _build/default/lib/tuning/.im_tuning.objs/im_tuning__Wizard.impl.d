@@ -1,0 +1,1 @@
+lib/tuning/wizard.ml: Candidates Im_catalog Im_optimizer Im_util List

@@ -1,0 +1,1 @@
+lib/tuning/wizard.mli: Im_catalog Im_sqlir

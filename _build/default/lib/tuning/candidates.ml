@@ -1,0 +1,55 @@
+module Schema = Im_sqlir.Schema
+module Query = Im_sqlir.Query
+module Predicate = Im_sqlir.Predicate
+module Index = Im_catalog.Index
+
+let dedup = Im_util.List_ext.dedup_keep_order Index.equal
+
+(* Append columns not already present, keeping order. *)
+let extend base extra =
+  base @ List.filter (fun c -> not (List.mem c base)) extra
+
+let join_columns q tbl =
+  List.concat_map (fun p -> Predicate.columns_on_table p tbl)
+    (Query.join_predicates q)
+  |> Im_util.List_ext.dedup_keep_order String.equal
+
+let for_table schema q tbl =
+  let referenced = Query.referenced_columns q tbl in
+  if referenced = [] then []
+  else begin
+    let eq_cols = Query.equality_columns q tbl in
+    let sargable = Query.sargable_columns q tbl in
+    let range_cols = List.filter (fun c -> not (List.mem c eq_cols)) sargable in
+    let joins = join_columns q tbl in
+    let order_cols = Query.order_by_columns q tbl in
+    let group_cols = Query.group_by_columns q tbl in
+    let seek_key =
+      match (eq_cols, range_cols) with
+      | [], [] -> []
+      | eqs, [] -> [ eqs ]
+      | eqs, r :: _ -> [ extend eqs [ r ] ]
+    in
+    let keys =
+      (* Plain seek keys. *)
+      seek_key
+      (* Single-column seek indexes per sargable column. *)
+      @ List.map (fun c -> [ c ]) sargable
+      (* Join columns, alone and leading a covering index. *)
+      @ List.map (fun c -> [ c ]) joins
+      @ List.map (fun c -> extend [ c ] referenced) joins
+      (* Covering index led by the seek key. *)
+      @ List.map (fun k -> extend k referenced) seek_key
+      (* Pure covering index in reference order. *)
+      @ [ referenced ]
+      (* Order-by / group-by keys, optionally covering. *)
+      @ (if order_cols = [] then [] else [ order_cols; extend order_cols referenced ])
+      @ (if group_cols = [] then [] else [ group_cols; extend group_cols referenced ])
+    in
+    let keys = List.filter (fun k -> k <> []) keys in
+    dedup (List.map (fun k -> Index.make ~table:tbl k) keys)
+    |> List.filter (fun ix -> Result.is_ok (Index.validate schema ix))
+  end
+
+let for_query schema q =
+  dedup (List.concat_map (for_table schema q) q.Query.q_tables)

@@ -1,0 +1,17 @@
+(** Candidate indexes for a single query.
+
+    Mirrors what per-query index selection tools propose [CN97,
+    CNITW98]: seek indexes from sargable predicates (equality columns
+    first, then one range column), join-column indexes for the inner
+    side of index nested-loop joins, order-by/group-by indexes, and
+    covering indexes that append every other referenced column. These
+    are exactly the per-query-optimal indexes whose union across a
+    workload explodes in storage — the problem index merging then
+    repairs. *)
+
+val for_query :
+  Im_sqlir.Schema.t -> Im_sqlir.Query.t -> Im_catalog.Index.t list
+(** Deduplicated candidates over all tables of the query. *)
+
+val for_table :
+  Im_sqlir.Schema.t -> Im_sqlir.Query.t -> string -> Im_catalog.Index.t list

@@ -1,0 +1,28 @@
+module Database = Im_catalog.Database
+module Config = Im_catalog.Config
+module Index = Im_catalog.Index
+module Optimizer = Im_optimizer.Optimizer
+module Plan = Im_optimizer.Plan
+
+let query_cost db config q = Plan.cost (Optimizer.optimize db config q)
+
+let tune_query ?(max_indexes = 3) ?(min_gain = 0.005) db q =
+  let candidates = Candidates.for_query (Database.schema db) q in
+  let rec grow chosen cost_now =
+    if List.length chosen >= max_indexes then List.rev chosen
+    else begin
+      let remaining =
+        List.filter (fun ix -> not (Config.mem ix chosen)) candidates
+      in
+      let scored =
+        List.map
+          (fun ix -> (ix, query_cost db (Config.add ix chosen) q))
+          remaining
+      in
+      match Im_util.List_ext.min_by (fun (_, c) -> c) scored with
+      | Some (best, cost_best) when cost_best < cost_now *. (1. -. min_gain) ->
+        grow (best :: chosen) cost_best
+      | Some _ | None -> List.rev chosen
+    end
+  in
+  grow [] (query_cost db Config.empty q)

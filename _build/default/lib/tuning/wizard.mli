@@ -1,0 +1,22 @@
+(** Per-query index selection — our stand-in for the Index Tuning
+    Wizard of SQL Server 7.0 [CNITW98], which the paper uses to build
+    its initial configurations (§4.2.3: "indexes recommended by the
+    Index Tuning Wizard for optimizing the performance of that query").
+
+    Selection is cost-driven: starting from the empty configuration,
+    greedily add the candidate index that most reduces the optimizer's
+    estimated cost of the one query, stopping at [max_indexes] or when
+    no candidate improves cost by more than [min_gain] (relative). *)
+
+val tune_query :
+  ?max_indexes:int ->
+  ?min_gain:float ->
+  Im_catalog.Database.t ->
+  Im_sqlir.Query.t ->
+  Im_catalog.Index.t list
+(** Recommended indexes for the query (defaults: at most 3 indexes,
+    0.5 % minimum relative gain per added index). *)
+
+val query_cost :
+  Im_catalog.Database.t -> Im_catalog.Config.t -> Im_sqlir.Query.t -> float
+(** Optimizer-estimated cost under a configuration (convenience). *)

@@ -1,0 +1,31 @@
+let render ~header ~rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  let note_row r =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) r
+  in
+  List.iter note_row all;
+  let pad i cell = cell ^ String.make (widths.(i) - String.length cell) ' ' in
+  let line r =
+    let cells = List.mapi pad r in
+    let missing = ncols - List.length r in
+    let cells =
+      if missing <= 0 then cells
+      else
+        cells
+        @ List.init missing (fun k -> String.make widths.(List.length r + k) ' ')
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let sep =
+    "|"
+    ^ String.concat "|"
+        (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "|"
+  in
+  String.concat "\n" (line header :: sep :: List.map line rows)
+
+let pct x = Printf.sprintf "%.1f%%" (100. *. x)
+
+let f2 x = Printf.sprintf "%.2f" x

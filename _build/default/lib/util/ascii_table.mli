@@ -1,0 +1,11 @@
+(** Plain-text table rendering for the benchmark harness output. *)
+
+val render : header:string list -> rows:string list list -> string
+(** Render an aligned ASCII table with a header row and a separator.
+    Columns are padded to the widest cell. *)
+
+val pct : float -> string
+(** Format a ratio as a percentage, e.g. [pct 0.382 = "38.2%"]. *)
+
+val f2 : float -> string
+(** Two-decimal fixed-point formatting. *)

@@ -1,0 +1,82 @@
+let factorial n =
+  let rec go acc i =
+    if i > n then acc
+    else if acc > max_int / i then max_int
+    else go (acc * i) (i + 1)
+  in
+  if n <= 1 then 1 else go 1 2
+
+let permutations ?limit xs =
+  let budget = ref (match limit with None -> max_int | Some l -> l) in
+  let result = ref [] in
+  (* Standard recursive enumeration: pick each element as head in turn. *)
+  let rec go prefix = function
+    | [] ->
+      if !budget > 0 then begin
+        decr budget;
+        result := List.rev prefix :: !result
+      end
+    | rest ->
+      let rec each before = function
+        | [] -> ()
+        | x :: after ->
+          if !budget > 0 then begin
+            go (x :: prefix) (List.rev_append before after);
+            each (x :: before) after
+          end
+      in
+      each [] rest
+  in
+  go [] xs;
+  List.rev !result
+
+let bell n =
+  (* Bell triangle. *)
+  if n = 0 then 1
+  else begin
+    let prev = ref [| 1 |] in
+    for _ = 2 to n do
+      let row = Array.make (Array.length !prev + 1) 0 in
+      row.(0) <- !prev.(Array.length !prev - 1);
+      for i = 1 to Array.length !prev do
+        row.(i) <- row.(i - 1) + !prev.(i - 1)
+      done;
+      prev := row
+    done;
+    !prev.(Array.length !prev - 1)
+  end
+
+let set_partitions ?limit xs =
+  let budget = ref (match limit with None -> max_int | Some l -> l) in
+  let result = ref [] in
+  (* Insert each element either into an existing block or as a new one.
+     Blocks and their members are accumulated in reverse and flipped at
+     emission so that output order follows first appearance. *)
+  let rec go blocks = function
+    | [] ->
+      if !budget > 0 then begin
+        decr budget;
+        result := List.rev_map List.rev blocks :: !result
+      end
+    | x :: rest ->
+      let rec each before = function
+        | [] -> if !budget > 0 then go ([ x ] :: blocks) rest
+        | block :: after ->
+          if !budget > 0 then begin
+            go (List.rev_append before ((x :: block) :: after)) rest;
+            each (block :: before) after
+          end
+      in
+      each [] blocks
+  in
+  go [] xs;
+  List.rev !result
+
+let choose_pairs_indices n =
+  let result = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto i + 1 do
+      result := (i, j) :: !result
+    done
+  done;
+  !result

@@ -1,0 +1,27 @@
+(** Combinatorial enumeration used by the exhaustive search strategies.
+
+    The exhaustive MergePair considers all [k!] column orders of a merged
+    index (Definition 1 of the paper); the exhaustive search strategy
+    considers all minimal merged configurations, i.e. all set partitions
+    of the initial indexes of a table. Both enumerations are capped by
+    the caller to keep experiments tractable, exactly as the paper keeps
+    [N = 5] for its exhaustive baselines. *)
+
+val permutations : ?limit:int -> 'a list -> 'a list list
+(** All permutations of the list, in lexicographic order of positions.
+    With [?limit], at most [limit] permutations are produced (the
+    enumeration is cut off, not sampled). *)
+
+val factorial : int -> int
+(** [factorial n] for small [n]; saturates at [max_int] past 20. *)
+
+val set_partitions : ?limit:int -> 'a list -> 'a list list list
+(** All partitions of the list into non-empty blocks. Block order and
+    in-block order follow first appearance. With [?limit], at most
+    [limit] partitions are produced. *)
+
+val bell : int -> int
+(** Bell number B(n): how many partitions [set_partitions] would yield. *)
+
+val choose_pairs_indices : int -> (int * int) list
+(** All index pairs [(i, j)] with [0 <= i < j < n]. *)

@@ -1,0 +1,50 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    All randomness in the reproduction flows through this module so that
+    every data set, workload and experiment is reproducible from a seed.
+    The generator is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014). *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator and advances [t].
+    Used to give each table / column / query its own stream so that
+    adding one consumer does not perturb the others. *)
+
+val copy : t -> t
+(** Snapshot of the current state. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. Raises [Invalid_argument] on
+    the empty list. *)
+
+val pick_array : t -> 'a array -> 'a
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher–Yates shuffle. *)
+
+val sample_without_replacement : t -> int -> 'a list -> 'a list
+(** [sample_without_replacement t k xs] returns [min k (length xs)]
+    distinct elements, in a random order. *)
+
+val letters : t -> int -> string
+(** [letters t n] is a string of [n] uniform lowercase letters. *)

@@ -1,0 +1,5 @@
+(** Wall-clock timing for the running-time comparison (Figure 6). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the
+    elapsed wall-clock seconds. *)

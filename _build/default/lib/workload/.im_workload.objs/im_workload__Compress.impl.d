@@ -1,0 +1,1 @@
+lib/workload/compress.ml: Float Im_sqlir List Set String Workload

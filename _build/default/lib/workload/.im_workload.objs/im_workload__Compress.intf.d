@@ -1,0 +1,1 @@
+lib/workload/compress.mli: Im_sqlir Workload

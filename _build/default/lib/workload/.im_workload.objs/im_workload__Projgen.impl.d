@@ -1,0 +1,1 @@
+lib/workload/projgen.ml: Array Im_catalog Im_sqlir Im_storage Im_util List Printf Workload

@@ -1,0 +1,1 @@
+lib/workload/projgen.mli: Im_catalog Im_util Workload

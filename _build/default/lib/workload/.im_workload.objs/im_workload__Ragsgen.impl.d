@@ -1,0 +1,1 @@
+lib/workload/ragsgen.ml: Array Float Im_catalog Im_sqlir Im_storage Im_util List Printf Workload

@@ -1,0 +1,1 @@
+lib/workload/ragsgen.mli: Im_catalog Im_util Workload

@@ -1,0 +1,1 @@
+lib/workload/synthetic.ml: Array Bytes Char Hashtbl Im_catalog Im_sqlir Im_stats Im_util List Printf

@@ -1,0 +1,1 @@
+lib/workload/synthetic.mli: Im_catalog Im_sqlir

@@ -1,0 +1,1 @@
+lib/workload/tpcd.ml: Array Im_catalog Im_sqlir Im_util List Printf

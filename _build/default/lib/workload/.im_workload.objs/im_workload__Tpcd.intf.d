@@ -1,0 +1,1 @@
+lib/workload/tpcd.mli: Im_catalog Im_sqlir

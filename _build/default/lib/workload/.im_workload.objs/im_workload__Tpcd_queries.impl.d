@@ -1,0 +1,1 @@
+lib/workload/tpcd_queries.ml: Im_catalog Im_sqlir Tpcd Workload

@@ -1,0 +1,1 @@
+lib/workload/tpcd_queries.mli: Im_catalog Im_sqlir Workload

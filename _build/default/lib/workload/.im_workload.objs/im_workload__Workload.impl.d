@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Float Im_sqlir Im_util List

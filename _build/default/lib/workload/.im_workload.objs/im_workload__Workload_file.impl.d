@@ -1,0 +1,1 @@
+lib/workload/workload_file.ml: Im_sqlir In_channel List Out_channel Printf Result String Workload

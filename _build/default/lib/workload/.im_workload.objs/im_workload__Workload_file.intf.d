@@ -1,0 +1,1 @@
+lib/workload/workload_file.mli: Im_sqlir Workload

@@ -1,0 +1,75 @@
+module Query = Im_sqlir.Query
+
+module Sset = Set.Make (String)
+
+type signature = {
+  sg_tables : Sset.t;
+  sg_referenced : Sset.t;  (* "table.column" *)
+  sg_sargable : Sset.t;
+  sg_order_group : Sset.t;
+}
+
+let qualified tbl cols =
+  List.map (fun c -> tbl ^ "." ^ c) cols
+
+let signature q =
+  let per_table f =
+    Sset.of_list
+      (List.concat_map (fun tbl -> qualified tbl (f q tbl)) q.Query.q_tables)
+  in
+  {
+    sg_tables = Sset.of_list q.Query.q_tables;
+    sg_referenced = per_table Query.referenced_columns;
+    sg_sargable = per_table Query.sargable_columns;
+    sg_order_group =
+      Sset.union
+        (per_table Query.order_by_columns)
+        (per_table Query.group_by_columns);
+  }
+
+let jaccard_distance a b =
+  if Sset.is_empty a && Sset.is_empty b then 0.
+  else begin
+    let inter = Sset.cardinal (Sset.inter a b) in
+    let union = Sset.cardinal (Sset.union a b) in
+    1. -. (float_of_int inter /. float_of_int union)
+  end
+
+let distance a b =
+  if Sset.is_empty (Sset.inter a.sg_tables b.sg_tables) then 1.0
+  else begin
+    (* Referenced columns dominate (they decide covering indexes);
+       sargable and order/group columns refine (they decide key
+       prefixes). *)
+    let d =
+      (0.2 *. jaccard_distance a.sg_tables b.sg_tables)
+      +. (0.4 *. jaccard_distance a.sg_referenced b.sg_referenced)
+      +. (0.25 *. jaccard_distance a.sg_sargable b.sg_sargable)
+      +. (0.15 *. jaccard_distance a.sg_order_group b.sg_order_group)
+    in
+    Float.min 1.0 d
+  end
+
+let compress ?(threshold = 0.0) (w : Workload.t) =
+  let leaders : (signature * Workload.entry ref) list ref = ref [] in
+  List.iter
+    (fun (e : Workload.entry) ->
+      let sg = signature e.Workload.query in
+      match
+        List.find_opt (fun (sg', _) -> distance sg sg' <= threshold) !leaders
+      with
+      | Some (_, leader) ->
+        leader := { !leader with Workload.freq = !leader.Workload.freq +. e.Workload.freq }
+      | None -> leaders := !leaders @ [ (sg, ref e) ])
+    w.Workload.entries;
+  {
+    w with
+    Workload.entries = List.map (fun (_, e) -> !e) !leaders;
+  }
+
+let compression_ratio ~original ~compressed =
+  if Workload.size original = 0 then 0.
+  else
+    1.
+    -. (float_of_int (Workload.size compressed)
+        /. float_of_int (Workload.size original))

@@ -1,0 +1,33 @@
+(** Distance-based workload compression.
+
+    The paper's §3.5.3 lists workload compression as the lever for
+    taming optimizer invocations and points beyond exact duplicate
+    removal (later developed as "Compressing SQL Workloads", Chaudhuri,
+    Gupta & Narasayya). This module implements the leader-clustering
+    variant: queries whose *physical-design signatures* — the sets of
+    tables, referenced columns, sargable columns and order/group columns
+    that drive index choices — are close enough get represented by one
+    of them, with frequencies summed.
+
+    Distance 0 means identical signatures (a superset of textual
+    equality: constants are ignored, since two point queries on the same
+    column want the same indexes). *)
+
+type signature
+
+val signature : Im_sqlir.Query.t -> signature
+
+val distance : signature -> signature -> float
+(** Weighted Jaccard distance in [\[0, 1\]] over the signature's
+    component sets; 1.0 when the queries touch disjoint tables. *)
+
+val compress :
+  ?threshold:float -> Workload.t -> Workload.t
+(** Leader clustering: entries are visited in order; an entry joins the
+    first existing leader within [threshold] (its frequency is added to
+    the leader's), otherwise it becomes a leader. [threshold] defaults
+    to 0.0 — pure signature-duplicate elimination, strictly stronger
+    than {!Workload.compress_identical}. The update profile is kept. *)
+
+val compression_ratio : original:Workload.t -> compressed:Workload.t -> float
+(** [1 - size compressed / size original]. *)

@@ -1,0 +1,58 @@
+module Database = Im_catalog.Database
+module Schema = Im_sqlir.Schema
+module Query = Im_sqlir.Query
+module Predicate = Im_sqlir.Predicate
+module Value = Im_sqlir.Value
+module Heap = Im_storage.Heap
+module Rng = Im_util.Rng
+
+(* A constant drawn from the column's actual data, so selectivities are
+   realistic. *)
+let sample_constant db rng tbl col =
+  let h = Database.heap db tbl in
+  let rows = Heap.row_count h in
+  if rows = 0 then Value.Int 0
+  else begin
+    let rid = Rng.int rng rows in
+    (Heap.project h rid [ col ]).(0)
+  end
+
+let range_predicate db rng tbl col =
+  let v = sample_constant db rng tbl col in
+  let cr = Predicate.colref tbl col in
+  match Rng.int rng 3 with
+  | 0 -> Predicate.Cmp (Predicate.Le, cr, v)
+  | 1 -> Predicate.Cmp (Predicate.Ge, cr, v)
+  | _ -> Predicate.Between (cr, v, Value.add_int v (1 + Rng.int rng 100))
+
+let generate db ~rng ~n =
+  let schema = Database.schema db in
+  let tables = List.map (fun t -> t.Schema.tbl_name) schema.Schema.tables in
+  (* Favor tables with enough columns to make projection interesting. *)
+  let wide_tables =
+    List.filter
+      (fun t -> List.length (Schema.table schema t).Schema.tbl_columns >= 4)
+      tables
+  in
+  let tables = if wide_tables = [] then tables else wide_tables in
+  let query i =
+    let tbl = Rng.pick rng tables in
+    let cols = Schema.column_names (Schema.table schema tbl) in
+    let k = Rng.int_in rng 1 (min 6 (List.length cols)) in
+    let chosen = Rng.sample_without_replacement rng k cols in
+    let select =
+      List.map (fun c -> Query.Sel_col (Predicate.colref tbl c)) chosen
+    in
+    let where =
+      if Rng.int rng 10 < 3 then [ range_predicate db rng tbl (Rng.pick rng chosen) ]
+      else []
+    in
+    let order_by =
+      if Rng.int rng 10 < 2 then
+        [ (Predicate.colref tbl (List.hd chosen), Query.Asc) ]
+      else []
+    in
+    Query.make ~id:(Printf.sprintf "P%d" (i + 1)) ~select ~where ~order_by
+      [ tbl ]
+  in
+  Workload.make ~name:"projection-only" (List.init n query)

@@ -1,0 +1,9 @@
+(** Projection-only workload generator (paper §4.2.2, first class):
+    randomly generated queries that mostly project a handful of columns
+    from one table, so that "indexes are predominantly used as covering
+    indexes". A minority of queries carry a mild range predicate or an
+    ORDER BY, giving the seek/order machinery something to bite on. *)
+
+val generate :
+  Im_catalog.Database.t -> rng:Im_util.Rng.t -> n:int -> Workload.t
+(** [n] queries with ids [P1 .. Pn]; deterministic in the rng state. *)

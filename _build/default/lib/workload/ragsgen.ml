@@ -1,0 +1,214 @@
+module Database = Im_catalog.Database
+module Schema = Im_sqlir.Schema
+module Datatype = Im_sqlir.Datatype
+module Query = Im_sqlir.Query
+module Predicate = Im_sqlir.Predicate
+module Value = Im_sqlir.Value
+module Heap = Im_storage.Heap
+module Rng = Im_util.Rng
+
+let int_columns schema tbl =
+  List.filter_map
+    (fun (c : Schema.column) ->
+      if Datatype.equal c.Schema.col_type Datatype.Int then
+        Some c.Schema.col_name
+      else None)
+    (Schema.table schema tbl).Schema.tbl_columns
+
+let numeric_columns schema tbl =
+  List.filter_map
+    (fun (c : Schema.column) ->
+      match c.Schema.col_type with
+      | Datatype.Int | Datatype.Float | Datatype.Date ->
+        Some c.Schema.col_name
+      | Datatype.Varchar _ -> None)
+    (Schema.table schema tbl).Schema.tbl_columns
+
+let sample_constant db rng tbl col =
+  let h = Database.heap db tbl in
+  let rows = Heap.row_count h in
+  if rows = 0 then Value.Int 0
+  else (Heap.project h (Rng.int rng rows) [ col ]).(0)
+
+let selection db rng tbl col =
+  let cr = Predicate.colref tbl col in
+  let v = sample_constant db rng tbl col in
+  match Rng.int rng 10 with
+  | 0 | 1 | 2 | 3 -> Predicate.Cmp (Predicate.Eq, cr, v)
+  | 4 | 5 ->
+    Predicate.Cmp
+      ((if Rng.bool rng then Predicate.Le else Predicate.Ge), cr, v)
+  | 6 | 7 ->
+    Predicate.Between (cr, v, Value.add_int v (1 + Rng.int rng 50))
+  | _ ->
+    let extras =
+      List.init (1 + Rng.int rng 3) (fun _ -> sample_constant db rng tbl col)
+    in
+    Predicate.In_list
+      (cr, Im_util.List_ext.dedup_keep_order Value.equal (v :: extras))
+
+(* Chain the chosen tables with equi-joins on integer columns; column 0
+   (the dense key) is preferred so joins actually match rows. *)
+let join_chain schema rng tables =
+  let pick_join_col tbl =
+    let ints = int_columns schema tbl in
+    match ints with
+    | [] -> None
+    | first :: _ ->
+      if Rng.int rng 10 < 7 then Some first else Some (Rng.pick rng ints)
+  in
+  let rec chain = function
+    | a :: (b :: _ as rest) ->
+      (match (pick_join_col a, pick_join_col b) with
+       | Some ca, Some cb ->
+         Predicate.Join (Predicate.colref a ca, Predicate.colref b cb)
+         :: chain rest
+       | _ -> chain rest)
+    | [ _ ] | [] -> []
+  in
+  chain tables
+
+let generate db ~rng ~n =
+  let schema = Database.schema db in
+  let all_tables =
+    List.map (fun t -> t.Schema.tbl_name) schema.Schema.tables
+  in
+  (* Only tables that can participate in joins. *)
+  let joinable = List.filter (fun t -> int_columns schema t <> []) all_tables in
+  (* Real workloads concentrate on a few hot tables (TPC-D queries hammer
+     lineitem and orders); without that concentration, per-query index
+     recommendations share no table and index merging has nothing to do.
+     Pick a hot subset, weighted towards large tables, that most queries
+     draw from. *)
+  let hot_tables =
+    let weighted =
+      List.map
+        (fun t ->
+          (t, sqrt (float_of_int (1 + Im_catalog.Database.row_count db t))))
+        all_tables
+      |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+    in
+    let k = max 2 ((List.length all_tables + 2) / 3) in
+    (* Keep the heaviest tables, plus one random extra for variety. *)
+    let heavy = Im_util.List_ext.take k (List.map fst weighted) in
+    let rest = List.filter (fun t -> not (List.mem t heavy)) all_tables in
+    if rest = [] then heavy else heavy @ [ Rng.pick rng rest ]
+  in
+  (* Column working set per table: queries mostly touch the same ~8
+     columns of a table, as application queries do; this is what makes
+     per-query covering indexes overlap. Column 0 stays in for joins. *)
+  let hot_cols =
+    List.map
+      (fun t ->
+        let cols = Schema.column_names (Schema.table schema t) in
+        let keep =
+          match cols with
+          | key :: rest ->
+            key :: Rng.sample_without_replacement rng 7 rest
+          | [] -> []
+        in
+        (t, keep))
+      all_tables
+  in
+  let pick_col tbl =
+    let all = Schema.column_names (Schema.table schema tbl) in
+    if Rng.int rng 10 < 9 then
+      match List.assoc_opt tbl hot_cols with
+      | Some (_ :: _ as hot) -> Rng.pick rng hot
+      | Some [] | None -> Rng.pick rng all
+    else Rng.pick rng all
+  in
+  let query i =
+    let n_tables =
+      match Rng.int rng 10 with 0 | 1 | 2 -> 1 | 3 | 4 | 5 | 6 -> 2 | _ -> 3
+    in
+    let pool = if n_tables > 1 && joinable <> [] then joinable else all_tables in
+    let pool =
+      if Rng.int rng 10 < 9 then
+        match List.filter (fun t -> List.mem t hot_tables) pool with
+        | [] -> pool
+        | hot -> hot
+      else pool
+    in
+    let tables =
+      Rng.sample_without_replacement rng (min n_tables (List.length pool)) pool
+    in
+    let joins = join_chain schema rng tables in
+    let selections =
+      List.concat
+        (List.init (Rng.int rng 4) (fun _ ->
+             let tbl = Rng.pick rng tables in
+             [ selection db rng tbl (pick_col tbl) ]))
+    in
+    let aggregated = Rng.int rng 10 < 5 in
+    let select, group_by =
+      if aggregated then begin
+        let group_by =
+          List.concat
+            (List.init (Rng.int rng 3) (fun _ ->
+                 let tbl = Rng.pick rng tables in
+                 [ Predicate.colref tbl (pick_col tbl) ]))
+          |> Im_util.List_ext.dedup_keep_order Predicate.equal_colref
+        in
+        let agg _ =
+          let tbl = Rng.pick rng tables in
+          match numeric_columns schema tbl with
+          | [] -> Query.Sel_agg (Query.Count_star, None)
+          | nums ->
+            let fn =
+              match Rng.int rng 4 with
+              | 0 -> Query.Sum
+              | 1 -> Query.Avg
+              | 2 -> Query.Min
+              | _ -> Query.Max
+            in
+            Query.Sel_agg (fn, Some (Predicate.colref tbl (Rng.pick rng nums)))
+        in
+        let aggs = List.init (1 + Rng.int rng 2) agg in
+        ( List.map (fun c -> Query.Sel_col c) group_by
+          @ aggs
+          @ [ Query.Sel_agg (Query.Count_star, None) ],
+          group_by )
+      end
+      else begin
+        let projections =
+          List.concat
+            (List.init
+               (1 + Rng.int rng 4)
+               (fun _ ->
+                 let tbl = Rng.pick rng tables in
+                 [ Predicate.colref tbl (pick_col tbl) ]))
+          |> Im_util.List_ext.dedup_keep_order Predicate.equal_colref
+        in
+        (List.map (fun c -> Query.Sel_col c) projections, [])
+      end
+    in
+    let order_candidates =
+      if aggregated then group_by
+      else
+        List.filter_map
+          (function Query.Sel_col c -> Some c | Query.Sel_agg _ -> None)
+          select
+    in
+    let order_by =
+      if Rng.int rng 10 < 3 && order_candidates <> [] then
+        [
+          ( Rng.pick rng order_candidates,
+            if Rng.bool rng then Query.Asc else Query.Desc );
+        ]
+      else []
+    in
+    Query.make
+      ~id:(Printf.sprintf "R%d" (i + 1))
+      ~select
+      ~where:(joins @ selections)
+      ~group_by ~order_by tables
+  in
+  let queries =
+    List.init n (fun i ->
+        let q = query i in
+        match Query.validate schema q with
+        | Ok () -> q
+        | Error msg -> invalid_arg ("Ragsgen.generate: " ^ msg))
+  in
+  Workload.make ~name:"complex" queries

@@ -1,0 +1,13 @@
+(** Rags-style complex query generator (paper §4.2.2, second class).
+
+    The paper uses Rags [S98], a massive stochastic SQL generator, for
+    its "complex queries (containing joins, aggregations etc.)". This
+    generator plays that role within our AST: seeded random queries over
+    1–3 tables with equi-joins on integer columns, selections whose
+    constants are sampled from the data, optional grouping/aggregation
+    and optional ordering. *)
+
+val generate :
+  Im_catalog.Database.t -> rng:Im_util.Rng.t -> n:int -> Workload.t
+(** [n] queries with ids [R1 .. Rn]; every query validates against the
+    database's schema. Deterministic in the rng state. *)

@@ -1,0 +1,112 @@
+module Schema = Im_sqlir.Schema
+module Datatype = Im_sqlir.Datatype
+module Value = Im_sqlir.Value
+module Rng = Im_util.Rng
+
+type spec = {
+  sp_name : string;
+  sp_tables : int;
+  sp_cols_lo : int;
+  sp_cols_hi : int;
+  sp_rows_lo : int;
+  sp_rows_hi : int;
+}
+
+let synthetic1 =
+  {
+    sp_name = "synthetic1";
+    sp_tables = 5;
+    sp_cols_lo = 5;
+    sp_cols_hi = 25;
+    sp_rows_lo = 3_000;
+    sp_rows_hi = 15_000;
+  }
+
+let synthetic2 =
+  {
+    sp_name = "synthetic2";
+    sp_tables = 10;
+    sp_cols_lo = 5;
+    sp_cols_hi = 45;
+    sp_rows_lo = 2_000;
+    sp_rows_hi = 20_000;
+  }
+
+let random_type rng =
+  match Rng.int rng 10 with
+  | 0 | 1 | 2 -> Datatype.Int
+  | 3 | 4 -> Datatype.Float
+  | 5 -> Datatype.Date
+  | _ ->
+    (* Widths between 4 and 128 bytes, as in the paper. *)
+    Datatype.Varchar (4 + Rng.int rng 125)
+
+(* The same seed always yields the same schema and the same data: the
+   schema pass and the data pass both derive their generators from
+   [seed] the same way. *)
+let table_specs seed spec =
+  let rng = Rng.create (seed * 31 + Hashtbl.hash spec.sp_name) in
+  List.init spec.sp_tables (fun i ->
+      let r = Rng.split rng in
+      let n_cols = Rng.int_in r spec.sp_cols_lo spec.sp_cols_hi in
+      let rows = Rng.int_in r spec.sp_rows_lo spec.sp_rows_hi in
+      let cols =
+        List.init n_cols (fun j ->
+            let name = Printf.sprintf "t%d_c%d" i j in
+            if j = 0 then (name, Datatype.Int) else (name, random_type r))
+      in
+      (Printf.sprintf "t%d" i, cols, rows, Rng.split r))
+
+let schema_of ?(seed = 7) spec =
+  Schema.make
+    (List.map
+       (fun (name, cols, _rows, _r) -> Schema.make_table name cols)
+       (table_specs seed spec))
+
+let generate_column rng ~rows ~dtype =
+  let n_distinct = max 1 (min rows (10 + Rng.int rng (max 1 rows))) in
+  let z = float_of_int (Rng.int rng 5) in
+  let zipf = Im_stats.Zipf.make ~n_distinct ~z in
+  let value_of_rank rank =
+    match dtype with
+    | Datatype.Int -> Value.Int rank
+    | Datatype.Float -> Value.Float (1.5 *. float_of_int rank)
+    | Datatype.Date -> Value.Date rank
+    | Datatype.Varchar w ->
+      (* Base-26 encoding fitted to the column width, so the value
+         always satisfies the schema; widths >= 4 keep 26^4 ranks
+         distinct, far above any n_distinct used here. *)
+      let len = max 1 (min w 8) in
+      let buf = Bytes.make len 'a' in
+      let r = ref rank in
+      let i = ref (len - 1) in
+      while !r > 0 && !i >= 0 do
+        Bytes.set buf !i (Char.chr (Char.code 'a' + (!r mod 26)));
+        r := !r / 26;
+        decr i
+      done;
+      Value.Str (Bytes.to_string buf)
+  in
+  Array.init rows (fun _ -> value_of_rank (Im_stats.Zipf.sample zipf rng))
+
+let database ?(seed = 7) spec =
+  let specs = table_specs seed spec in
+  let rows_by_table =
+    List.map
+      (fun (name, cols, rows, r) ->
+        let columns =
+          List.mapi
+            (fun j (_cname, dtype) ->
+              if j = 0 then Array.init rows (fun rid -> Value.Int rid)
+              else generate_column r ~rows ~dtype)
+            cols
+        in
+        let col_arr = Array.of_list columns in
+        let row_list =
+          List.init rows (fun rid ->
+              Array.init (Array.length col_arr) (fun j -> col_arr.(j).(rid)))
+        in
+        (name, row_list))
+      specs
+  in
+  Im_catalog.Database.create ~seed (schema_of ~seed spec) rows_by_table

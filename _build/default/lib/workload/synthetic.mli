@@ -1,0 +1,27 @@
+(** Synthetic databases (paper §4.2.1).
+
+    Synthetic1: 5 tables of 5–25 columns; Synthetic2: 10 tables of 5–45
+    columns. Column widths vary between 4 and 128 bytes; each column's
+    values follow a Zipfian distribution with z drawn from {0,1,2,3,4}.
+    Row counts are scaled (like TPC-D) to keep experiments in memory;
+    all reported quantities are ratios. *)
+
+type spec = {
+  sp_name : string;
+  sp_tables : int;
+  sp_cols_lo : int;
+  sp_cols_hi : int;
+  sp_rows_lo : int;
+  sp_rows_hi : int;
+}
+
+val synthetic1 : spec
+val synthetic2 : spec
+
+val schema_of : ?seed:int -> spec -> Im_sqlir.Schema.t
+(** Schema only (deterministic in seed). Table [i] is named ["t<i>"];
+    column [j] of table [i] is ["t<i>_c<j>"]. Column 0 is always a
+    dense integer key so that equi-joins across tables are meaningful. *)
+
+val database : ?seed:int -> spec -> Im_catalog.Database.t
+(** Populated database; deterministic in [seed]. *)

@@ -1,0 +1,264 @@
+module Schema = Im_sqlir.Schema
+module Datatype = Im_sqlir.Datatype
+module Value = Im_sqlir.Value
+module Rng = Im_util.Rng
+
+let schema =
+  Schema.make
+    [
+      Schema.make_table "region"
+        [
+          ("r_regionkey", Datatype.Int);
+          ("r_name", Datatype.Varchar 25);
+          ("r_comment", Datatype.Varchar 152);
+        ];
+      Schema.make_table "nation"
+        [
+          ("n_nationkey", Datatype.Int);
+          ("n_name", Datatype.Varchar 25);
+          ("n_regionkey", Datatype.Int);
+          ("n_comment", Datatype.Varchar 152);
+        ];
+      Schema.make_table "supplier"
+        [
+          ("s_suppkey", Datatype.Int);
+          ("s_name", Datatype.Varchar 25);
+          ("s_address", Datatype.Varchar 40);
+          ("s_nationkey", Datatype.Int);
+          ("s_phone", Datatype.Varchar 15);
+          ("s_acctbal", Datatype.Float);
+          ("s_comment", Datatype.Varchar 101);
+        ];
+      Schema.make_table "customer"
+        [
+          ("c_custkey", Datatype.Int);
+          ("c_name", Datatype.Varchar 25);
+          ("c_address", Datatype.Varchar 40);
+          ("c_nationkey", Datatype.Int);
+          ("c_phone", Datatype.Varchar 15);
+          ("c_acctbal", Datatype.Float);
+          ("c_mktsegment", Datatype.Varchar 10);
+          ("c_comment", Datatype.Varchar 117);
+        ];
+      Schema.make_table "part"
+        [
+          ("p_partkey", Datatype.Int);
+          ("p_name", Datatype.Varchar 55);
+          ("p_mfgr", Datatype.Varchar 25);
+          ("p_brand", Datatype.Varchar 10);
+          ("p_type", Datatype.Varchar 25);
+          ("p_size", Datatype.Int);
+          ("p_container", Datatype.Varchar 10);
+          ("p_retailprice", Datatype.Float);
+          ("p_comment", Datatype.Varchar 23);
+        ];
+      Schema.make_table "partsupp"
+        [
+          ("ps_partkey", Datatype.Int);
+          ("ps_suppkey", Datatype.Int);
+          ("ps_availqty", Datatype.Int);
+          ("ps_supplycost", Datatype.Float);
+          ("ps_comment", Datatype.Varchar 199);
+        ];
+      Schema.make_table "orders"
+        [
+          ("o_orderkey", Datatype.Int);
+          ("o_custkey", Datatype.Int);
+          ("o_orderstatus", Datatype.Varchar 1);
+          ("o_totalprice", Datatype.Float);
+          ("o_orderdate", Datatype.Date);
+          ("o_orderpriority", Datatype.Varchar 15);
+          ("o_clerk", Datatype.Varchar 15);
+          ("o_shippriority", Datatype.Int);
+          ("o_comment", Datatype.Varchar 79);
+        ];
+      Schema.make_table "lineitem"
+        [
+          ("l_orderkey", Datatype.Int);
+          ("l_partkey", Datatype.Int);
+          ("l_suppkey", Datatype.Int);
+          ("l_linenumber", Datatype.Int);
+          ("l_quantity", Datatype.Float);
+          ("l_extendedprice", Datatype.Float);
+          ("l_discount", Datatype.Float);
+          ("l_tax", Datatype.Float);
+          ("l_returnflag", Datatype.Varchar 1);
+          ("l_linestatus", Datatype.Varchar 1);
+          ("l_shipdate", Datatype.Date);
+          ("l_commitdate", Datatype.Date);
+          ("l_receiptdate", Datatype.Date);
+          ("l_shipinstruct", Datatype.Varchar 25);
+          ("l_shipmode", Datatype.Varchar 10);
+          ("l_comment", Datatype.Varchar 44);
+        ];
+    ]
+
+(* 1992-01-01 is day 0; TPC-D spans 7 years. *)
+let date y m d = Value.Date (((y - 1992) * 365) + int_of_float (30.4 *. float_of_int (m - 1)) + d)
+
+let last_ship_day = 7 * 365
+
+let scale_rows sf =
+  let s n = max 5 (int_of_float (float_of_int n *. sf)) in
+  [
+    ("region", 5);
+    ("nation", 25);
+    ("supplier", s 10_000);
+    ("customer", s 150_000);
+    ("part", s 200_000);
+    ("partsupp", s 800_000);
+    ("orders", s 1_500_000);
+    ("lineitem", s 6_000_000);
+  ]
+
+let largest_tables n =
+  let sorted =
+    List.sort (fun (_, a) (_, b) -> compare b a) (scale_rows 1.0)
+  in
+  Im_util.List_ext.take n (List.map fst sorted)
+
+let segments = [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" |]
+let priorities = [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECI"; "5-LOW" |]
+let ship_modes = [| "REG AIR"; "AIR"; "RAIL"; "SHIP"; "TRUCK"; "MAIL"; "FOB" |]
+let ship_instructs = [| "DELIVER IN PERSON"; "COLLECT COD"; "NONE"; "TAKE BACK RETURN" |]
+let containers = [| "SM CASE"; "SM BOX"; "MED BAG"; "MED BOX"; "LG CASE"; "LG BOX"; "JUMBO PKG"; "WRAP JAR" |]
+let brands = [| "Brand#11"; "Brand#12"; "Brand#22"; "Brand#23"; "Brand#31"; "Brand#34"; "Brand#43"; "Brand#55" |]
+let types = [| "STANDARD TIN"; "SMALL PLATED"; "MEDIUM BRUSHED"; "LARGE BURNISHED"; "ECONOMY ANODIZED"; "PROMO POLISHED" |]
+let mfgrs = [| "Manufacturer#1"; "Manufacturer#2"; "Manufacturer#3"; "Manufacturer#4"; "Manufacturer#5" |]
+
+let database ?(sf = 0.01) ?(seed = 1999) () =
+  let rng = Rng.create seed in
+  let rows = scale_rows sf in
+  let n tbl = List.assoc tbl rows in
+  let str s = Value.Str s in
+  let comment r len = str (Rng.letters r (min len (8 + Rng.int r 8))) in
+  let region_rows =
+    let names = [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |] in
+    List.init 5 (fun i ->
+        [| Value.Int i; str names.(i); comment rng 152 |])
+  in
+  let nation_rows =
+    List.init 25 (fun i ->
+        [|
+          Value.Int i;
+          str (Printf.sprintf "NATION_%02d" i);
+          Value.Int (i mod 5);
+          comment rng 152;
+        |])
+  in
+  let r_sup = Rng.split rng in
+  let supplier_rows =
+    List.init (n "supplier") (fun i ->
+        [|
+          Value.Int i;
+          str (Printf.sprintf "Supplier#%06d" i);
+          str (Rng.letters r_sup 12);
+          Value.Int (Rng.int r_sup 25);
+          str (Printf.sprintf "%015d" (Rng.int r_sup 1_000_000));
+          Value.Float (Rng.float r_sup 10_000. -. 1_000.);
+          comment r_sup 101;
+        |])
+  in
+  let r_cust = Rng.split rng in
+  let customer_rows =
+    List.init (n "customer") (fun i ->
+        [|
+          Value.Int i;
+          str (Printf.sprintf "Customer#%06d" i);
+          str (Rng.letters r_cust 12);
+          Value.Int (Rng.int r_cust 25);
+          str (Printf.sprintf "%015d" (Rng.int r_cust 1_000_000));
+          Value.Float (Rng.float r_cust 10_000. -. 1_000.);
+          str (Rng.pick_array r_cust segments);
+          comment r_cust 117;
+        |])
+  in
+  let r_part = Rng.split rng in
+  let part_rows =
+    List.init (n "part") (fun i ->
+        [|
+          Value.Int i;
+          str (Printf.sprintf "part name %06d" i);
+          str (Rng.pick_array r_part mfgrs);
+          str (Rng.pick_array r_part brands);
+          str (Rng.pick_array r_part types);
+          Value.Int (1 + Rng.int r_part 50);
+          str (Rng.pick_array r_part containers);
+          Value.Float (900. +. Rng.float r_part 1_200.);
+          comment r_part 23;
+        |])
+  in
+  let r_ps = Rng.split rng in
+  let partsupp_rows =
+    List.init (n "partsupp") (fun i ->
+        [|
+          Value.Int (i mod n "part");
+          Value.Int (Rng.int r_ps (n "supplier"));
+          Value.Int (1 + Rng.int r_ps 9_999);
+          Value.Float (Rng.float r_ps 1_000.);
+          comment r_ps 199;
+        |])
+  in
+  let r_ord = Rng.split rng in
+  let order_dates = Array.init (n "orders") (fun _ -> Rng.int r_ord (last_ship_day - 150)) in
+  let orders_rows =
+    List.init (n "orders") (fun i ->
+        let status = [| "F"; "O"; "P" |] in
+        [|
+          Value.Int i;
+          Value.Int (Rng.int r_ord (n "customer"));
+          str (Rng.pick_array r_ord status);
+          Value.Float (1_000. +. Rng.float r_ord 450_000.);
+          Value.Date order_dates.(i);
+          str (Rng.pick_array r_ord priorities);
+          str (Printf.sprintf "Clerk#%08d" (Rng.int r_ord 1_000));
+          Value.Int 0;
+          comment r_ord 79;
+        |])
+  in
+  let r_li = Rng.split rng in
+  let lineitem_rows =
+    let per_order = max 1 (n "lineitem" / n "orders") in
+    List.concat
+      (List.init (n "orders") (fun o ->
+           let k = 1 + Rng.int r_li (2 * per_order) in
+           List.init k (fun line ->
+               let odate = order_dates.(o) in
+               let shipdate = odate + 1 + Rng.int r_li 121 in
+               let qty = float_of_int (1 + Rng.int r_li 50) in
+               let price = qty *. (900. +. Rng.float r_li 1_200.) in
+               let flag =
+                 if shipdate < last_ship_day / 2 then
+                   if Rng.bool r_li then "R" else "A"
+                 else "N"
+               in
+               [|
+                 Value.Int o;
+                 Value.Int (Rng.int r_li (n "part"));
+                 Value.Int (Rng.int r_li (n "supplier"));
+                 Value.Int (line + 1);
+                 Value.Float qty;
+                 Value.Float price;
+                 Value.Float (float_of_int (Rng.int r_li 11) /. 100.);
+                 Value.Float (float_of_int (Rng.int r_li 9) /. 100.);
+                 str flag;
+                 str (if flag = "N" then "O" else "F");
+                 Value.Date shipdate;
+                 Value.Date (shipdate + Rng.int r_li 30);
+                 Value.Date (shipdate + 1 + Rng.int r_li 30);
+                 str (Rng.pick_array r_li ship_instructs);
+                 str (Rng.pick_array r_li ship_modes);
+                 comment r_li 44;
+               |])))
+  in
+  Im_catalog.Database.create ~seed schema
+    [
+      ("region", region_rows);
+      ("nation", nation_rows);
+      ("supplier", supplier_rows);
+      ("customer", customer_rows);
+      ("part", part_rows);
+      ("partsupp", partsupp_rows);
+      ("orders", orders_rows);
+      ("lineitem", lineitem_rows);
+    ]

@@ -1,0 +1,25 @@
+(** TPC-D benchmark database (scaled down).
+
+    The paper's experiments use TPC-D at 1 GB; all of its reported
+    metrics are ratios, so this generator reproduces the 8-table schema,
+    column widths and value distributions at a configurable scale factor
+    (default 0.01 ≈ 10 MB — large enough for multi-level B+-trees and
+    meaningful histograms, small enough for in-memory experiments).
+
+    Dates are day numbers with 0 = 1992-01-01; the classic TPC-D date
+    constants (e.g. 1994-01-01 for Q6) are exposed as helpers. *)
+
+val schema : Im_sqlir.Schema.t
+
+val database : ?sf:float -> ?seed:int -> unit -> Im_catalog.Database.t
+(** Generate the populated database. Deterministic in [seed]. *)
+
+val date : int -> int -> int -> Im_sqlir.Value.t
+(** [date y m d] for 1992 <= y <= 1998, as a [Value.Date]. Month lengths
+    are approximated at 30.4 days — ample for selectivity purposes. *)
+
+val scale_rows : float -> (string * int) list
+(** Row counts per table at the given scale factor. *)
+
+val largest_tables : int -> string list
+(** The [n] largest tables by row count (lineitem, orders, ...). *)

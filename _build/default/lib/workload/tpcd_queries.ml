@@ -1,0 +1,361 @@
+module Query = Im_sqlir.Query
+module Predicate = Im_sqlir.Predicate
+module Value = Im_sqlir.Value
+
+let c = Predicate.colref
+let str s = Value.Str s
+let eq col v = Predicate.Cmp (Predicate.Eq, col, v)
+let lt col v = Predicate.Cmp (Predicate.Lt, col, v)
+let le col v = Predicate.Cmp (Predicate.Le, col, v)
+let gt col v = Predicate.Cmp (Predicate.Gt, col, v)
+let ge col v = Predicate.Cmp (Predicate.Ge, col, v)
+let ne col v = Predicate.Cmp (Predicate.Ne, col, v)
+let between col lo hi = Predicate.Between (col, lo, hi)
+let join a b = Predicate.Join (a, b)
+let sum col = Query.Sel_agg (Query.Sum, Some col)
+let avg col = Query.Sel_agg (Query.Avg, Some col)
+let count = Query.Sel_agg (Query.Count_star, None)
+let col x = Query.Sel_col x
+let date = Tpcd.date
+
+(* Q1 — pricing summary report. Faithful up to arithmetic in the
+   aggregate expressions (SUM(extprice * (1-discount)) becomes plain
+   SUMs of the referenced columns: same columns, same indexes). *)
+let q1 =
+  Query.make ~id:"Q1" [ "lineitem" ]
+    ~select:
+      [
+        col (c "lineitem" "l_returnflag");
+        col (c "lineitem" "l_linestatus");
+        sum (c "lineitem" "l_quantity");
+        sum (c "lineitem" "l_extendedprice");
+        avg (c "lineitem" "l_discount");
+        sum (c "lineitem" "l_tax");
+        count;
+      ]
+    ~where:[ le (c "lineitem" "l_shipdate") (date 1998 9 2) ]
+    ~group_by:[ c "lineitem" "l_returnflag"; c "lineitem" "l_linestatus" ]
+    ~order_by:
+      [
+        (c "lineitem" "l_returnflag", Query.Asc);
+        (c "lineitem" "l_linestatus", Query.Asc);
+      ]
+
+(* Q2 — minimum-cost supplier. The correlated MIN subquery is dropped;
+   the outer join/selection structure is kept. *)
+let q2 =
+  Query.make ~id:"Q2" [ "part"; "supplier"; "partsupp"; "nation"; "region" ]
+    ~select:
+      [
+        col (c "supplier" "s_acctbal");
+        col (c "supplier" "s_name");
+        col (c "nation" "n_name");
+        col (c "part" "p_partkey");
+        col (c "partsupp" "ps_supplycost");
+      ]
+    ~where:
+      [
+        join (c "part" "p_partkey") (c "partsupp" "ps_partkey");
+        join (c "supplier" "s_suppkey") (c "partsupp" "ps_suppkey");
+        join (c "supplier" "s_nationkey") (c "nation" "n_nationkey");
+        join (c "nation" "n_regionkey") (c "region" "r_regionkey");
+        eq (c "part" "p_size") (Value.Int 15);
+        eq (c "region" "r_name") (str "EUROPE");
+      ]
+    ~order_by:[ (c "supplier" "s_acctbal", Query.Desc) ]
+
+(* Q3 — shipping priority. Faithful modulo revenue arithmetic. *)
+let q3 =
+  Query.make ~id:"Q3" [ "customer"; "orders"; "lineitem" ]
+    ~select:
+      [
+        col (c "lineitem" "l_orderkey");
+        sum (c "lineitem" "l_extendedprice");
+        col (c "orders" "o_orderdate");
+        col (c "orders" "o_shippriority");
+      ]
+    ~where:
+      [
+        eq (c "customer" "c_mktsegment") (str "BUILDING");
+        join (c "customer" "c_custkey") (c "orders" "o_custkey");
+        join (c "lineitem" "l_orderkey") (c "orders" "o_orderkey");
+        lt (c "orders" "o_orderdate") (date 1995 3 15);
+        gt (c "lineitem" "l_shipdate") (date 1995 3 15);
+      ]
+    ~group_by:
+      [
+        c "lineitem" "l_orderkey";
+        c "orders" "o_orderdate";
+        c "orders" "o_shippriority";
+      ]
+    ~order_by:[ (c "orders" "o_orderdate", Query.Asc) ]
+
+(* Q4 — order priority checking. The EXISTS subquery becomes a join;
+   the l_commitdate < l_receiptdate column comparison becomes a
+   constant range on l_receiptdate (same sargable column). *)
+let q4 =
+  Query.make ~id:"Q4" [ "orders"; "lineitem" ]
+    ~select:[ col (c "orders" "o_orderpriority"); count ]
+    ~where:
+      [
+        ge (c "orders" "o_orderdate") (date 1993 7 1);
+        lt (c "orders" "o_orderdate") (date 1993 10 1);
+        join (c "lineitem" "l_orderkey") (c "orders" "o_orderkey");
+        gt (c "lineitem" "l_receiptdate") (date 1993 8 1);
+      ]
+    ~group_by:[ c "orders" "o_orderpriority" ]
+    ~order_by:[ (c "orders" "o_orderpriority", Query.Asc) ]
+
+(* Q5 — local supplier volume. region is folded into a constant
+   predicate on n_regionkey (ASIA = region 2); the c_nationkey =
+   s_nationkey conjunct is kept as a second join predicate. *)
+let q5 =
+  Query.make ~id:"Q5" [ "customer"; "orders"; "lineitem"; "supplier"; "nation" ]
+    ~select:[ col (c "nation" "n_name"); sum (c "lineitem" "l_extendedprice") ]
+    ~where:
+      [
+        join (c "customer" "c_custkey") (c "orders" "o_custkey");
+        join (c "lineitem" "l_orderkey") (c "orders" "o_orderkey");
+        join (c "lineitem" "l_suppkey") (c "supplier" "s_suppkey");
+        join (c "customer" "c_nationkey") (c "supplier" "s_nationkey");
+        join (c "supplier" "s_nationkey") (c "nation" "n_nationkey");
+        eq (c "nation" "n_regionkey") (Value.Int 2);
+        ge (c "orders" "o_orderdate") (date 1994 1 1);
+        lt (c "orders" "o_orderdate") (date 1995 1 1);
+      ]
+    ~group_by:[ c "nation" "n_name" ]
+    ~order_by:[ (c "nation" "n_name", Query.Asc) ]
+
+(* Q6 — forecasting revenue change. Faithful modulo the revenue
+   product. *)
+let q6 =
+  Query.make ~id:"Q6" [ "lineitem" ]
+    ~select:[ sum (c "lineitem" "l_extendedprice") ]
+    ~where:
+      [
+        ge (c "lineitem" "l_shipdate") (date 1994 1 1);
+        lt (c "lineitem" "l_shipdate") (date 1995 1 1);
+        between
+          (c "lineitem" "l_discount")
+          (Value.Float 0.05) (Value.Float 0.07);
+        lt (c "lineitem" "l_quantity") (Value.Float 24.);
+      ]
+
+(* Q7 — volume shipping. The self-join of nation (supplier nation vs
+   customer nation) cannot be expressed without aliases; a single
+   nation restricted by name keeps the join paths. *)
+let q7 =
+  Query.make ~id:"Q7" [ "supplier"; "lineitem"; "orders"; "customer"; "nation" ]
+    ~select:[ col (c "nation" "n_name"); sum (c "lineitem" "l_extendedprice") ]
+    ~where:
+      [
+        join (c "supplier" "s_suppkey") (c "lineitem" "l_suppkey");
+        join (c "orders" "o_orderkey") (c "lineitem" "l_orderkey");
+        join (c "customer" "c_custkey") (c "orders" "o_custkey");
+        join (c "supplier" "s_nationkey") (c "nation" "n_nationkey");
+        eq (c "nation" "n_name") (str "NATION_07");
+        between
+          (c "lineitem" "l_shipdate")
+          (date 1995 1 1) (date 1996 12 31);
+      ]
+    ~group_by:[ c "nation" "n_name" ]
+
+(* Q8 — national market share, reduced to its core join pipeline. *)
+let q8 =
+  Query.make ~id:"Q8" [ "part"; "lineitem"; "orders"; "customer" ]
+    ~select:
+      [ col (c "orders" "o_orderdate"); sum (c "lineitem" "l_extendedprice") ]
+    ~where:
+      [
+        join (c "part" "p_partkey") (c "lineitem" "l_partkey");
+        join (c "lineitem" "l_orderkey") (c "orders" "o_orderkey");
+        join (c "orders" "o_custkey") (c "customer" "c_custkey");
+        eq (c "part" "p_type") (str "ECONOMY ANODIZED");
+        between (c "orders" "o_orderdate") (date 1995 1 1) (date 1996 12 31);
+      ]
+    ~group_by:[ c "orders" "o_orderdate" ]
+    ~order_by:[ (c "orders" "o_orderdate", Query.Asc) ]
+
+(* Q9 — product-type profit. The LIKE on p_name becomes an equality on
+   p_mfgr; grouping by nation/year becomes grouping by manufacturer. *)
+let q9 =
+  Query.make ~id:"Q9"
+    [ "part"; "supplier"; "lineitem"; "partsupp"; "orders" ]
+    ~select:
+      [
+        col (c "part" "p_mfgr");
+        sum (c "lineitem" "l_extendedprice");
+        sum (c "partsupp" "ps_supplycost");
+      ]
+    ~where:
+      [
+        join (c "supplier" "s_suppkey") (c "lineitem" "l_suppkey");
+        join (c "partsupp" "ps_suppkey") (c "lineitem" "l_suppkey");
+        join (c "partsupp" "ps_partkey") (c "lineitem" "l_partkey");
+        join (c "part" "p_partkey") (c "lineitem" "l_partkey");
+        join (c "orders" "o_orderkey") (c "lineitem" "l_orderkey");
+        eq (c "part" "p_mfgr") (str "Manufacturer#1");
+      ]
+    ~group_by:[ c "part" "p_mfgr" ]
+
+(* Q10 — returned item reporting (nation join dropped; ordering by the
+   aggregate is not expressible, so order by customer key). *)
+let q10 =
+  Query.make ~id:"Q10" [ "customer"; "orders"; "lineitem" ]
+    ~select:
+      [
+        col (c "customer" "c_custkey");
+        col (c "customer" "c_name");
+        sum (c "lineitem" "l_extendedprice");
+        col (c "customer" "c_acctbal");
+      ]
+    ~where:
+      [
+        join (c "customer" "c_custkey") (c "orders" "o_custkey");
+        join (c "lineitem" "l_orderkey") (c "orders" "o_orderkey");
+        ge (c "orders" "o_orderdate") (date 1993 10 1);
+        lt (c "orders" "o_orderdate") (date 1994 1 1);
+        eq (c "lineitem" "l_returnflag") (str "R");
+      ]
+    ~group_by:
+      [
+        c "customer" "c_custkey";
+        c "customer" "c_name";
+        c "customer" "c_acctbal";
+      ]
+    ~order_by:[ (c "customer" "c_custkey", Query.Asc) ]
+
+(* Q11 — important stock identification (HAVING threshold dropped). *)
+let q11 =
+  Query.make ~id:"Q11" [ "partsupp"; "supplier"; "nation" ]
+    ~select:
+      [ col (c "partsupp" "ps_partkey"); sum (c "partsupp" "ps_supplycost") ]
+    ~where:
+      [
+        join (c "partsupp" "ps_suppkey") (c "supplier" "s_suppkey");
+        join (c "supplier" "s_nationkey") (c "nation" "n_nationkey");
+        eq (c "nation" "n_name") (str "NATION_07");
+      ]
+    ~group_by:[ c "partsupp" "ps_partkey" ]
+
+(* Q12 — shipping modes and order priority. The commitdate/receiptdate
+   column comparisons become a constant range (same sargable column). *)
+let q12 =
+  Query.make ~id:"Q12" [ "orders"; "lineitem" ]
+    ~select:[ col (c "lineitem" "l_shipmode"); count ]
+    ~where:
+      [
+        join (c "orders" "o_orderkey") (c "lineitem" "l_orderkey");
+        Predicate.In_list
+          (c "lineitem" "l_shipmode", [ str "MAIL"; str "SHIP" ]);
+        ge (c "lineitem" "l_receiptdate") (date 1994 1 1);
+        lt (c "lineitem" "l_receiptdate") (date 1995 1 1);
+      ]
+    ~group_by:[ c "lineitem" "l_shipmode" ]
+    ~order_by:[ (c "lineitem" "l_shipmode", Query.Asc) ]
+
+(* Q13 — customer distribution. The NOT-EXISTS anti-join becomes a
+   plain join with per-customer order counts. *)
+let q13 =
+  Query.make ~id:"Q13" [ "customer"; "orders" ]
+    ~select:[ col (c "customer" "c_custkey"); count ]
+    ~where:[ join (c "customer" "c_custkey") (c "orders" "o_custkey") ]
+    ~group_by:[ c "customer" "c_custkey" ]
+
+(* Q14 — promotion effect (CASE arithmetic dropped). *)
+let q14 =
+  Query.make ~id:"Q14" [ "lineitem"; "part" ]
+    ~select:[ sum (c "lineitem" "l_extendedprice"); count ]
+    ~where:
+      [
+        join (c "lineitem" "l_partkey") (c "part" "p_partkey");
+        ge (c "lineitem" "l_shipdate") (date 1995 9 1);
+        lt (c "lineitem" "l_shipdate") (date 1995 10 1);
+      ]
+
+(* Q15 — top supplier (the revenue view is inlined; HAVING dropped). *)
+let q15 =
+  Query.make ~id:"Q15" [ "lineitem"; "supplier" ]
+    ~select:
+      [
+        col (c "supplier" "s_suppkey");
+        col (c "supplier" "s_name");
+        sum (c "lineitem" "l_extendedprice");
+      ]
+    ~where:
+      [
+        join (c "lineitem" "l_suppkey") (c "supplier" "s_suppkey");
+        ge (c "lineitem" "l_shipdate") (date 1996 1 1);
+        lt (c "lineitem" "l_shipdate") (date 1996 4 1);
+      ]
+    ~group_by:[ c "supplier" "s_suppkey"; c "supplier" "s_name" ]
+    ~order_by:[ (c "supplier" "s_suppkey", Query.Asc) ]
+
+(* Q16 — parts/supplier relationship (supplier-complaint anti-join
+   dropped; COUNT(DISTINCT) is a plain COUNT). *)
+let q16 =
+  Query.make ~id:"Q16" [ "partsupp"; "part" ]
+    ~select:
+      [
+        col (c "part" "p_brand");
+        col (c "part" "p_type");
+        col (c "part" "p_size");
+        count;
+      ]
+    ~where:
+      [
+        join (c "partsupp" "ps_partkey") (c "part" "p_partkey");
+        ne (c "part" "p_brand") (str "Brand#45");
+        Predicate.In_list
+          ( c "part" "p_size",
+            [ Value.Int 9; Value.Int 14; Value.Int 19; Value.Int 23 ] );
+      ]
+    ~group_by:[ c "part" "p_brand"; c "part" "p_type"; c "part" "p_size" ]
+    ~order_by:[ (c "part" "p_brand", Query.Asc) ]
+
+(* Q17 — small-quantity-order revenue. The correlated AVG subquery
+   becomes a constant threshold on l_quantity. *)
+let q17 =
+  Query.make ~id:"Q17" [ "lineitem"; "part" ]
+    ~select:[ sum (c "lineitem" "l_extendedprice") ]
+    ~where:
+      [
+        join (c "lineitem" "l_partkey") (c "part" "p_partkey");
+        eq (c "part" "p_brand") (str "Brand#23");
+        eq (c "part" "p_container") (str "MED BOX");
+        lt (c "lineitem" "l_quantity") (Value.Float 10.);
+      ]
+
+let all =
+  [ q1; q2; q3; q4; q5; q6; q7; q8; q9; q10; q11; q12; q13; q14; q15; q16; q17 ]
+
+let workload () = Workload.make ~name:"tpcd-17" all
+
+let i1 =
+  Im_catalog.Index.make ~table:"lineitem"
+    [
+      "l_shipdate";
+      "l_returnflag";
+      "l_linestatus";
+      "l_quantity";
+      "l_extendedprice";
+      "l_discount";
+      "l_tax";
+    ]
+
+let i2 =
+  Im_catalog.Index.make ~table:"lineitem"
+    [ "l_shipdate"; "l_orderkey"; "l_extendedprice"; "l_discount" ]
+
+let i_merged =
+  Im_catalog.Index.make ~table:"lineitem"
+    [
+      "l_shipdate";
+      "l_returnflag";
+      "l_linestatus";
+      "l_quantity";
+      "l_extendedprice";
+      "l_discount";
+      "l_tax";
+      "l_orderkey";
+    ]

@@ -1,0 +1,50 @@
+(** The 17 TPC-D benchmark queries, expressed in the reproduction's
+    query AST.
+
+    The AST supports conjunctive select-project-join-aggregate-order-by
+    blocks, so queries with subqueries, aliases or arithmetic are
+    *flattened approximations* that preserve the physical-design
+    signals the paper's experiments depend on — which tables are
+    touched, which columns are selected (covering-index candidates),
+    which columns carry sargable predicates (seek candidates), and the
+    join columns. Each query's implementation documents its deviation
+    from the official SQL. *)
+
+val q1 : Im_sqlir.Query.t
+val q2 : Im_sqlir.Query.t
+val q3 : Im_sqlir.Query.t
+val q4 : Im_sqlir.Query.t
+val q5 : Im_sqlir.Query.t
+val q6 : Im_sqlir.Query.t
+val q7 : Im_sqlir.Query.t
+val q8 : Im_sqlir.Query.t
+val q9 : Im_sqlir.Query.t
+val q10 : Im_sqlir.Query.t
+val q11 : Im_sqlir.Query.t
+val q12 : Im_sqlir.Query.t
+val q13 : Im_sqlir.Query.t
+val q14 : Im_sqlir.Query.t
+val q15 : Im_sqlir.Query.t
+val q16 : Im_sqlir.Query.t
+val q17 : Im_sqlir.Query.t
+
+val all : Im_sqlir.Query.t list
+(** Q1 .. Q17 in order. *)
+
+val workload : unit -> Workload.t
+(** The 17 queries at unit frequency (paper §1: "the 17 queries defined
+    in the benchmark"). *)
+
+val i1 : Im_catalog.Index.t
+(** The paper's introduction example: covering index for Q1 on lineitem
+    (l_shipdate, l_returnflag, l_linestatus, l_quantity,
+    l_extendedprice, l_discount, l_tax). *)
+
+val i2 : Im_catalog.Index.t
+(** Covering index for Q3's lineitem portion
+    (l_shipdate, l_orderkey, l_extendedprice, l_discount). *)
+
+val i_merged : Im_catalog.Index.t
+(** Their index-preserving merge
+    (l_shipdate, l_returnflag, l_linestatus, l_quantity,
+    l_extendedprice, l_discount, l_tax, l_orderkey). *)

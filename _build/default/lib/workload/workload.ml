@@ -1,0 +1,66 @@
+module Query = Im_sqlir.Query
+
+type entry = { query : Query.t; freq : float }
+type t = { name : string; entries : entry list; updates : (string * int) list }
+
+let make ?(name = "workload") qs =
+  {
+    name;
+    entries = List.map (fun q -> { query = q; freq = 1.0 }) qs;
+    updates = [];
+  }
+
+let of_entries ?(name = "workload") entries = { name; entries; updates = [] }
+
+let with_updates t updates = { t with updates }
+
+let has_updates t = t.updates <> []
+
+let queries t = List.map (fun e -> e.query) t.entries
+
+let size t = List.length t.entries
+
+let total_freq t = Im_util.List_ext.sum_by_f (fun e -> e.freq) t.entries
+
+let validate schema t =
+  let rec go = function
+    | [] -> Ok ()
+    | e :: rest ->
+      if e.freq <= 0. then
+        Error (e.query.Query.q_id ^ ": non-positive frequency")
+      else
+        (match Query.validate schema e.query with
+         | Error _ as err -> err
+         | Ok () -> go rest)
+  in
+  go t.entries
+
+let compress_identical t =
+  let groups =
+    Im_util.List_ext.group_by
+      (fun e -> Query.canonical_string e.query)
+      t.entries
+  in
+  let entries =
+    List.map
+      (fun (_, members) ->
+        match members with
+        | [] -> assert false
+        | first :: _ ->
+          {
+            query = first.query;
+            freq = Im_util.List_ext.sum_by_f (fun e -> e.freq) members;
+          })
+      groups
+  in
+  { t with entries }
+
+let top_k_by_cost ~cost ~k t =
+  let scored =
+    List.map (fun e -> (e, e.freq *. cost e.query)) t.entries
+    |> List.stable_sort (fun (_, a) (_, b) -> Float.compare b a)
+  in
+  { t with entries = List.map fst (Im_util.List_ext.take k scored) }
+
+let weighted_cost ~cost t =
+  Im_util.List_ext.sum_by_f (fun e -> e.freq *. cost e.query) t.entries

@@ -1,0 +1,45 @@
+(** Workloads: weighted sets of queries, plus the compression techniques
+    of the paper's §3.5.3 (dedup of syntactically identical queries with
+    adjusted frequency; top-k most expensive queries). *)
+
+type entry = { query : Im_sqlir.Query.t; freq : float }
+
+type t = {
+  name : string;
+  entries : entry list;
+  updates : (string * int) list;
+      (** batch-insert profile: rows inserted per table per workload
+          execution. The paper's workloads "consist of queries (and
+          updates)" (§3.1); numeric cost evaluation adds the
+          configuration's maintenance cost for this profile, so merging
+          is credited for the upkeep it saves. *)
+}
+
+val make : ?name:string -> Im_sqlir.Query.t list -> t
+(** Unit frequency per query. *)
+
+val of_entries : ?name:string -> entry list -> t
+
+val queries : t -> Im_sqlir.Query.t list
+val size : t -> int
+val total_freq : t -> float
+
+val validate : Im_sqlir.Schema.t -> t -> (unit, string) result
+
+val compress_identical : t -> t
+(** Replace syntactically identical queries (same
+    {!Im_sqlir.Query.canonical_string}) by a single entry whose
+    frequency is the sum. *)
+
+val top_k_by_cost : cost:(Im_sqlir.Query.t -> float) -> k:int -> t -> t
+(** Keep the [k] entries with the highest [freq * cost]. *)
+
+val weighted_cost : cost:(Im_sqlir.Query.t -> float) -> t -> float
+(** Sum of [freq * cost q] — the query part of the [Cost (W, C)]
+    aggregation (update cost is added by the cost-evaluation layer,
+    which knows the configuration). *)
+
+val with_updates : t -> (string * int) list -> t
+(** Attach a batch-insert profile (replaces any existing one). *)
+
+val has_updates : t -> bool

@@ -1,0 +1,72 @@
+module Query = Im_sqlir.Query
+
+let freq_prefix = "-- freq:"
+
+(* Extract frequency annotations in order of appearance, and the text
+   with annotation lines removed (other comments are left for the lexer
+   to skip). *)
+let split_annotations text =
+  let lines = String.split_on_char '\n' text in
+  let freqs = ref [] in
+  let kept =
+    List.filter
+      (fun line ->
+        let trimmed = String.trim line in
+        if String.length trimmed >= String.length freq_prefix
+           && String.sub trimmed 0 (String.length freq_prefix) = freq_prefix
+        then begin
+          let v =
+            String.sub trimmed (String.length freq_prefix)
+              (String.length trimmed - String.length freq_prefix)
+            |> String.trim
+          in
+          freqs := v :: !freqs;
+          false
+        end
+        else true)
+      lines
+  in
+  (String.concat "\n" kept, List.rev !freqs)
+
+let parse ~schema ?(id_prefix = "W") text =
+  let body, freqs = split_annotations text in
+  let ( let* ) r f = Result.bind r f in
+  let* queries = Im_sqlir.Parser.parse_statements ~schema ~id_prefix body in
+  let* freqs =
+    let rec conv acc = function
+      | [] -> Ok (List.rev acc)
+      | f :: rest ->
+        (match float_of_string_opt f with
+         | Some v when v > 0. -> conv (v :: acc) rest
+         | Some _ -> Error (Printf.sprintf "non-positive frequency %s" f)
+         | None -> Error (Printf.sprintf "malformed frequency %S" f))
+    in
+    conv [] freqs
+  in
+  if freqs <> [] && List.length freqs <> List.length queries then
+    Error
+      (Printf.sprintf
+         "%d frequency annotations for %d statements (annotate all or none)"
+         (List.length freqs) (List.length queries))
+  else begin
+    let entries =
+      match freqs with
+      | [] -> List.map (fun q -> { Workload.query = q; freq = 1.0 }) queries
+      | _ ->
+        List.map2 (fun q freq -> { Workload.query = q; freq }) queries freqs
+    in
+    Ok (Workload.of_entries ~name:"file" entries)
+  end
+
+let load ~schema ?id_prefix path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse ~schema ?id_prefix text
+  | exception Sys_error msg -> Error msg
+
+let save workload path =
+  Out_channel.with_open_text path (fun oc ->
+      List.iter
+        (fun { Workload.query; freq } ->
+          if freq <> 1.0 then Printf.fprintf oc "-- freq: %g\n" freq;
+          Printf.fprintf oc "%s;\n" (Query.to_sql query))
+        workload.Workload.entries)

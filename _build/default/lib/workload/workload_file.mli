@@ -1,0 +1,31 @@
+(** Load workloads from SQL script files — the "log of SQL queries at
+    the server" input mode the paper describes (§3.2).
+
+    A workload file is a sequence of semicolon-terminated SELECT
+    statements in the subset of {!Im_sqlir.Parser}. A statement may be
+    preceded by a frequency annotation comment:
+
+    {v
+    -- freq: 12.5
+    SELECT ... ;
+    v}
+
+    Statements without an annotation get frequency 1. [--] comments are
+    otherwise ignored. *)
+
+val parse :
+  schema:Im_sqlir.Schema.t ->
+  ?id_prefix:string ->
+  string ->
+  (Workload.t, string) result
+(** Parse workload text. *)
+
+val load :
+  schema:Im_sqlir.Schema.t ->
+  ?id_prefix:string ->
+  string ->
+  (Workload.t, string) result
+(** Read and {!parse} a file. *)
+
+val save : Workload.t -> string -> unit
+(** Write a workload back out in the loadable format. *)

@@ -1,0 +1,1 @@
+test/test_advisor.ml: Alcotest Astring_contains Im_advisor Im_catalog Im_merging Im_sqlir Im_util Im_workload List Printf QCheck QCheck_alcotest

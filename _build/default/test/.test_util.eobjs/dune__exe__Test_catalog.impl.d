@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Array Gen Im_catalog Im_sqlir Im_stats Im_storage Im_util List Printf QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Float Gen Im_catalog Im_engine Im_optimizer Im_sqlir Im_storage Im_util Im_workload Lazy List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Im_catalog Im_engine Im_merging Im_optimizer Im_sqlir Im_tuning Im_util Im_workload Lazy List Printf

@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Array Astring_contains Filename Fun Im_catalog Im_io Im_sqlir Im_storage Im_workload List Out_channel QCheck QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_merging.ml: Alcotest Array Astring_contains Float Gen Im_catalog Im_merging Im_optimizer Im_sqlir Im_util Im_workload List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Astring_contains Gen Im_catalog Im_engine Im_optimizer Im_sqlir Im_util List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Array Im_catalog Im_sqlir Im_util Im_workload List QCheck QCheck_alcotest String

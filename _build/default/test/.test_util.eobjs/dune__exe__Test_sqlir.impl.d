@@ -1,0 +1,1 @@
+test/test_sqlir.ml: Alcotest Astring_contains Gen Im_sqlir List QCheck QCheck_alcotest Result

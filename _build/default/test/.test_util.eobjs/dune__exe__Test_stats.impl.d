@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Fun Gen Im_sqlir Im_stats Im_util List Printf QCheck QCheck_alcotest

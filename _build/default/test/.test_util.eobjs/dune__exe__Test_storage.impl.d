@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Fun Gen Im_sqlir Im_storage Im_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_tuning.ml: Alcotest Im_catalog Im_sqlir Im_tuning Im_util Im_workload List Printf Result

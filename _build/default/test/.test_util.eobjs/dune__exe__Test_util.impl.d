@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Astring_contains Fun Im_util List Printf QCheck QCheck_alcotest String

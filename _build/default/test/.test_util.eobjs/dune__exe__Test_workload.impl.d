@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Astring_contains Filename Im_catalog Im_engine Im_merging Im_sqlir Im_storage Im_util Im_workload Lazy List Result Sys

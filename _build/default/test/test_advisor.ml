@@ -1,0 +1,249 @@
+(* Tests for the Cost-Minimal (dual) merging formulation and the index
+   advisor that integrates selection with merging. *)
+
+module Database = Im_catalog.Database
+module Index = Im_catalog.Index
+module Config = Im_catalog.Config
+module Schema = Im_sqlir.Schema
+module Datatype = Im_sqlir.Datatype
+module Value = Im_sqlir.Value
+module Predicate = Im_sqlir.Predicate
+module Query = Im_sqlir.Query
+module Workload = Im_workload.Workload
+module Merge = Im_merging.Merge
+module Dual = Im_merging.Dual
+module Cost_eval = Im_merging.Cost_eval
+module Selection = Im_advisor.Selection
+module Advisor = Im_advisor.Advisor
+module Rng = Im_util.Rng
+
+let tc = Alcotest.test_case
+let qtest = QCheck_alcotest.to_alcotest
+let cr = Predicate.colref
+
+let schema =
+  Schema.make
+    [
+      Schema.make_table "t"
+        [
+          ("a", Datatype.Int);
+          ("b", Datatype.Int);
+          ("c", Datatype.Float);
+          ("d", Datatype.Varchar 40);
+          ("e", Datatype.Date);
+        ];
+    ]
+
+let db =
+  let rows =
+    List.init 12_000 (fun i ->
+        [|
+          Value.Int (i mod 200);
+          Value.Int (i mod 37);
+          Value.Float (float_of_int (i mod 501));
+          Value.Str (Printf.sprintf "pad%05d" (i mod 1000));
+          Value.Date (i mod 730);
+        |])
+  in
+  Database.create schema [ ("t", rows) ]
+
+let workload =
+  Workload.make
+    [
+      Query.make ~id:"q_seek"
+        ~select:[ Query.Sel_col (cr "t" "c") ]
+        ~where:[ Predicate.Cmp (Predicate.Eq, cr "t" "a", Value.Int 17) ]
+        [ "t" ];
+      Query.make ~id:"q_scan"
+        ~select:[ Query.Sel_col (cr "t" "b"); Query.Sel_col (cr "t" "c") ]
+        [ "t" ];
+      Query.make ~id:"q_order"
+        ~select:[ Query.Sel_col (cr "t" "e"); Query.Sel_col (cr "t" "b") ]
+        ~order_by:[ (cr "t" "e", Query.Asc) ]
+        [ "t" ];
+    ]
+
+let initial =
+  [
+    Index.make ~table:"t" [ "a"; "c" ];
+    Index.make ~table:"t" [ "b"; "c" ];
+    Index.make ~table:"t" [ "e"; "b" ];
+  ]
+
+(* ---- Dual ---- *)
+
+let test_dual_trivial_budget () =
+  (* A budget above the initial storage requires no merging at all. *)
+  let big = Database.config_storage_pages db initial * 2 in
+  let o = Dual.run db workload ~initial ~budget_pages:big in
+  Alcotest.(check bool) "fits" true o.Dual.d_fits;
+  Alcotest.(check int) "unchanged" (List.length initial)
+    (List.length o.Dual.d_items);
+  Alcotest.(check (float 1e-6)) "cost unchanged" o.Dual.d_initial_cost
+    o.Dual.d_final_cost
+
+let test_dual_shrinks_to_budget () =
+  let pages = Database.config_storage_pages db initial in
+  let budget = (pages * 2 / 3) + 1 in
+  let o = Dual.run db workload ~initial ~budget_pages:budget in
+  Alcotest.(check bool) "fits the budget" true o.Dual.d_fits;
+  Alcotest.(check bool) "storage shrank" true (o.Dual.d_final_pages <= budget);
+  Alcotest.(check bool) "minimal merged configuration" true
+    (Merge.is_minimal_merged_configuration ~initial o.Dual.d_items);
+  Alcotest.(check bool) "iterations counted" true (o.Dual.d_iterations >= 1)
+
+let test_dual_impossible_budget () =
+  (* Even a single fully-merged index cannot fit in 1 page: best effort,
+     flagged as not fitting. *)
+  let o = Dual.run db workload ~initial ~budget_pages:1 in
+  Alcotest.(check bool) "does not fit" false o.Dual.d_fits;
+  Alcotest.(check int) "fully merged to one index" 1
+    (List.length o.Dual.d_items);
+  Alcotest.(check bool) "still a minimal merged configuration" true
+    (Merge.is_minimal_merged_configuration ~initial o.Dual.d_items)
+
+let test_dual_rejects_no_cost_model () =
+  Alcotest.check_raises "numeric model required"
+    (Invalid_argument "Dual.run: a numeric cost model is required") (fun () ->
+      ignore
+        (Dual.run ~cost_model:Cost_eval.default_no_cost db workload ~initial
+           ~budget_pages:10))
+
+let test_dual_empty_initial () =
+  let o = Dual.run db workload ~initial:[] ~budget_pages:100 in
+  Alcotest.(check bool) "fits" true o.Dual.d_fits;
+  Alcotest.(check int) "empty" 0 (List.length o.Dual.d_items)
+
+(* Property: the dual outcome always fits the budget whenever full
+   merging could, and always remains a minimal merged configuration. *)
+let prop_dual_budget_soundness =
+  QCheck.Test.make ~name:"dual fits iff the fully-merged floor fits" ~count:20
+    QCheck.(int_range 1 120)
+    (fun budget_percent ->
+      let pages = Database.config_storage_pages db initial in
+      let budget = max 1 (pages * budget_percent / 100) in
+      let o = Dual.run db workload ~initial ~budget_pages:budget in
+      let ok_minimal =
+        Merge.is_minimal_merged_configuration ~initial o.Dual.d_items
+      in
+      (* The single fully-merged index is the storage floor reachable by
+         pair merges on one table. *)
+      let floor_pages =
+        Database.config_storage_pages db
+          [
+            Merge.preserving_merge
+              ~leading:(List.hd initial)
+              (List.tl initial);
+          ]
+      in
+      let fits_expected = budget >= floor_pages || budget >= pages in
+      ok_minimal && (o.Dual.d_fits = (o.Dual.d_final_pages <= budget))
+      && (not fits_expected) || o.Dual.d_fits)
+
+(* ---- Selection ---- *)
+
+let test_selection_respects_budget () =
+  let budget = 120 in
+  let o = Selection.select db workload ~budget_pages:budget in
+  Alcotest.(check bool) "within budget" true (o.Selection.s_pages <= budget);
+  Alcotest.(check bool) "improves over no indexes" true
+    (o.Selection.s_final_cost <= o.Selection.s_base_cost);
+  Alcotest.(check bool) "some candidates considered" true
+    (o.Selection.s_candidates > 0)
+
+let test_selection_zero_budget () =
+  let o = Selection.select db workload ~budget_pages:0 in
+  Alcotest.(check int) "nothing fits" 0 (List.length o.Selection.s_config);
+  Alcotest.(check (float 1e-6)) "cost = baseline" o.Selection.s_base_cost
+    o.Selection.s_final_cost
+
+let test_selection_monotone_in_budget () =
+  let small = Selection.select db workload ~budget_pages:60 in
+  let large = Selection.select db workload ~budget_pages:600 in
+  Alcotest.(check bool) "bigger budget, no worse cost" true
+    (large.Selection.s_final_cost <= small.Selection.s_final_cost +. 1e-6)
+
+(* ---- Advisor ---- *)
+
+let test_advisor_end_to_end () =
+  let budget = 150 in
+  let o = Advisor.advise db workload ~budget_pages:budget in
+  Alcotest.(check bool) "fits" true o.Advisor.a_fits;
+  Alcotest.(check bool) "final within budget" true
+    (o.Advisor.a_final_pages <= budget);
+  Alcotest.(check bool) "improves over no indexes" true
+    (o.Advisor.a_final_cost <= o.Advisor.a_base_cost);
+  (match o.Advisor.a_path with
+   | Advisor.Select_then_merge ->
+     Alcotest.(check bool) "minimal merged wrt selection" true
+       (Merge.is_minimal_merged_configuration ~initial:o.Advisor.a_selected
+          o.Advisor.a_final)
+   | Advisor.Plain_selection ->
+     (* The plain path recommends unmerged indexes. *)
+     Alcotest.(check bool) "all unmerged" true
+       (List.for_all
+          (fun it -> List.length it.Merge.it_parents = 1)
+          o.Advisor.a_final));
+  Alcotest.(check bool) "summary mentions budget" true
+    (Astring_contains.contains (Advisor.summary o) "budget")
+
+let test_advisor_merging_helps_at_tight_budget () =
+  (* With merging, the advisor should do at least as well as plain
+     selection at the same budget. *)
+  let budget = 100 in
+  let plain = Selection.select db workload ~budget_pages:budget in
+  let merged = Advisor.advise db workload ~budget_pages:budget in
+  if merged.Advisor.a_fits then
+    Alcotest.(check bool)
+      (Printf.sprintf "advise (%.1f) <= select-only (%.1f)"
+         merged.Advisor.a_final_cost plain.Selection.s_final_cost)
+      true
+      (merged.Advisor.a_final_cost <= plain.Selection.s_final_cost +. 1e-6)
+  else Alcotest.(check pass) "budget unreachable for merged config" () ()
+
+let test_advisor_synthetic_pipeline () =
+  let sdb =
+    Im_workload.Synthetic.database ~seed:9
+      {
+        Im_workload.Synthetic.sp_name = "adv";
+        sp_tables = 3;
+        sp_cols_lo = 5;
+        sp_cols_hi = 8;
+        sp_rows_lo = 1_500;
+        sp_rows_hi = 3_000;
+      }
+  in
+  let w = Im_workload.Ragsgen.generate sdb ~rng:(Rng.create 4) ~n:15 in
+  let budget = Database.data_pages sdb / 2 in
+  let o = Advisor.advise sdb w ~budget_pages:budget in
+  Alcotest.(check bool) "final within budget (or flagged)" true
+    ((not o.Advisor.a_fits) || o.Advisor.a_final_pages <= budget);
+  Alcotest.(check bool) "cost never above baseline" true
+    (o.Advisor.a_final_cost <= o.Advisor.a_base_cost +. 1e-6)
+
+let () =
+  Alcotest.run "im_advisor"
+    [
+      ( "dual",
+        [
+          tc "trivial budget" `Quick test_dual_trivial_budget;
+          tc "shrinks to budget" `Quick test_dual_shrinks_to_budget;
+          tc "impossible budget" `Quick test_dual_impossible_budget;
+          tc "rejects no-cost model" `Quick test_dual_rejects_no_cost_model;
+          tc "empty initial" `Quick test_dual_empty_initial;
+          qtest prop_dual_budget_soundness;
+        ] );
+      ( "selection",
+        [
+          tc "respects budget" `Quick test_selection_respects_budget;
+          tc "zero budget" `Quick test_selection_zero_budget;
+          tc "monotone in budget" `Quick test_selection_monotone_in_budget;
+        ] );
+      ( "advisor",
+        [
+          tc "end to end" `Quick test_advisor_end_to_end;
+          tc "merging helps at tight budget" `Quick
+            test_advisor_merging_helps_at_tight_budget;
+          tc "synthetic pipeline" `Quick test_advisor_synthetic_pipeline;
+        ] );
+    ]

@@ -1,0 +1,247 @@
+(* Tests for the CSV/DDL import-export bridge. *)
+
+module Csv = Im_io.Csv
+module Ddl = Im_io.Ddl
+module Loader = Im_io.Loader
+module Schema = Im_sqlir.Schema
+module Datatype = Im_sqlir.Datatype
+module Value = Im_sqlir.Value
+module Database = Im_catalog.Database
+
+let tc = Alcotest.test_case
+let qtest = QCheck_alcotest.to_alcotest
+
+let records = Alcotest.(list (list string))
+
+(* ---- CSV ---- *)
+
+let test_csv_parse_simple () =
+  match Csv.parse "a,b,c\n1,2,3\n" with
+  | Ok rs ->
+    Alcotest.check records "two records" [ [ "a"; "b"; "c" ]; [ "1"; "2"; "3" ] ] rs
+  | Error m -> Alcotest.fail m
+
+let test_csv_quoting () =
+  match Csv.parse "\"a,b\",\"say \"\"hi\"\"\",\"two\nlines\"\n" with
+  | Ok [ [ f1; f2; f3 ] ] ->
+    Alcotest.(check string) "embedded comma" "a,b" f1;
+    Alcotest.(check string) "escaped quotes" "say \"hi\"" f2;
+    Alcotest.(check string) "embedded newline" "two\nlines" f3
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error m -> Alcotest.fail m
+
+let test_csv_crlf_and_trailing () =
+  match Csv.parse "a,b\r\nc,d" with
+  | Ok rs ->
+    Alcotest.check records "CRLF + missing final newline"
+      [ [ "a"; "b" ]; [ "c"; "d" ] ]
+      rs
+  | Error m -> Alcotest.fail m
+
+let test_csv_empty_fields_and_lines () =
+  match Csv.parse "a,,c\n\n,\n" with
+  | Ok rs ->
+    Alcotest.check records "empties preserved, blank lines skipped"
+      [ [ "a"; ""; "c" ]; [ ""; "" ] ]
+      rs
+  | Error m -> Alcotest.fail m
+
+let test_csv_unterminated_quote () =
+  match Csv.parse "\"oops" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unterminated quote accepted"
+
+let prop_csv_roundtrip =
+  let field_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          string_size ~gen:(char_range 'a' 'z') (int_bound 6);
+          return "with,comma";
+          return "with\"quote";
+          return "with\nnewline";
+          return "";
+        ])
+  in
+  QCheck.Test.make ~name:"CSV render/parse round trip" ~count:200
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 1 8) (list_size (int_range 1 5) field_gen)))
+    (fun rows ->
+      (* Records of homogeneous field counts survive exactly when no
+         record is a single empty field (rendered as a blank line). *)
+      QCheck.assume (List.for_all (fun r -> r <> [ "" ]) rows);
+      match Csv.parse (Csv.render rows) with
+      | Ok parsed -> parsed = rows
+      | Error _ -> false)
+
+(* ---- DDL ---- *)
+
+let ddl_text =
+  "CREATE TABLE emp (\n  id INT,\n  pay FLOAT,\n  hired DATE,\n  name \
+   VARCHAR(12)\n);\nCREATE TABLE dept (did INT, dname VARCHAR(8));"
+
+let test_ddl_parse () =
+  match Ddl.parse_schema ddl_text with
+  | Error m -> Alcotest.fail m
+  | Ok schema ->
+    Alcotest.(check int) "two tables" 2 (List.length schema.Schema.tables);
+    let emp = Schema.table schema "emp" in
+    Alcotest.(check int) "emp columns" 4 (List.length emp.Schema.tbl_columns);
+    Alcotest.(check bool) "types" true
+      (Datatype.equal (Schema.column_type schema "emp" "pay") Datatype.Float
+       && Datatype.equal (Schema.column_type schema "emp" "hired") Datatype.Date
+       && Datatype.equal
+            (Schema.column_type schema "emp" "name")
+            (Datatype.Varchar 12))
+
+let test_ddl_roundtrip () =
+  match Ddl.parse_schema ddl_text with
+  | Error m -> Alcotest.fail m
+  | Ok schema ->
+    (match Ddl.parse_schema (Ddl.render_schema schema) with
+     | Error m -> Alcotest.fail ("re-parse: " ^ m)
+     | Ok schema2 ->
+       Alcotest.(check bool) "schemas equal" true (schema = schema2))
+
+let test_ddl_rejects () =
+  let bad = [
+    "CREATE TABLE t (x BLOB);";
+    "CREATE TABLE t (x VARCHAR);";
+    "CREATE VIEW v (x INT);";
+    "CREATE TABLE t (x INT";
+    "CREATE TABLE t (x INT); CREATE TABLE t (y INT);";
+  ] in
+  List.iter
+    (fun text ->
+      match Ddl.parse_schema text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted: %s" text)
+    bad
+
+(* ---- Loader ---- *)
+
+let test_value_conversion () =
+  let ok ty s expected =
+    match Loader.value_of_field ty s with
+    | Ok v -> Alcotest.(check bool) (s ^ " converts") true (Value.equal v expected)
+    | Error m -> Alcotest.fail m
+  in
+  ok Datatype.Int "42" (Value.Int 42);
+  ok Datatype.Float "2.5" (Value.Float 2.5);
+  ok Datatype.Date "120" (Value.Date 120);
+  ok Datatype.Date "1994-01-01" (Value.Date 731);
+  ok (Datatype.Varchar 5) "abc" (Value.Str "abc");
+  ok Datatype.Int "" Value.Null;
+  (match Loader.value_of_field Datatype.Int "xyz" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "bad int accepted");
+  (match Loader.value_of_field (Datatype.Varchar 2) "toolong" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "overlong string accepted")
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "im_io" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let test_loader_roundtrip () =
+  with_temp_dir (fun dir ->
+      (* Dump a generated database and load it back. *)
+      let spec =
+        {
+          Im_workload.Synthetic.sp_name = "io";
+          sp_tables = 2;
+          sp_cols_lo = 3;
+          sp_cols_hi = 5;
+          sp_rows_lo = 50;
+          sp_rows_hi = 80;
+        }
+      in
+      let db = Im_workload.Synthetic.database ~seed:11 spec in
+      let schema_file = Filename.concat dir "schema.sql" in
+      Loader.dump db ~schema_file ~data_dir:dir;
+      match Loader.load ~schema_file ~data_dir:dir with
+      | Error m -> Alcotest.fail m
+      | Ok db2 ->
+        let schema = Database.schema db in
+        List.iter
+          (fun (t : Schema.table) ->
+            let name = t.Schema.tbl_name in
+            Alcotest.(check int) (name ^ " row count")
+              (Database.row_count db name)
+              (Database.row_count db2 name);
+            (* Spot-check a row. *)
+            let h1 = Database.heap db name and h2 = Database.heap db2 name in
+            let r1 = Im_storage.Heap.get h1 7 and r2 = Im_storage.Heap.get h2 7 in
+            Alcotest.(check bool) (name ^ " row 7 equal") true
+              (Array.for_all2 Value.equal r1 r2))
+          schema.Schema.tables)
+
+let test_loader_missing_csv_is_empty () =
+  with_temp_dir (fun dir ->
+      let schema_file = Filename.concat dir "schema.sql" in
+      Out_channel.with_open_text schema_file (fun oc ->
+          Out_channel.output_string oc "CREATE TABLE t (x INT);");
+      match Loader.load ~schema_file ~data_dir:dir with
+      | Error m -> Alcotest.fail m
+      | Ok db -> Alcotest.(check int) "empty table" 0 (Database.row_count db "t"))
+
+let test_loader_arity_error () =
+  with_temp_dir (fun dir ->
+      let schema_file = Filename.concat dir "schema.sql" in
+      Out_channel.with_open_text schema_file (fun oc ->
+          Out_channel.output_string oc "CREATE TABLE t (x INT, y INT);");
+      Out_channel.with_open_text (Filename.concat dir "t.csv") (fun oc ->
+          Out_channel.output_string oc "1,2\n3\n");
+      match Loader.load ~schema_file ~data_dir:dir with
+      | Error m ->
+        Alcotest.(check bool) "mentions line" true
+          (Astring_contains.contains m "line 2")
+      | Ok _ -> Alcotest.fail "arity error accepted")
+
+let test_loaded_database_merges () =
+  (* End to end: dump TPC-D, reload from CSV, run the intro example. *)
+  with_temp_dir (fun dir ->
+      let db = Im_workload.Tpcd.database ~sf:0.001 () in
+      let schema_file = Filename.concat dir "schema.sql" in
+      Loader.dump db ~schema_file ~data_dir:dir;
+      match Loader.load ~schema_file ~data_dir:dir with
+      | Error m -> Alcotest.fail m
+      | Ok db2 ->
+        let module Q = Im_workload.Tpcd_queries in
+        let pages c = Database.config_storage_pages db2 c in
+        Alcotest.(check bool) "merged index smaller on reloaded data" true
+          (pages [ Q.i_merged ] < pages [ Q.i1; Q.i2 ]))
+
+let () =
+  Alcotest.run "im_io"
+    [
+      ( "csv",
+        [
+          tc "parse simple" `Quick test_csv_parse_simple;
+          tc "quoting" `Quick test_csv_quoting;
+          tc "crlf + trailing" `Quick test_csv_crlf_and_trailing;
+          tc "empty fields/lines" `Quick test_csv_empty_fields_and_lines;
+          tc "unterminated quote" `Quick test_csv_unterminated_quote;
+          qtest prop_csv_roundtrip;
+        ] );
+      ( "ddl",
+        [
+          tc "parse" `Quick test_ddl_parse;
+          tc "round trip" `Quick test_ddl_roundtrip;
+          tc "rejections" `Quick test_ddl_rejects;
+        ] );
+      ( "loader",
+        [
+          tc "value conversion" `Quick test_value_conversion;
+          tc "dump/load round trip" `Quick test_loader_roundtrip;
+          tc "missing csv = empty table" `Quick test_loader_missing_csv_is_empty;
+          tc "arity error" `Quick test_loader_arity_error;
+          tc "reloaded database merges" `Quick test_loaded_database_merges;
+        ] );
+    ]

@@ -1,0 +1,446 @@
+(* Tests for the optimizer: cardinality estimation, access-path
+   selection (seek prefixes, covering scans, order provision), the
+   planner (joins, aggregates, sort avoidance), the invocation counter,
+   and the key what-if monotonicity property: adding an index to a
+   configuration never makes the chosen plan costlier. *)
+
+module Database = Im_catalog.Database
+module Index = Im_catalog.Index
+module Schema = Im_sqlir.Schema
+module Datatype = Im_sqlir.Datatype
+module Value = Im_sqlir.Value
+module Predicate = Im_sqlir.Predicate
+module Query = Im_sqlir.Query
+module Cardinality = Im_optimizer.Cardinality
+module Access_path = Im_optimizer.Access_path
+module Optimizer = Im_optimizer.Optimizer
+module Plan = Im_optimizer.Plan
+module Rng = Im_util.Rng
+
+let tc = Alcotest.test_case
+let qtest = QCheck_alcotest.to_alcotest
+let cr = Predicate.colref
+
+let schema =
+  Schema.make
+    [
+      Schema.make_table "fact"
+        [
+          ("k", Datatype.Int);
+          ("grp", Datatype.Int);
+          ("amt", Datatype.Float);
+          ("pad", Datatype.Varchar 120);
+        ];
+      Schema.make_table "dim"
+        [ ("id", Datatype.Int); ("label", Datatype.Varchar 24) ];
+    ]
+
+(* 20k fact rows (multi-page, multi-level indexes), 200 dim rows. *)
+let db =
+  let fact =
+    List.init 20_000 (fun i ->
+        [|
+          Value.Int i;
+          Value.Int (i mod 100);
+          Value.Float (float_of_int (i mod 1000));
+          Value.Str "pad";
+        |])
+  in
+  let dim =
+    List.init 200 (fun i ->
+        [| Value.Int i; Value.Str (Printf.sprintf "label%03d" i) |])
+  in
+  Database.create schema [ ("fact", fact); ("dim", dim) ]
+
+let ik = Index.make ~table:"fact" [ "k" ]
+let igrp = Index.make ~table:"fact" [ "grp" ]
+let igrp_amt = Index.make ~table:"fact" [ "grp"; "amt" ]
+let icover = Index.make ~table:"fact" [ "grp"; "amt"; "k" ]
+let idim = Index.make ~table:"dim" [ "id"; "label" ]
+
+let eq t c v = Predicate.Cmp (Predicate.Eq, cr t c, v)
+let le t c v = Predicate.Cmp (Predicate.Le, cr t c, v)
+
+(* ---- Cardinality ---- *)
+
+let test_card_eq_selectivity () =
+  let s = Cardinality.selection_selectivity db (eq "fact" "grp" (Value.Int 5)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "eq on 100-distinct column ~ 1%% (got %.4f)" s)
+    true
+    (s > 0.002 && s < 0.05)
+
+let test_card_join_selectivity () =
+  let s =
+    Cardinality.join_selectivity db (Predicate.Join (cr "fact" "grp", cr "dim" "id"))
+  in
+  (* distinct(grp)=100, distinct(id)=200 -> 1/200. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "join sel ~ 1/200 (got %.5f)" s)
+    true
+    (s > 0.002 && s < 0.02)
+
+let test_card_distinct_density () =
+  Alcotest.(check int) "distinct grp" 100 (Cardinality.distinct db (cr "fact" "grp"));
+  Alcotest.(check (float 0.005)) "density" 0.01
+    (Cardinality.density db (cr "fact" "grp"))
+
+let test_card_group_count () =
+  let g = Cardinality.group_count db [ cr "fact" "grp" ] ~rows:20_000. in
+  Alcotest.(check (float 1.)) "groups = distinct" 100. g;
+  Alcotest.(check (float 1e-9)) "no group cols" 1.
+    (Cardinality.group_count db [] ~rows:500.);
+  (* Product capped by input rows. *)
+  let capped =
+    Cardinality.group_count db [ cr "fact" "k"; cr "fact" "grp" ] ~rows:50.
+  in
+  Alcotest.(check (float 1e-9)) "capped by rows" 50. capped
+
+(* ---- Access paths ---- *)
+
+let input ?(selections = []) ?(param_eq = []) ~required () =
+  {
+    Access_path.ap_table = "fact";
+    ap_selections = selections;
+    ap_param_eq = param_eq;
+    ap_required = required;
+  }
+
+let test_seek_prefix () =
+  let ix = Index.make ~table:"fact" [ "grp"; "amt"; "k" ] in
+  Alcotest.(check (list string)) "eq chain + range stop"
+    [ "grp"; "amt" ]
+    (Access_path.seek_prefix ix ~eq_cols:[ "grp" ] ~range_cols:[ "amt" ]);
+  Alcotest.(check (list string)) "all equality" [ "grp"; "amt"; "k" ]
+    (Access_path.seek_prefix ix ~eq_cols:[ "grp"; "amt"; "k" ] ~range_cols:[]);
+  Alcotest.(check (list string)) "range first column only" [ "grp" ]
+    (Access_path.seek_prefix ix ~eq_cols:[] ~range_cols:[ "grp"; "amt" ]);
+  Alcotest.(check (list string)) "no sargable leading" []
+    (Access_path.seek_prefix ix ~eq_cols:[ "amt" ] ~range_cols:[ "k" ])
+
+let test_candidates_always_include_scan () =
+  let cands = Access_path.candidates db [] (input ~required:[ "k" ] ()) in
+  Alcotest.(check int) "only seq scan without indexes" 1 (List.length cands);
+  (match (List.hd cands).Access_path.access with
+   | Plan.Seq_scan t -> Alcotest.(check string) "table" "fact" t
+   | _ -> Alcotest.fail "expected seq scan")
+
+let test_covering_scan_beats_heap () =
+  (* Narrow covering index vs 136-byte-wide heap: index scan wins. *)
+  let choice =
+    Access_path.best db [ icover ] (input ~required:[ "grp"; "amt" ] ())
+  in
+  (match choice.Access_path.access with
+   | Plan.Index_scan ix ->
+     Alcotest.(check bool) "covering index" true (Index.equal ix icover)
+   | _ -> Alcotest.fail "expected covering index scan")
+
+let test_seek_for_selective_predicate () =
+  let choice =
+    Access_path.best db [ igrp_amt ]
+      (input
+         ~selections:[ eq "fact" "grp" (Value.Int 7) ]
+         ~required:[ "grp"; "amt" ] ())
+  in
+  match choice.Access_path.access with
+  | Plan.Index_seek { index; seek_cols; lookup; eq_len = _ } ->
+    Alcotest.(check bool) "right index" true (Index.equal index igrp_amt);
+    Alcotest.(check (list string)) "seek on grp" [ "grp" ] seek_cols;
+    Alcotest.(check bool) "covering, no lookup" false lookup
+  | _ -> Alcotest.fail "expected index seek"
+
+let test_noncovering_seek_costs_lookups () =
+  let sel = [ eq "fact" "grp" (Value.Int 7) ] in
+  let narrow =
+    Access_path.candidates db [ igrp ]
+      (input ~selections:sel ~required:[ "grp"; "pad" ] ())
+  in
+  let seek_choice =
+    List.find_opt
+      (fun c ->
+        match c.Access_path.access with
+        | Plan.Index_seek { lookup; _ } -> lookup
+        | _ -> false)
+      narrow
+  in
+  (match seek_choice with
+   | Some _ -> ()
+   | None -> Alcotest.fail "expected a non-covering seek candidate");
+  (* The same seek with a covering index is cheaper. *)
+  let covering_ix = Index.make ~table:"fact" [ "grp"; "pad" ] in
+  let cov =
+    Access_path.best db [ covering_ix ]
+      (input ~selections:sel ~required:[ "grp"; "pad" ] ())
+  in
+  Alcotest.(check bool) "covering seek cheaper than lookup seek" true
+    (cov.Access_path.cost < (Option.get seek_choice).Access_path.cost)
+
+let test_param_eq_probe () =
+  (* As the inner of an index NLJ: per-probe cost must be far below a
+     scan. *)
+  let probe =
+    Access_path.best db [ ik ]
+      (input ~param_eq:[ ("k", 1. /. 20_000.) ] ~required:[ "k"; "amt" ] ())
+  in
+  (match probe.Access_path.access with
+   | Plan.Index_seek _ -> ()
+   | _ -> Alcotest.fail "expected seek for probe");
+  let scan = Access_path.best db [] (input ~required:[ "k"; "amt" ] ()) in
+  Alcotest.(check bool) "probe way cheaper than scan" true
+    (probe.Access_path.cost *. 10. < scan.Access_path.cost)
+
+let test_provides_order () =
+  let order = [ (cr "fact" "grp", Query.Asc) ] in
+  let scan_choice = Access_path.best db [] (input ~required:[ "grp" ] ()) in
+  Alcotest.(check bool) "heap scan provides nothing" false
+    (Access_path.provides_order db scan_choice order);
+  let cov = Access_path.best db [ icover ] (input ~required:[ "grp"; "amt" ] ()) in
+  Alcotest.(check bool) "covering scan provides leading order" true
+    (Access_path.provides_order db cov order);
+  Alcotest.(check bool) "desc uniform ok (reverse scan)" true
+    (Access_path.provides_order db cov [ (cr "fact" "grp", Query.Desc) ]);
+  Alcotest.(check bool) "mixed directions not provided" false
+    (Access_path.provides_order db cov
+       [ (cr "fact" "grp", Query.Asc); (cr "fact" "amt", Query.Desc) ]);
+  Alcotest.(check bool) "non-prefix not provided" false
+    (Access_path.provides_order db cov [ (cr "fact" "amt", Query.Asc) ]);
+  (* Equality-pinned prefix can be skipped. *)
+  let seek =
+    Access_path.best db [ igrp_amt ]
+      (input
+         ~selections:[ eq "fact" "grp" (Value.Int 3) ]
+         ~required:[ "grp"; "amt" ] ())
+  in
+  Alcotest.(check bool) "order on column after pinned prefix" true
+    (Access_path.provides_order db seek [ (cr "fact" "amt", Query.Asc) ])
+
+(* ---- Optimizer ---- *)
+
+let q_point =
+  Query.make ~id:"point"
+    ~select:[ Query.Sel_col (cr "fact" "amt") ]
+    ~where:[ eq "fact" "grp" (Value.Int 3) ]
+    [ "fact" ]
+
+let test_optimize_no_indexes () =
+  let plan = Optimizer.optimize db [] q_point in
+  match plan.Plan.root.Plan.op with
+  | Plan.Access (Plan.Seq_scan "fact", _) ->
+    Alcotest.(check int) "no usages" 0 (List.length plan.Plan.usages)
+  | _ -> Alcotest.fail "expected seq scan"
+
+let test_optimize_uses_index_and_usages () =
+  let plan = Optimizer.optimize db [ igrp_amt ] q_point in
+  (match Plan.uses_index plan igrp_amt with
+   | Some Plan.Seek -> ()
+   | Some Plan.Scan -> Alcotest.fail "expected seek usage"
+   | None -> Alcotest.fail "index unused");
+  Alcotest.(check bool) "cheaper than no-index plan" true
+    (Plan.cost plan < Plan.cost (Optimizer.optimize db [] q_point))
+
+let test_optimize_sort_avoidance () =
+  let q_sorted =
+    Query.make ~id:"sorted"
+      ~select:[ Query.Sel_col (cr "fact" "grp"); Query.Sel_col (cr "fact" "amt") ]
+      ~order_by:[ (cr "fact" "grp", Query.Asc) ]
+      [ "fact" ]
+  in
+  let plan = Optimizer.optimize db [ icover ] q_sorted in
+  let rec has_sort (n : Plan.node) =
+    match n.Plan.op with
+    | Plan.Sort _ -> true
+    | Plan.Access _ -> false
+    | Plan.Hash_join (l, r, _) -> has_sort l || has_sort r
+    | Plan.Index_nlj (o, _, _) -> has_sort o
+    | Plan.Hash_aggregate m -> has_sort m
+  in
+  Alcotest.(check bool) "no sort: index provides order" false
+    (has_sort plan.Plan.root);
+  let plan_noix = Optimizer.optimize db [] q_sorted in
+  Alcotest.(check bool) "without index a sort appears" true
+    (has_sort plan_noix.Plan.root)
+
+let test_optimize_aggregate_shape () =
+  let q_agg =
+    Query.make ~id:"agg"
+      ~select:
+        [
+          Query.Sel_col (cr "fact" "grp");
+          Query.Sel_agg (Query.Sum, Some (cr "fact" "amt"));
+        ]
+      ~group_by:[ cr "fact" "grp" ]
+      [ "fact" ]
+  in
+  let plan = Optimizer.optimize db [] q_agg in
+  (match plan.Plan.root.Plan.op with
+   | Plan.Hash_aggregate _ ->
+     Alcotest.(check bool) "~100 groups" true
+       (plan.Plan.root.Plan.est_rows > 50. && plan.Plan.root.Plan.est_rows < 200.)
+   | _ -> Alcotest.fail "expected aggregate on top")
+
+let q_join =
+  Query.make ~id:"join"
+    ~select:[ Query.Sel_col (cr "dim" "label"); Query.Sel_col (cr "fact" "amt") ]
+    ~where:
+      [
+        (* fact.k is unique, so the probe side of an index nested loop
+           touches one row per outer tuple. *)
+        Predicate.Join (cr "fact" "k", cr "dim" "id");
+        le "dim" "id" (Value.Int 10);
+      ]
+    [ "fact"; "dim" ]
+
+let test_optimize_join_methods () =
+  let plan_hash = Optimizer.optimize db [] q_join in
+  let rec join_kind (n : Plan.node) =
+    match n.Plan.op with
+    | Plan.Hash_join _ -> Some `Hash
+    | Plan.Index_nlj _ -> Some `Nlj
+    | Plan.Sort (m, _) | Plan.Hash_aggregate m -> join_kind m
+    | Plan.Access _ -> None
+  in
+  Alcotest.(check bool) "some join planned" true
+    (join_kind plan_hash.Plan.root <> None);
+  (* With an index on the fact join column, an index NLJ becomes
+     available and should beat hashing 20k rows for 10 dim rows. *)
+  let plan_ix = Optimizer.optimize db [ ik ] q_join in
+  Alcotest.(check bool) "indexed join plan is cheaper" true
+    (Plan.cost plan_ix < Plan.cost plan_hash);
+  (match join_kind plan_ix.Plan.root with
+   | Some `Nlj -> ()
+   | _ -> Alcotest.fail "expected index nested-loop join");
+  (match Plan.uses_index plan_ix ik with
+   | Some Plan.Seek -> ()
+   | _ -> Alcotest.fail "join probe should count as a seek")
+
+let test_index_intersection_chosen () =
+  (* Two single-column indexes on independently selective predicates on
+     a wide table: intersecting rid sets beats either lookup seek and
+     the heap scan. *)
+  let q =
+    Query.make ~id:"inter"
+      ~select:[ Query.Sel_col (cr "fact" "pad") ]
+      ~where:
+        [ eq "fact" "grp" (Value.Int 7); eq "fact" "amt" (Value.Float 250.) ]
+      [ "fact" ]
+  in
+  let iamt = Index.make ~table:"fact" [ "amt" ] in
+  let plan = Optimizer.optimize db [ igrp; iamt ] q in
+  (match plan.Plan.root.Plan.op with
+   | Plan.Access (Plan.Index_intersection { left; right; _ }, _) ->
+     Alcotest.(check bool) "both indexes involved" true
+       (Index.equal left igrp && Index.equal right iamt
+        || (Index.equal left iamt && Index.equal right igrp))
+   | _ ->
+     Alcotest.failf "expected index intersection, got:\n%s" (Plan.explain plan));
+  (* Both usages count as seeks. *)
+  Alcotest.(check bool) "seek usages" true
+    (Plan.uses_index plan igrp = Some Plan.Seek
+     && Plan.uses_index plan iamt = Some Plan.Seek);
+  (* And it must be cheaper than using either index alone. *)
+  List.iter
+    (fun single ->
+      Alcotest.(check bool) "cheaper than single index" true
+        (Plan.cost plan <= Plan.cost (Optimizer.optimize db [ single ] q)))
+    [ igrp; iamt ]
+
+let test_index_intersection_executes () =
+  let q =
+    Query.make ~id:"inter-exec"
+      ~select:[ Query.Sel_col (cr "fact" "k") ]
+      ~where:
+        [ eq "fact" "grp" (Value.Int 7); eq "fact" "amt" (Value.Float 107.) ]
+      [ "fact" ]
+  in
+  let iamt = Index.make ~table:"fact" [ "amt" ] in
+  let base = Im_engine.Exec.run_query db [] q in
+  let inter = Im_engine.Exec.run_query db [ igrp; iamt ] q in
+  let sort = List.sort compare in
+  Alcotest.(check int) "same cardinality" (List.length base)
+    (List.length inter);
+  Alcotest.(check bool) "same rows" true (sort base = sort inter)
+
+let test_invocation_counter () =
+  Optimizer.reset_invocations ();
+  ignore (Optimizer.optimize db [] q_point);
+  ignore (Optimizer.optimize db [] q_join);
+  Alcotest.(check int) "two invocations" 2 (Optimizer.invocations ())
+
+let test_explain_mentions_operators () =
+  let plan = Optimizer.optimize db [ igrp_amt ] q_point in
+  let s = Plan.explain plan in
+  Alcotest.(check bool) "mentions IndexSeek" true
+    (Astring_contains.contains s "IndexSeek");
+  Alcotest.(check bool) "mentions query id" true
+    (Astring_contains.contains s "point")
+
+(* ---- What-if monotonicity (key property) ---- *)
+
+let all_indexes = [ ik; igrp; igrp_amt; icover; idim ]
+
+let queries_for_monotonicity = [ q_point; q_join ]
+
+let prop_more_indexes_never_hurt =
+  QCheck.Test.make ~name:"adding indexes never raises plan cost" ~count:100
+    QCheck.(pair (int_bound 1) (list_of_size (Gen.int_range 0 5) (int_bound 4)))
+    (fun (qi, picks) ->
+      let q = List.nth queries_for_monotonicity qi in
+      let config =
+        Im_util.List_ext.dedup_keep_order Index.equal
+          (List.map (List.nth all_indexes) picks)
+      in
+      let base = Plan.cost (Optimizer.optimize db [] q) in
+      let with_ix = Plan.cost (Optimizer.optimize db config q) in
+      with_ix <= base +. 1e-9)
+
+let prop_subset_monotone =
+  QCheck.Test.make ~name:"cost(config) <= cost(subset of config)" ~count:100
+    QCheck.(pair (int_bound 1) (list_of_size (Gen.int_range 0 5) (int_bound 4)))
+    (fun (qi, picks) ->
+      let q = List.nth queries_for_monotonicity qi in
+      let config =
+        Im_util.List_ext.dedup_keep_order Index.equal
+          (List.map (List.nth all_indexes) picks)
+      in
+      match config with
+      | [] -> true
+      | _ :: subset ->
+        Plan.cost (Optimizer.optimize db config q)
+        <= Plan.cost (Optimizer.optimize db subset q) +. 1e-9)
+
+let () =
+  Alcotest.run "im_optimizer"
+    [
+      ( "cardinality",
+        [
+          tc "eq selectivity" `Quick test_card_eq_selectivity;
+          tc "join selectivity" `Quick test_card_join_selectivity;
+          tc "distinct/density" `Quick test_card_distinct_density;
+          tc "group count" `Quick test_card_group_count;
+        ] );
+      ( "access_path",
+        [
+          tc "seek prefix" `Quick test_seek_prefix;
+          tc "seq scan fallback" `Quick test_candidates_always_include_scan;
+          tc "covering scan wins" `Quick test_covering_scan_beats_heap;
+          tc "selective seek" `Quick test_seek_for_selective_predicate;
+          tc "non-covering lookups" `Quick test_noncovering_seek_costs_lookups;
+          tc "parameterized probe" `Quick test_param_eq_probe;
+          tc "provides order" `Quick test_provides_order;
+        ] );
+      ( "optimizer",
+        [
+          tc "no indexes -> seq scan" `Quick test_optimize_no_indexes;
+          tc "uses index + usages" `Quick test_optimize_uses_index_and_usages;
+          tc "sort avoidance" `Quick test_optimize_sort_avoidance;
+          tc "aggregate shape" `Quick test_optimize_aggregate_shape;
+          tc "join methods" `Quick test_optimize_join_methods;
+          tc "index intersection chosen" `Quick test_index_intersection_chosen;
+          tc "index intersection executes" `Quick
+            test_index_intersection_executes;
+          tc "invocation counter" `Quick test_invocation_counter;
+          tc "explain" `Quick test_explain_mentions_operators;
+          qtest prop_more_indexes_never_hurt;
+          qtest prop_subset_monotone;
+        ] );
+    ]

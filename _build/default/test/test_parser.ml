@@ -1,0 +1,272 @@
+(* Tests for the SQL lexer and parser: round-trips through the query
+   AST, resolution and coercion rules, and error reporting. *)
+
+module Schema = Im_sqlir.Schema
+module Datatype = Im_sqlir.Datatype
+module Value = Im_sqlir.Value
+module Predicate = Im_sqlir.Predicate
+module Query = Im_sqlir.Query
+module Lexer = Im_sqlir.Lexer
+module Parser = Im_sqlir.Parser
+
+let tc = Alcotest.test_case
+
+let schema =
+  Schema.make
+    [
+      Schema.make_table "orders"
+        [
+          ("o_id", Datatype.Int);
+          ("o_cust", Datatype.Int);
+          ("o_total", Datatype.Float);
+          ("o_date", Datatype.Date);
+          ("o_status", Datatype.Varchar 10);
+        ];
+      Schema.make_table "customer"
+        [ ("c_id", Datatype.Int); ("c_name", Datatype.Varchar 25) ];
+    ]
+
+let parse s =
+  match Parser.parse_query ~schema s with
+  | Ok q -> q
+  | Error msg -> Alcotest.failf "parse failed: %s (input: %s)" msg s
+
+let expect_error s =
+  match Parser.parse_query ~schema s with
+  | Ok q -> Alcotest.failf "expected failure, parsed: %s" (Query.to_sql q)
+  | Error _ -> ()
+
+(* ---- Lexer ---- *)
+
+let test_lexer_tokens () =
+  match Lexer.tokenize "SELECT o_id, orders.o_total FROM orders WHERE o_total >= 10.5" with
+  | Error m -> Alcotest.fail m
+  | Ok toks ->
+    Alcotest.(check bool) "has SELECT kw" true (List.mem (Lexer.Kw "SELECT") toks);
+    Alcotest.(check bool) "qualified ref" true
+      (List.mem (Lexer.Qualified ("orders", "o_total")) toks);
+    Alcotest.(check bool) "float literal" true
+      (List.mem (Lexer.Float_lit 10.5) toks);
+    Alcotest.(check bool) "op" true (List.mem (Lexer.Op ">=") toks)
+
+let test_lexer_strings_and_comments () =
+  (match Lexer.tokenize "-- a comment\n'it''s' <> 'x'" with
+   | Ok [ Lexer.String_lit s; Lexer.Op "<>"; Lexer.String_lit "x"; Lexer.Eof ] ->
+     Alcotest.(check string) "escaped quote" "it's" s
+   | Ok toks ->
+     Alcotest.failf "unexpected tokens: %s"
+       (String.concat " " (List.map Lexer.pp_token toks))
+   | Error m -> Alcotest.fail m);
+  (match Lexer.tokenize "'unterminated" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unterminated string accepted")
+
+let test_lexer_date () =
+  match Lexer.tokenize "DATE '1995-03-15'" with
+  | Ok [ Lexer.Date_lit d; Lexer.Eof ] ->
+    Alcotest.(check bool) "plausible day number" true (d > 1100 && d < 1300)
+  | Ok _ | Error _ -> Alcotest.fail "DATE literal not recognized"
+
+let test_lexer_negative_number () =
+  match Lexer.tokenize "-42 -7.5" with
+  | Ok [ Lexer.Int_lit a; Lexer.Float_lit b; Lexer.Eof ] ->
+    Alcotest.(check int) "int" (-42) a;
+    Alcotest.(check (float 1e-9)) "float" (-7.5) b
+  | Ok _ | Error _ -> Alcotest.fail "negative literals not recognized"
+
+(* ---- Parser: happy paths ---- *)
+
+let test_parse_simple () =
+  let q = parse "SELECT o_id, o_total FROM orders" in
+  Alcotest.(check (list string)) "tables" [ "orders" ] q.Query.q_tables;
+  Alcotest.(check int) "select items" 2 (List.length q.Query.q_select);
+  Alcotest.(check (list string)) "columns resolved" [ "o_id"; "o_total" ]
+    (Query.referenced_columns q "orders")
+
+let test_parse_where_forms () =
+  let q =
+    parse
+      "SELECT o_id FROM orders WHERE o_status = 'OPEN' AND o_total BETWEEN 10 \
+       AND 99.5 AND o_cust IN (1, 2, 3) AND o_date >= DATE '1994-01-01'"
+  in
+  Alcotest.(check int) "four conjuncts" 4 (List.length q.Query.q_where);
+  let kinds =
+    List.map
+      (function
+        | Predicate.Cmp (Predicate.Eq, _, Value.Str _) -> "eq-str"
+        | Predicate.Between (_, Value.Float _, Value.Float _) -> "between-float"
+        | Predicate.In_list (_, _) -> "in"
+        | Predicate.Cmp (Predicate.Ge, _, Value.Date _) -> "ge-date"
+        | _ -> "?")
+      q.Query.q_where
+  in
+  Alcotest.(check (list string)) "conjunct forms"
+    [ "eq-str"; "between-float"; "in"; "ge-date" ]
+    kinds
+
+let test_parse_join_and_qualify () =
+  let q =
+    parse
+      "SELECT customer.c_name, COUNT(*) FROM orders, customer WHERE \
+       orders.o_cust = customer.c_id GROUP BY customer.c_name"
+  in
+  Alcotest.(check int) "one join" 1 (List.length (Query.join_predicates q));
+  Alcotest.(check bool) "aggregated" true (Query.has_aggregates q);
+  Alcotest.(check (list string)) "grouped" [ "c_name" ]
+    (Query.group_by_columns q "customer")
+
+let test_parse_aggregates () =
+  let q =
+    parse
+      "SELECT o_cust, SUM(o_total), AVG(o_total), MIN(o_date), MAX(o_date), \
+       COUNT(*) FROM orders GROUP BY o_cust ORDER BY o_cust DESC"
+  in
+  Alcotest.(check int) "six items" 6 (List.length q.Query.q_select);
+  (match q.Query.q_order_by with
+   | [ (c, Query.Desc) ] ->
+     Alcotest.(check string) "order col" "o_cust" c.Predicate.cr_column
+   | _ -> Alcotest.fail "order by not parsed")
+
+let test_parse_literal_coercion () =
+  (* Int literal against float and date columns. *)
+  let q = parse "SELECT o_id FROM orders WHERE o_total < 100 AND o_date < 500" in
+  (match q.Query.q_where with
+   | [ Predicate.Cmp (_, _, Value.Float f); Predicate.Cmp (_, _, Value.Date d) ]
+     ->
+     Alcotest.(check (float 1e-9)) "coerced float" 100. f;
+     Alcotest.(check int) "coerced date" 500 d
+   | _ -> Alcotest.fail "coercion failed")
+
+let test_parse_flipped_literal () =
+  let q = parse "SELECT o_id FROM orders WHERE 100 <= o_total" in
+  match q.Query.q_where with
+  | [ Predicate.Cmp (Predicate.Ge, c, Value.Float _) ] ->
+    Alcotest.(check string) "column side" "o_total" c.Predicate.cr_column
+  | _ -> Alcotest.fail "flip failed"
+
+let test_parse_roundtrip_to_sql () =
+  (* to_sql output of a parsed query parses back to the same canonical
+     form (to_sql always qualifies columns). *)
+  let q1 =
+    parse
+      "SELECT o_cust, SUM(o_total), COUNT(*) FROM orders WHERE o_status = \
+       'OPEN' GROUP BY o_cust ORDER BY o_cust"
+  in
+  let q2 = parse (Query.to_sql q1) in
+  Alcotest.(check string) "fixpoint" (Query.canonical_string q1)
+    (Query.canonical_string q2)
+
+let test_parse_statements_script () =
+  let script =
+    "SELECT o_id FROM orders;\n-- second one\nSELECT c_id FROM customer;"
+  in
+  match Parser.parse_statements ~schema ~id_prefix:"W" script with
+  | Ok [ q1; q2 ] ->
+    Alcotest.(check (list string)) "ids" [ "W1"; "W2" ]
+      [ q1.Query.q_id; q2.Query.q_id ]
+  | Ok qs -> Alcotest.failf "expected 2 statements, got %d" (List.length qs)
+  | Error m -> Alcotest.fail m
+
+(* ---- Parser: rejections ---- *)
+
+let test_parse_errors () =
+  expect_error "SELECT";
+  expect_error "SELECT o_id FROM nope";
+  expect_error "SELECT nope FROM orders";
+  expect_error "SELECT o_id FROM orders WHERE o_status = 42";
+  expect_error "SELECT o_id FROM orders WHERE o_total < o_date";
+  (* only equality joins *)
+  expect_error "SELECT o_id FROM orders, customer WHERE o_cust < customer.c_id";
+  (* aggregates need grouping of plain columns *)
+  expect_error "SELECT o_id, COUNT(*) FROM orders";
+  (* ambiguous unqualified column across FROM tables *)
+  let amb_schema =
+    Schema.make
+      [
+        Schema.make_table "a" [ ("x", Datatype.Int) ];
+        Schema.make_table "b" [ ("x", Datatype.Int) ];
+      ]
+  in
+  (match Parser.parse_query ~schema:amb_schema "SELECT x FROM a, b" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "ambiguous column accepted");
+  expect_error "SELECT o_id FROM orders extra";
+  expect_error "SELECT o_id FROM orders WHERE o_status = 'wayyyyy too long for varchar ten'"
+
+let test_parse_tpcd_query_on_real_schema () =
+  (* Parse a Q6-alike against the TPC-D schema and run the pipeline. *)
+  let tpcd = Im_workload.Tpcd.schema in
+  match
+    Parser.parse_query ~schema:tpcd
+      "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_shipdate >= DATE \
+       '1994-01-01' AND l_shipdate < DATE '1995-01-01' AND l_discount \
+       BETWEEN 0.05 AND 0.07 AND l_quantity < 24"
+  with
+  | Error m -> Alcotest.fail m
+  | Ok q ->
+    Alcotest.(check (list string)) "sargable columns"
+      [ "l_shipdate"; "l_discount"; "l_quantity" ]
+      (Query.sargable_columns q "lineitem")
+
+(* Property: to_sql output of any generated query parses back to the
+   same canonical form, on both workload generators and both database
+   families. *)
+let prop_generated_roundtrip =
+  let sdb =
+    Im_workload.Synthetic.database ~seed:13
+      {
+        Im_workload.Synthetic.sp_name = "rt";
+        sp_tables = 3;
+        sp_cols_lo = 4;
+        sp_cols_hi = 7;
+        sp_rows_lo = 100;
+        sp_rows_hi = 200;
+      }
+  in
+  let rng = Im_util.Rng.create 6 in
+  let pool =
+    Im_workload.Workload.queries (Im_workload.Ragsgen.generate sdb ~rng ~n:40)
+    @ Im_workload.Workload.queries
+        (Im_workload.Projgen.generate sdb ~rng ~n:20)
+    @ Im_workload.Tpcd_queries.all
+  in
+  let queries = Array.of_list pool in
+  let schema_for (q : Query.t) =
+    if List.exists (fun t -> Schema.mem_table Im_workload.Tpcd.schema t) q.Query.q_tables
+    then Im_workload.Tpcd.schema
+    else Im_catalog.Database.schema sdb
+  in
+  QCheck.Test.make ~name:"generated queries round trip through SQL" ~count:77
+    QCheck.(int_bound (Array.length queries - 1))
+    (fun i ->
+      let q = queries.(i) in
+      let sql = Query.to_sql q in
+      match Parser.parse_query ~schema:(schema_for q) sql with
+      | Ok q' -> Query.canonical_string q = Query.canonical_string q'
+      | Error msg -> QCheck.Test.fail_reportf "%s: %s" msg sql)
+
+let () =
+  Alcotest.run "im_parser"
+    [
+      ( "lexer",
+        [
+          tc "tokens" `Quick test_lexer_tokens;
+          tc "strings and comments" `Quick test_lexer_strings_and_comments;
+          tc "date literal" `Quick test_lexer_date;
+          tc "negative numbers" `Quick test_lexer_negative_number;
+        ] );
+      ( "parser",
+        [
+          tc "simple select" `Quick test_parse_simple;
+          tc "where forms" `Quick test_parse_where_forms;
+          tc "join + qualification" `Quick test_parse_join_and_qualify;
+          tc "aggregates + order" `Quick test_parse_aggregates;
+          tc "literal coercion" `Quick test_parse_literal_coercion;
+          tc "flipped literal" `Quick test_parse_flipped_literal;
+          tc "to_sql fixpoint" `Quick test_parse_roundtrip_to_sql;
+          tc "script of statements" `Quick test_parse_statements_script;
+          tc "rejections" `Quick test_parse_errors;
+          tc "TPC-D Q6 text" `Quick test_parse_tpcd_query_on_real_schema;
+          QCheck_alcotest.to_alcotest prop_generated_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,251 @@
+(* Tests for statistics: Zipf sampling, equi-depth histograms,
+   reservoir sampling and column stats (including sampled builds). *)
+
+module Zipf = Im_stats.Zipf
+module Histogram = Im_stats.Histogram
+module Sampler = Im_stats.Sampler
+module Column_stats = Im_stats.Column_stats
+module Value = Im_sqlir.Value
+module Predicate = Im_sqlir.Predicate
+module Rng = Im_util.Rng
+
+let tc = Alcotest.test_case
+let qtest = QCheck_alcotest.to_alcotest
+let cr = Predicate.colref "t" "c"
+
+(* ---- Zipf ---- *)
+
+let test_zipf_probabilities_sum () =
+  List.iter
+    (fun z ->
+      let t = Zipf.make ~n_distinct:50 ~z in
+      let total =
+        List.fold_left ( +. ) 0. (List.init 50 (Zipf.probability t))
+      in
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "z=%.0f" z) 1.0 total)
+    [ 0.; 1.; 2.; 4. ]
+
+let test_zipf_uniform () =
+  let t = Zipf.make ~n_distinct:10 ~z:0. in
+  List.iter
+    (fun k ->
+      Alcotest.(check (float 1e-9)) "uniform prob" 0.1 (Zipf.probability t k))
+    [ 0; 3; 9 ]
+
+let test_zipf_skew () =
+  let t = Zipf.make ~n_distinct:100 ~z:2. in
+  Alcotest.(check bool) "rank 0 dominates" true (Zipf.probability t 0 > 0.5);
+  Alcotest.(check bool) "monotone" true
+    (Zipf.probability t 0 > Zipf.probability t 1
+     && Zipf.probability t 1 > Zipf.probability t 10)
+
+let test_zipf_sample_range_and_bias () =
+  let t = Zipf.make ~n_distinct:20 ~z:1.5 in
+  let rng = Rng.create 4 in
+  let counts = Array.make 20 0 in
+  for _ = 1 to 5000 do
+    let k = Zipf.sample t rng in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 20);
+    counts.(k) <- counts.(k) + 1
+  done;
+  Alcotest.(check bool) "rank 0 most frequent" true
+    (Array.for_all (fun c -> counts.(0) >= c) counts)
+
+let test_zipf_single_value () =
+  let t = Zipf.make ~n_distinct:1 ~z:3. in
+  let rng = Rng.create 1 in
+  Alcotest.(check int) "always rank 0" 0 (Zipf.sample t rng)
+
+(* ---- Histogram ---- *)
+
+let ints xs = List.map (fun i -> Value.Int i) xs
+
+let test_histogram_build_basic () =
+  let h = Histogram.build ~n_buckets:4 (ints [ 1; 2; 3; 4; 5; 6; 7; 8 ]) in
+  Alcotest.(check int) "total" 8 h.Histogram.total;
+  Alcotest.(check int) "distinct" 8 h.Histogram.distinct;
+  Alcotest.(check int) "buckets" 4 (List.length h.Histogram.buckets);
+  Alcotest.(check int) "nulls" 0 h.Histogram.null_count;
+  Alcotest.(check (option (float 1e-9))) "min" (Some 1.) (Histogram.min_value h);
+  Alcotest.(check (option (float 1e-9))) "max" (Some 8.) (Histogram.max_value h)
+
+let test_histogram_nulls () =
+  let h = Histogram.build (Value.Null :: ints [ 1; 2 ]) in
+  Alcotest.(check int) "null count" 1 h.Histogram.null_count;
+  Alcotest.(check int) "total includes nulls" 3 h.Histogram.total
+
+let test_histogram_empty () =
+  let h = Histogram.build [] in
+  Alcotest.(check int) "total" 0 h.Histogram.total;
+  Alcotest.(check (float 1e-9)) "sel_eq" 0. (Histogram.sel_eq h (Value.Int 1));
+  Alcotest.(check (float 1e-9)) "density" 0. (Histogram.density h)
+
+let test_histogram_sel_eq () =
+  (* 100 rows, 10 distinct values, each appearing 10 times. *)
+  let values = List.concat_map (fun v -> List.init 10 (fun _ -> Value.Int v))
+      [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] in
+  let h = Histogram.build ~n_buckets:5 values in
+  let s = Histogram.sel_eq h (Value.Int 3) in
+  Alcotest.(check bool) "sel_eq near 0.1" true (s > 0.03 && s < 0.3)
+
+let test_histogram_sel_range () =
+  let h = Histogram.build ~n_buckets:8 (ints (List.init 100 Fun.id)) in
+  Alcotest.(check (float 0.02)) "full range" 1.
+    (Histogram.sel_range h ~lo:None ~hi:None);
+  Alcotest.(check (float 1e-9)) "empty range" 0.
+    (Histogram.sel_range h ~lo:(Some (Value.Int 50)) ~hi:(Some (Value.Int 10)));
+  let half = Histogram.sel_range h ~lo:None ~hi:(Some (Value.Int 49)) in
+  Alcotest.(check bool) "half range ~0.5" true (half > 0.4 && half < 0.6);
+  let out = Histogram.sel_range h ~lo:(Some (Value.Int 1000)) ~hi:None in
+  Alcotest.(check (float 1e-9)) "beyond max" 0. out
+
+let test_histogram_sel_pred () =
+  let h = Histogram.build ~n_buckets:8 (ints (List.init 100 Fun.id)) in
+  let lt = Histogram.sel_pred h (Predicate.Cmp (Predicate.Lt, cr, Value.Int 25)) in
+  Alcotest.(check bool) "lt quarter" true (lt > 0.15 && lt < 0.35);
+  let ne = Histogram.sel_pred h (Predicate.Cmp (Predicate.Ne, cr, Value.Int 5)) in
+  Alcotest.(check bool) "ne ~1" true (ne > 0.9);
+  let inl =
+    Histogram.sel_pred h
+      (Predicate.In_list (cr, ints [ 1; 2; 3 ]))
+  in
+  Alcotest.(check bool) "in-list ~0.03" true (inl > 0.005 && inl < 0.15);
+  Alcotest.check_raises "join rejected"
+    (Invalid_argument "Histogram.sel_pred: join predicate") (fun () ->
+      ignore (Histogram.sel_pred h (Predicate.Join (cr, cr))))
+
+let test_histogram_scale () =
+  let h = Histogram.build ~n_buckets:4 (ints (List.init 50 Fun.id)) in
+  let h2 = Histogram.scale h 500 in
+  Alcotest.(check int) "total rescaled" 500 h2.Histogram.total;
+  let sum_counts =
+    Im_util.List_ext.sum_by (fun b -> b.Histogram.b_count) h2.Histogram.buckets
+  in
+  Alcotest.(check bool) "counts near 500" true
+    (sum_counts > 450 && sum_counts < 550);
+  (* Selectivity estimates survive scaling. *)
+  let s1 = Histogram.sel_range h ~lo:None ~hi:(Some (Value.Int 24)) in
+  let s2 = Histogram.sel_range h2 ~lo:None ~hi:(Some (Value.Int 24)) in
+  Alcotest.(check (float 0.05)) "sel invariant" s1 s2
+
+let prop_selectivity_bounds =
+  QCheck.Test.make ~name:"selectivities within [0,1]" ~count:300
+    QCheck.(pair (list_of_size (Gen.int_range 0 60) small_signed_int) small_signed_int)
+    (fun (xs, v) ->
+      let h = Histogram.build (ints xs) in
+      let ok s = s >= 0. && s <= 1. in
+      ok (Histogram.sel_eq h (Value.Int v))
+      && ok (Histogram.sel_range h ~lo:(Some (Value.Int v)) ~hi:None)
+      && ok (Histogram.sel_range h ~lo:None ~hi:(Some (Value.Int v))))
+
+let prop_range_additivity =
+  QCheck.Test.make ~name:"below + above covers all" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 60) (int_bound 100)) (int_bound 100))
+    (fun (xs, v) ->
+      let h = Histogram.build (ints xs) in
+      let below = Histogram.sel_range h ~lo:None ~hi:(Some (Value.Int v)) in
+      let above = Histogram.sel_range h ~lo:(Some (Value.Int (v + 1))) ~hi:None in
+      below +. above <= 1.25 (* loose: bucket-overlap approximation *))
+
+(* ---- Sampler ---- *)
+
+let test_reservoir_basic () =
+  let rng = Rng.create 3 in
+  let xs = List.init 100 Fun.id in
+  let s = Sampler.reservoir rng 10 xs in
+  Alcotest.(check int) "size" 10 (List.length s);
+  List.iter (fun x -> Alcotest.(check bool) "member" true (List.mem x xs)) s;
+  Alcotest.(check int) "distinct" 10 (List.length (List.sort_uniq compare s))
+
+let test_reservoir_small_population () =
+  let rng = Rng.create 3 in
+  let s = Sampler.reservoir rng 10 [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "whole population" [ 1; 2; 3 ]
+    (List.sort compare s)
+
+let test_reservoir_zero () =
+  let rng = Rng.create 3 in
+  Alcotest.(check (list int)) "k=0" [] (Sampler.reservoir rng 0 [ 1; 2 ])
+
+let test_reservoir_roughly_uniform () =
+  (* Each of 20 elements should appear in a 5-element sample with
+     probability 1/4; over 2000 trials every element should be seen. *)
+  let rng = Rng.create 99 in
+  let counts = Array.make 20 0 in
+  for _ = 1 to 2000 do
+    List.iter
+      (fun x -> counts.(x) <- counts.(x) + 1)
+      (Sampler.reservoir rng 5 (List.init 20 Fun.id))
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "element %d sampled a plausible number of times" i)
+        true
+        (c > 300 && c < 700))
+    counts
+
+(* ---- Column_stats ---- *)
+
+let test_column_stats_exact () =
+  let values = ints (List.init 1000 (fun i -> i mod 100)) in
+  let s = Column_stats.build ~table:"t" ~column:"c" values in
+  Alcotest.(check bool) "not sampled" false s.Column_stats.cs_sampled;
+  Alcotest.(check int) "row count" 1000 s.Column_stats.cs_row_count;
+  Alcotest.(check int) "distinct" 100 (Column_stats.distinct s);
+  Alcotest.(check (float 0.05)) "density" 0.01 (Column_stats.density s)
+
+let test_column_stats_sampled () =
+  let values = ints (List.init 10_000 (fun i -> i mod 100)) in
+  let rng = Rng.create 5 in
+  let exact = Column_stats.build ~table:"t" ~column:"c" values in
+  let sampled =
+    Column_stats.build ~table:"t" ~column:"c" ~sample:(500, rng) values
+  in
+  Alcotest.(check bool) "sampled flag" true sampled.Column_stats.cs_sampled;
+  Alcotest.(check int) "row count still full" 10_000
+    sampled.Column_stats.cs_row_count;
+  let p = Predicate.Cmp (Predicate.Le, cr, Value.Int 49) in
+  let se = Column_stats.selectivity exact p in
+  let ss = Column_stats.selectivity sampled p in
+  Alcotest.(check bool)
+    (Printf.sprintf "sampled selectivity close to exact (%.3f vs %.3f)" ss se)
+    true
+    (Float.abs (se -. ss) < 0.1)
+
+let () =
+  Alcotest.run "im_stats"
+    [
+      ( "zipf",
+        [
+          tc "probabilities sum to 1" `Quick test_zipf_probabilities_sum;
+          tc "z=0 uniform" `Quick test_zipf_uniform;
+          tc "high z skew" `Quick test_zipf_skew;
+          tc "sample range and bias" `Quick test_zipf_sample_range_and_bias;
+          tc "single value" `Quick test_zipf_single_value;
+        ] );
+      ( "histogram",
+        [
+          tc "build basic" `Quick test_histogram_build_basic;
+          tc "nulls" `Quick test_histogram_nulls;
+          tc "empty" `Quick test_histogram_empty;
+          tc "sel_eq" `Quick test_histogram_sel_eq;
+          tc "sel_range" `Quick test_histogram_sel_range;
+          tc "sel_pred forms" `Quick test_histogram_sel_pred;
+          tc "scale" `Quick test_histogram_scale;
+          qtest prop_selectivity_bounds;
+          qtest prop_range_additivity;
+        ] );
+      ( "sampler",
+        [
+          tc "basic" `Quick test_reservoir_basic;
+          tc "small population" `Quick test_reservoir_small_population;
+          tc "k = 0" `Quick test_reservoir_zero;
+          tc "roughly uniform" `Quick test_reservoir_roughly_uniform;
+        ] );
+      ( "column_stats",
+        [
+          tc "exact build" `Quick test_column_stats_exact;
+          tc "sampled build" `Quick test_column_stats_sampled;
+        ] );
+    ]

@@ -1,0 +1,204 @@
+(* Tests for the per-query tuning substrate: candidate generation, the
+   wizard's greedy cost-driven selection, and the §4.2.3 protocol for
+   building initial configurations. *)
+
+module Database = Im_catalog.Database
+module Index = Im_catalog.Index
+module Config = Im_catalog.Config
+module Schema = Im_sqlir.Schema
+module Datatype = Im_sqlir.Datatype
+module Value = Im_sqlir.Value
+module Predicate = Im_sqlir.Predicate
+module Query = Im_sqlir.Query
+module Candidates = Im_tuning.Candidates
+module Wizard = Im_tuning.Wizard
+module Initial_config = Im_tuning.Initial_config
+module Rng = Im_util.Rng
+
+let tc = Alcotest.test_case
+let cr = Predicate.colref
+
+let schema =
+  Schema.make
+    [
+      Schema.make_table "sales"
+        [
+          ("day", Datatype.Date);
+          ("store", Datatype.Int);
+          ("sku", Datatype.Int);
+          ("qty", Datatype.Int);
+          ("amount", Datatype.Float);
+          ("pad", Datatype.Varchar 80);
+        ];
+      Schema.make_table "stores"
+        [ ("sid", Datatype.Int); ("city", Datatype.Varchar 16) ];
+    ]
+
+let db =
+  let sales =
+    List.init 15_000 (fun i ->
+        [|
+          Value.Date (i mod 365);
+          Value.Int (i mod 40);
+          Value.Int (i mod 500);
+          Value.Int (i mod 10);
+          Value.Float (float_of_int (i mod 97));
+          Value.Str "x";
+        |])
+  in
+  let stores =
+    List.init 40 (fun i -> [| Value.Int i; Value.Str (Printf.sprintf "c%02d" i) |])
+  in
+  Database.create schema [ ("sales", sales); ("stores", stores) ]
+
+(* A query with an equality, a range, a join, grouping and ordering. *)
+let q_rich =
+  Query.make ~id:"rich"
+    ~select:
+      [
+        Query.Sel_col (cr "sales" "sku");
+        Query.Sel_agg (Query.Sum, Some (cr "sales" "amount"));
+      ]
+    ~where:
+      [
+        Predicate.Cmp (Predicate.Eq, cr "sales" "store", Value.Int 3);
+        Predicate.Cmp (Predicate.Ge, cr "sales" "day", Value.Date 300);
+        Predicate.Join (cr "sales" "store", cr "stores" "sid");
+      ]
+    ~group_by:[ cr "sales" "sku" ]
+    [ "sales"; "stores" ]
+
+(* ---- Candidates ---- *)
+
+let test_candidates_shapes () =
+  let cands = Candidates.for_table schema q_rich "sales" in
+  Alcotest.(check bool) "several candidates" true (List.length cands >= 4);
+  (* All valid and on the right table. *)
+  List.iter
+    (fun ix ->
+      Alcotest.(check bool) "valid" true (Result.is_ok (Index.validate schema ix));
+      Alcotest.(check string) "table" "sales" ix.Index.idx_table)
+    cands;
+  (* The seek key puts the equality column before the range column. *)
+  Alcotest.(check bool) "eq-then-range seek key" true
+    (List.exists
+       (fun ix -> ix.Index.idx_columns = [ "store"; "day" ])
+       cands);
+  (* A covering candidate contains every referenced column. *)
+  let referenced = Query.referenced_columns q_rich "sales" in
+  Alcotest.(check bool) "covering candidate" true
+    (List.exists (fun ix -> Index.covers ix referenced) cands);
+  (* No duplicate definitions. *)
+  Alcotest.(check int) "deduplicated" (List.length cands)
+    (List.length (Im_util.List_ext.dedup_keep_order Index.equal cands))
+
+let test_candidates_join_column () =
+  let cands = Candidates.for_table schema q_rich "stores" in
+  Alcotest.(check bool) "join column index" true
+    (List.exists (fun ix -> ix.Index.idx_columns = [ "sid" ]) cands)
+
+let test_candidates_for_query_union () =
+  let cands = Candidates.for_query schema q_rich in
+  Alcotest.(check bool) "covers both tables" true
+    (List.exists (fun ix -> ix.Index.idx_table = "sales") cands
+     && List.exists (fun ix -> ix.Index.idx_table = "stores") cands)
+
+let test_candidates_empty_for_unreferenced () =
+  let q = Query.make ~id:"n" ~select:[ Query.Sel_col (cr "stores" "city") ] [ "stores" ] in
+  Alcotest.(check (list string)) "nothing for absent table" []
+    (List.map Index.to_string (Candidates.for_table schema q "sales"))
+
+(* ---- Wizard ---- *)
+
+let test_wizard_improves_cost () =
+  let recommended = Wizard.tune_query db q_rich in
+  Alcotest.(check bool) "recommends something" true (recommended <> []);
+  let before = Wizard.query_cost db Config.empty q_rich in
+  let after = Wizard.query_cost db recommended q_rich in
+  Alcotest.(check bool)
+    (Printf.sprintf "cost improves (%.1f -> %.1f)" before after)
+    true (after < before)
+
+let test_wizard_max_indexes () =
+  let recommended = Wizard.tune_query ~max_indexes:1 db q_rich in
+  Alcotest.(check bool) "at most 1" true (List.length recommended <= 1)
+
+let test_wizard_min_gain_stops () =
+  (* With an absurd gain requirement nothing gets picked. *)
+  let recommended = Wizard.tune_query ~min_gain:0.99 db q_rich in
+  Alcotest.(check (list string)) "nothing selected" []
+    (List.map Index.to_string recommended)
+
+let test_wizard_no_benefit_query () =
+  (* COUNT( * ) over the tiny stores table: a scan is already optimal. *)
+  let q = Query.make ~id:"cnt" [ "stores" ] in
+  let recommended = Wizard.tune_query db q in
+  Alcotest.(check bool) "few or no indexes" true (List.length recommended <= 1)
+
+(* ---- Initial configurations ---- *)
+
+let workload =
+  Im_workload.Workload.make
+    [
+      q_rich;
+      Query.make ~id:"scan"
+        ~select:[ Query.Sel_col (cr "sales" "amount"); Query.Sel_col (cr "sales" "qty") ]
+        [ "sales" ];
+      Query.make ~id:"pt"
+        ~select:[ Query.Sel_col (cr "sales" "amount") ]
+        ~where:[ Predicate.Cmp (Predicate.Eq, cr "sales" "sku", Value.Int 77) ]
+        [ "sales" ];
+    ]
+
+let test_initial_config_build () =
+  let config = Initial_config.build db workload ~rng:(Rng.create 2) ~n:4 in
+  Alcotest.(check bool) "non-empty" true (config <> []);
+  Alcotest.(check bool) "at most n" true (List.length config <= 4);
+  Alcotest.(check bool) "valid configuration" true
+    (Result.is_ok (Config.validate (Database.schema db) config))
+
+let test_initial_config_deterministic () =
+  let c1 = Initial_config.build db workload ~rng:(Rng.create 2) ~n:4 in
+  let c2 = Initial_config.build db workload ~rng:(Rng.create 2) ~n:4 in
+  Alcotest.(check (list string)) "same indexes"
+    (List.map Index.to_string c1)
+    (List.map Index.to_string c2)
+
+let test_initial_config_empty_workload () =
+  let w = Im_workload.Workload.make [] in
+  Alcotest.(check (list string)) "empty workload, empty config" []
+    (List.map Index.to_string
+       (Initial_config.build db w ~rng:(Rng.create 1) ~n:5))
+
+let test_per_query_union () =
+  let union = Initial_config.per_query_union db workload in
+  Alcotest.(check bool) "union at least as large as any single tuning" true
+    (List.length union >= List.length (Wizard.tune_query db q_rich));
+  Alcotest.(check bool) "valid" true
+    (Result.is_ok (Config.validate (Database.schema db) union))
+
+let () =
+  Alcotest.run "im_tuning"
+    [
+      ( "candidates",
+        [
+          tc "shapes" `Quick test_candidates_shapes;
+          tc "join column" `Quick test_candidates_join_column;
+          tc "query union" `Quick test_candidates_for_query_union;
+          tc "unreferenced table" `Quick test_candidates_empty_for_unreferenced;
+        ] );
+      ( "wizard",
+        [
+          tc "improves cost" `Quick test_wizard_improves_cost;
+          tc "max indexes" `Quick test_wizard_max_indexes;
+          tc "min gain stops" `Quick test_wizard_min_gain_stops;
+          tc "no-benefit query" `Quick test_wizard_no_benefit_query;
+        ] );
+      ( "initial_config",
+        [
+          tc "build" `Quick test_initial_config_build;
+          tc "deterministic" `Quick test_initial_config_deterministic;
+          tc "empty workload" `Quick test_initial_config_empty_workload;
+          tc "per-query union" `Quick test_per_query_union;
+        ] );
+    ]

@@ -1,0 +1,308 @@
+(* Unit and property tests for im_util: the RNG, combinatorics, list
+   helpers and the table printer. *)
+
+module Rng = Im_util.Rng
+module Combin = Im_util.Combin
+module List_ext = Im_util.List_ext
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- Rng ---- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let seq r = List.init 20 (fun _ -> Rng.int r 1000) in
+  check (Alcotest.list Alcotest.int) "same seed, same stream" (seq a) (seq b)
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let seq r = List.init 20 (fun _ -> Rng.int r 1_000_000) in
+  Alcotest.(check bool) "different seeds differ" false (seq a = seq b)
+
+let test_rng_split_independent () =
+  let r = Rng.create 5 in
+  let child = Rng.split r in
+  let from_child = List.init 10 (fun _ -> Rng.int child 100) in
+  let from_parent = List.init 10 (fun _ -> Rng.int r 100) in
+  Alcotest.(check bool) "split streams differ" false (from_child = from_parent)
+
+let test_rng_copy () =
+  let r = Rng.create 9 in
+  ignore (Rng.int r 10);
+  let snapshot = Rng.copy r in
+  let a = List.init 5 (fun _ -> Rng.int r 100) in
+  let b = List.init 5 (fun _ -> Rng.int snapshot 100) in
+  check (Alcotest.list Alcotest.int) "copy replays" a b
+
+let test_rng_int_in () =
+  let r = Rng.create 3 in
+  for _ = 1 to 500 do
+    let v = Rng.int_in r 5 9 in
+    Alcotest.(check bool) "in [5,9]" true (v >= 5 && v <= 9)
+  done
+
+let test_rng_pick_empty () =
+  let r = Rng.create 1 in
+  Alcotest.check_raises "pick []" (Invalid_argument "Rng.pick: empty list")
+    (fun () -> ignore (Rng.pick r []))
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 17 in
+  let xs = List.init 50 Fun.id in
+  let shuffled = Rng.shuffle r xs in
+  check (Alcotest.list Alcotest.int) "same multiset" xs
+    (List.sort compare shuffled)
+
+let test_rng_sample_without_replacement () =
+  let r = Rng.create 8 in
+  let xs = List.init 30 Fun.id in
+  let s = Rng.sample_without_replacement r 10 xs in
+  Alcotest.(check int) "size" 10 (List.length s);
+  Alcotest.(check int) "distinct" 10
+    (List.length (List.sort_uniq compare s));
+  List.iter (fun x -> Alcotest.(check bool) "from source" true (List.mem x xs)) s
+
+let test_rng_sample_overask () =
+  let r = Rng.create 8 in
+  let s = Rng.sample_without_replacement r 10 [ 1; 2; 3 ] in
+  Alcotest.(check int) "capped at population" 3 (List.length s)
+
+let test_rng_letters () =
+  let r = Rng.create 2 in
+  let s = Rng.letters r 12 in
+  Alcotest.(check int) "length" 12 (String.length s);
+  String.iter
+    (fun ch -> Alcotest.(check bool) "lowercase" true (ch >= 'a' && ch <= 'z'))
+    s
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in [0,bound)" ~count:500
+    QCheck.(pair small_int (int_bound 1000))
+    (fun (seed, b) ->
+      let b = b + 1 in
+      let r = Rng.create seed in
+      let v = Rng.int r b in
+      v >= 0 && v < b)
+
+let prop_float_in_bounds =
+  QCheck.Test.make ~name:"Rng.float stays in [0,bound)" ~count:500
+    QCheck.(pair small_int (float_bound_exclusive 1e6))
+    (fun (seed, b) ->
+      let b = b +. 1e-9 in
+      let r = Rng.create seed in
+      let v = Rng.float r b in
+      v >= 0. && v < b)
+
+(* ---- Combin ---- *)
+
+let test_factorial () =
+  check (Alcotest.list Alcotest.int) "0..6"
+    [ 1; 1; 2; 6; 24; 120; 720 ]
+    (List.map Combin.factorial [ 0; 1; 2; 3; 4; 5; 6 ])
+
+let test_factorial_saturates () =
+  Alcotest.(check int) "factorial 30 saturates" max_int (Combin.factorial 30)
+
+let test_permutations_count () =
+  List.iter
+    (fun n ->
+      let xs = List.init n Fun.id in
+      Alcotest.(check int)
+        (Printf.sprintf "n=%d" n)
+        (Combin.factorial n)
+        (List.length (Combin.permutations xs)))
+    [ 0; 1; 2; 3; 4; 5 ]
+
+let test_permutations_distinct () =
+  let perms = Combin.permutations [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "all distinct" (List.length perms)
+    (List.length (List.sort_uniq compare perms))
+
+let test_permutations_limit () =
+  let perms = Combin.permutations ~limit:7 [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check int) "limited" 7 (List.length perms)
+
+let test_permutations_contain_identity () =
+  let xs = [ "a"; "b"; "c" ] in
+  Alcotest.(check bool) "identity present" true
+    (List.mem xs (Combin.permutations xs))
+
+let test_bell () =
+  check (Alcotest.list Alcotest.int) "B(0..6)"
+    [ 1; 1; 2; 5; 15; 52; 203 ]
+    (List.map Combin.bell [ 0; 1; 2; 3; 4; 5; 6 ])
+
+let test_set_partitions_count () =
+  List.iter
+    (fun n ->
+      let xs = List.init n Fun.id in
+      Alcotest.(check int)
+        (Printf.sprintf "n=%d" n)
+        (Combin.bell n)
+        (List.length (Combin.set_partitions xs)))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_set_partitions_are_partitions () =
+  let xs = [ 1; 2; 3; 4 ] in
+  List.iter
+    (fun p ->
+      let flat = List.concat p in
+      check (Alcotest.list Alcotest.int) "covers the set" xs
+        (List.sort compare flat);
+      List.iter
+        (fun block -> Alcotest.(check bool) "non-empty" true (block <> []))
+        p)
+    (Combin.set_partitions xs)
+
+let test_set_partitions_limit () =
+  Alcotest.(check int) "limited" 10
+    (List.length (Combin.set_partitions ~limit:10 [ 1; 2; 3; 4; 5 ]))
+
+let test_choose_pairs () =
+  Alcotest.(check int) "C(5,2)" 10 (List.length (Combin.choose_pairs_indices 5));
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "n=3"
+    [ (0, 1); (0, 2); (1, 2) ]
+    (Combin.choose_pairs_indices 3)
+
+(* ---- List_ext ---- *)
+
+let test_take_drop () =
+  check (Alcotest.list Alcotest.int) "take" [ 1; 2 ] (List_ext.take 2 [ 1; 2; 3 ]);
+  check (Alcotest.list Alcotest.int) "take past end" [ 1; 2; 3 ]
+    (List_ext.take 9 [ 1; 2; 3 ]);
+  check (Alcotest.list Alcotest.int) "drop" [ 3 ] (List_ext.drop 2 [ 1; 2; 3 ]);
+  check (Alcotest.list Alcotest.int) "drop all" [] (List_ext.drop 9 [ 1; 2; 3 ])
+
+let test_dedup () =
+  check (Alcotest.list Alcotest.int) "keeps first occurrences" [ 3; 1; 2 ]
+    (List_ext.dedup_keep_order ( = ) [ 3; 1; 3; 2; 1 ])
+
+let test_sum_by () =
+  Alcotest.(check int) "sum_by" 6 (List_ext.sum_by Fun.id [ 1; 2; 3 ]);
+  Alcotest.(check (float 1e-9)) "sum_by_f" 6. (List_ext.sum_by_f Fun.id [ 1.; 2.; 3. ])
+
+let test_min_max_by () =
+  Alcotest.(check (option int)) "max_by" (Some 9)
+    (List_ext.max_by float_of_int [ 3; 9; 1 ]);
+  Alcotest.(check (option int)) "min_by" (Some 1)
+    (List_ext.min_by float_of_int [ 3; 9; 1 ]);
+  Alcotest.(check (option int)) "empty" None (List_ext.max_by float_of_int []);
+  (* First wins ties. *)
+  Alcotest.(check (option int)) "tie keeps first" (Some 3)
+    (List_ext.max_by (fun _ -> 0.) [ 3; 9; 1 ])
+
+let test_pairs () =
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "pairs"
+    [ (1, 2); (1, 3); (2, 3) ]
+    (List_ext.pairs [ 1; 2; 3 ]);
+  Alcotest.(check int) "count n=5" 10 (List.length (List_ext.pairs [ 1; 2; 3; 4; 5 ]))
+
+let test_group_by () =
+  let groups = List_ext.group_by (fun x -> x mod 2) [ 1; 2; 3; 4; 5 ] in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int (Alcotest.list Alcotest.int)))
+    "groups in first-appearance order, members in order"
+    [ (1, [ 1; 3; 5 ]); (0, [ 2; 4 ]) ]
+    groups
+
+let test_index_of () =
+  Alcotest.(check (option int)) "found" (Some 1)
+    (List_ext.index_of (fun x -> x = 5) [ 3; 5; 7 ]);
+  Alcotest.(check (option int)) "missing" None
+    (List_ext.index_of (fun x -> x = 9) [ 3; 5; 7 ])
+
+let test_replace_assoc () =
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "replace" [ ("a", 9); ("b", 2) ]
+    (List_ext.replace_assoc "a" 9 [ ("a", 1); ("b", 2) ]);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "append" [ ("a", 1); ("b", 2) ]
+    (List_ext.replace_assoc "b" 2 [ ("a", 1) ])
+
+let test_average () =
+  Alcotest.(check (float 1e-9)) "avg" 2. (List_ext.average [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-9)) "empty" 0. (List_ext.average [])
+
+(* ---- Ascii_table ---- *)
+
+let test_ascii_table () =
+  let s =
+    Im_util.Ascii_table.render ~header:[ "name"; "value" ]
+      ~rows:[ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+  in
+  Alcotest.(check bool) "contains header" true
+    (Astring_contains.contains s "name");
+  Alcotest.(check bool) "contains cells" true
+    (Astring_contains.contains s "alpha" && Astring_contains.contains s "22");
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "4 lines" 4 (List.length lines);
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_pct_f2 () =
+  Alcotest.(check string) "pct" "38.2%" (Im_util.Ascii_table.pct 0.382);
+  Alcotest.(check string) "f2" "1.50" (Im_util.Ascii_table.f2 1.5)
+
+let () =
+  Alcotest.run "im_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy replays" `Quick test_rng_copy;
+          Alcotest.test_case "int_in range" `Quick test_rng_int_in;
+          Alcotest.test_case "pick empty" `Quick test_rng_pick_empty;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "sample w/o replacement" `Quick
+            test_rng_sample_without_replacement;
+          Alcotest.test_case "sample overask" `Quick test_rng_sample_overask;
+          Alcotest.test_case "letters" `Quick test_rng_letters;
+          qtest prop_int_in_bounds;
+          qtest prop_float_in_bounds;
+        ] );
+      ( "combin",
+        [
+          Alcotest.test_case "factorial" `Quick test_factorial;
+          Alcotest.test_case "factorial saturates" `Quick test_factorial_saturates;
+          Alcotest.test_case "permutations count" `Quick test_permutations_count;
+          Alcotest.test_case "permutations distinct" `Quick
+            test_permutations_distinct;
+          Alcotest.test_case "permutations limit" `Quick test_permutations_limit;
+          Alcotest.test_case "identity present" `Quick
+            test_permutations_contain_identity;
+          Alcotest.test_case "bell numbers" `Quick test_bell;
+          Alcotest.test_case "set partitions count" `Quick
+            test_set_partitions_count;
+          Alcotest.test_case "partitions cover set" `Quick
+            test_set_partitions_are_partitions;
+          Alcotest.test_case "partitions limit" `Quick test_set_partitions_limit;
+          Alcotest.test_case "choose pairs" `Quick test_choose_pairs;
+        ] );
+      ( "list_ext",
+        [
+          Alcotest.test_case "take/drop" `Quick test_take_drop;
+          Alcotest.test_case "dedup" `Quick test_dedup;
+          Alcotest.test_case "sum_by" `Quick test_sum_by;
+          Alcotest.test_case "min/max_by" `Quick test_min_max_by;
+          Alcotest.test_case "pairs" `Quick test_pairs;
+          Alcotest.test_case "group_by" `Quick test_group_by;
+          Alcotest.test_case "index_of" `Quick test_index_of;
+          Alcotest.test_case "replace_assoc" `Quick test_replace_assoc;
+          Alcotest.test_case "average" `Quick test_average;
+        ] );
+      ( "ascii_table",
+        [
+          Alcotest.test_case "render" `Quick test_ascii_table;
+          Alcotest.test_case "pct/f2" `Quick test_pct_f2;
+        ] );
+    ]
