@@ -3,7 +3,7 @@
 
    Usage: dune exec bench/main.exe [-- experiment ...]
    where experiment is one of e0a e0b fig5 fig6 fig7 fig8 ablate costval
-   micro
+   micro online
    (default: everything). *)
 
 let experiments =
@@ -17,6 +17,7 @@ let experiments =
     ("ablate", Exp_ablate.run);
     ("costval", Exp_costval.run);
     ("micro", Exp_micro.run);
+    ("online", Exp_online.run);
   ]
 
 let () =

@@ -9,11 +9,14 @@
      tune     per-query index recommendations for a workload
      merge    run index merging end to end (the main mode)
      explain  show optimizer plans for workload queries under a config
+     serve    online index-tuning daemon (streaming intake over TCP)
 
    Databases and workloads are generated deterministically from seeds,
    so runs are reproducible. *)
 
 open Cmdliner
+
+let version = "1.1.0"
 
 module Database = Im_catalog.Database
 module Index = Im_catalog.Index
@@ -310,6 +313,91 @@ let advise_cmd =
       const run_advise $ db_arg $ sf_arg $ seed_arg $ workload_arg
       $ queries_arg $ workload_file_arg $ budget_arg $ schema_arg $ data_arg)
 
+(* ---- serve ---- *)
+
+let port_arg =
+  let doc = "TCP port to listen on; 0 picks an ephemeral port." in
+  Arg.(value & opt int 7399 & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+
+let serve_budget_arg =
+  let doc =
+    "Storage budget (pages) for every tuning epoch; 0 means half the \
+     database's data pages."
+  in
+  Arg.(value & opt int 0 & info [ "b"; "budget" ] ~docv:"PAGES" ~doc)
+
+let window_arg =
+  let doc = "Sliding-window capacity in query clusters." in
+  Arg.(value & opt int 48 & info [ "window" ] ~docv:"CLUSTERS" ~doc)
+
+let decay_arg =
+  let doc = "Per-statement frequency decay of the window (0 < d <= 1)." in
+  Arg.(value & opt float 0.995 & info [ "decay" ] ~docv:"FACTOR" ~doc)
+
+let check_every_arg =
+  let doc = "Statements between drift checks." in
+  Arg.(value & opt int 32 & info [ "check-every" ] ~docv:"N" ~doc)
+
+let drift_threshold_arg =
+  let doc = "Drift trigger: total-variation divergence of the query mix." in
+  Arg.(value & opt float 0.35 & info [ "drift-threshold" ] ~docv:"TV" ~doc)
+
+let cost_threshold_arg =
+  let doc = "Drift trigger: relative cost regression of the window." in
+  Arg.(value & opt float 0.30 & info [ "cost-threshold" ] ~docv:"FRACTION" ~doc)
+
+let read_timeout_arg =
+  let doc = "Idle-connection read timeout in seconds." in
+  Arg.(value & opt float 30.0 & info [ "read-timeout" ] ~docv:"SECONDS" ~doc)
+
+let run_serve db_name sf seed schema_file data_dir port budget window decay
+    check_every drift_threshold cost_threshold read_timeout =
+  let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
+  let budget_pages =
+    if budget > 0 then budget else max 1 (Database.data_pages db / 2)
+  in
+  let options =
+    {
+      (Im_online.Service.default_options ~budget_pages) with
+      Im_online.Service.o_capacity = window;
+      o_decay = decay;
+      o_check_every = check_every;
+      o_div_threshold = drift_threshold;
+      o_cost_threshold = cost_threshold;
+    }
+  in
+  let service = Im_online.Service.create ~options db ~budget_pages in
+  let server =
+    try Im_online.Server.create ~port ~read_timeout:read_timeout service
+    with Unix.Unix_error (e, _, _) ->
+      or_die (Error (Printf.sprintf "cannot bind port %d: %s" port
+                       (Unix.error_message e)))
+  in
+  Printf.printf "index-merge serve: listening on 127.0.0.1:%d (budget %d \
+                 pages, window %d clusters)\n%!"
+    (Im_online.Server.port server) budget_pages window;
+  let handle_stop _ = Im_online.Server.shutdown server in
+  ignore (Sys.signal Sys.sigint (Sys.Signal_handle handle_stop));
+  ignore (Sys.signal Sys.sigterm (Sys.Signal_handle handle_stop));
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+   with Invalid_argument _ -> ());
+  Im_online.Server.serve server;
+  Printf.printf "served %d connections, %d commands\n"
+    (Im_online.Server.connections_served server)
+    (Im_online.Server.commands_served server);
+  print_endline (Im_online.Service.render_stats service)
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the online index-tuning daemon: stream statements over TCP, \
+          re-tune on workload drift.")
+    Term.(
+      const run_serve $ db_arg $ sf_arg $ seed_arg $ schema_arg $ data_arg
+      $ port_arg $ serve_budget_arg $ window_arg $ decay_arg $ check_every_arg
+      $ drift_threshold_arg $ cost_threshold_arg $ read_timeout_arg)
+
 (* ---- generate ---- *)
 
 let run_generate db_name sf seed wl_kind n_queries out =
@@ -359,9 +447,24 @@ let export_cmd =
 
 let () =
   let doc = "index merging for workload-driven physical database design" in
-  let info = Cmd.info "index-merge" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info
-       [
-         info_cmd; tune_cmd; merge_cmd; explain_cmd; generate_cmd; advise_cmd;
-         export_cmd;
-       ]))
+  let info = Cmd.info "index-merge" ~version ~doc in
+  let group =
+    Cmd.group info
+      [
+        info_cmd; tune_cmd; merge_cmd; explain_cmd; generate_cmd; advise_cmd;
+        export_cmd; serve_cmd;
+      ]
+  in
+  (* File problems anywhere (unreadable --schema/--data/workload files,
+     unwritable outputs) must be a one-line error and a non-zero exit,
+     never a cmdliner "internal error" backtrace. *)
+  match Cmd.eval ~catch:false group with
+  | code -> exit code
+  | exception Sys_error msg ->
+    prerr_endline ("index-merge: " ^ msg);
+    exit 2
+  | exception Unix.Unix_error (e, fn, arg) ->
+    prerr_endline
+      (Printf.sprintf "index-merge: %s: %s%s" fn (Unix.error_message e)
+         (if arg = "" then "" else " (" ^ arg ^ ")"));
+    exit 2

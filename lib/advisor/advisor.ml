@@ -19,6 +19,7 @@ type outcome = {
   a_merged_fits : bool;
   a_plain_cost : float;
   a_final_cost : float;
+  a_optimizer_calls : int;
 }
 
 let advise ?(relax = 2.0) db workload ~budget_pages =
@@ -60,6 +61,9 @@ let advise ?(relax = 2.0) db workload ~budget_pages =
     a_merged_fits = merged.Dual.d_fits;
     a_plain_cost = plain.Selection.s_final_cost;
     a_final_cost = final_cost;
+    a_optimizer_calls =
+      selection.Selection.s_optimizer_calls + merged.Dual.d_optimizer_calls
+      + plain.Selection.s_optimizer_calls;
   }
 
 let final_config o = Merge.config_of_items o.a_final

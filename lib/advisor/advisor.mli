@@ -36,6 +36,9 @@ type outcome = {
   a_merged_fits : bool;  (** whether merging actually reached the budget *)
   a_plain_cost : float;  (** cost of direct selection at the budget *)
   a_final_cost : float;  (** cost of the recommendation *)
+  a_optimizer_calls : int;
+      (** what-if optimizer invocations across all three phases — the
+          quantity online tuning budgets per epoch *)
 }
 
 val advise :

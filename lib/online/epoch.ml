@@ -1,0 +1,98 @@
+module Database = Im_catalog.Database
+module Config = Im_catalog.Config
+module Index = Im_catalog.Index
+module Workload = Im_workload.Workload
+module Compress = Im_workload.Compress
+
+type diff = {
+  d_create : Index.t list;
+  d_drop : Index.t list;
+  d_keep : Index.t list;
+}
+
+let diff ~old_config ~new_config =
+  {
+    d_create =
+      List.filter (fun ix -> not (Config.mem ix old_config)) new_config;
+    d_drop = List.filter (fun ix -> not (Config.mem ix new_config)) old_config;
+    d_keep = List.filter (fun ix -> Config.mem ix new_config) old_config;
+  }
+
+let diff_is_empty d = d.d_create = [] && d.d_drop = []
+
+let diff_to_string d =
+  Printf.sprintf "+%d -%d =%d" (List.length d.d_create) (List.length d.d_drop)
+    (List.length d.d_keep)
+
+type trigger = Bootstrap | Drift | Forced
+
+let trigger_to_string = function
+  | Bootstrap -> "bootstrap"
+  | Drift -> "drift"
+  | Forced -> "forced"
+
+type outcome = {
+  e_trigger : trigger;
+  e_clusters_tuned : int;
+  e_budget_clusters : int;
+  e_diff : diff;
+  e_config : Config.t;
+  e_old_cost : float;
+  e_new_cost : float;
+  e_benefit : float;
+  e_old_pages : int;
+  e_new_pages : int;
+  e_opt_calls : int;
+  e_elapsed_s : float;
+}
+
+let run cache ~trigger ~live ~window ~budget_pages ~max_clusters =
+  if Workload.size window = 0 then invalid_arg "Epoch.run: empty window";
+  let db = Whatif.database cache in
+  let calls_before = Whatif.optimizer_calls cache in
+  let (new_config, tuned, advisor_calls, old_cost, new_cost), elapsed =
+    Im_util.Stopwatch.time (fun () ->
+        (* Exact-signature dedup, then spend the cluster budget on the
+           entries costing most under the live configuration. *)
+        let compressed = Compress.compress window in
+        let tuning =
+          Workload.top_k_by_cost
+            ~cost:(Whatif.query_cost cache live)
+            ~k:max_clusters compressed
+        in
+        let outcome = Im_advisor.Advisor.advise db tuning ~budget_pages in
+        let new_config = Im_advisor.Advisor.final_config outcome in
+        (* Both costings run over the *full* window, through the warm
+           cache, so the benefit reflects all live traffic, not just the
+           tuned clusters. *)
+        let old_cost = Whatif.workload_cost cache live window in
+        let new_cost = Whatif.workload_cost cache new_config window in
+        ( new_config,
+          Workload.size tuning,
+          outcome.Im_advisor.Advisor.a_optimizer_calls,
+          old_cost,
+          new_cost ))
+  in
+  {
+    e_trigger = trigger;
+    e_clusters_tuned = tuned;
+    e_budget_clusters = max_clusters;
+    e_diff = diff ~old_config:live ~new_config;
+    e_config = new_config;
+    e_old_cost = old_cost;
+    e_new_cost = new_cost;
+    e_benefit = (if old_cost <= 0. then 0. else (old_cost -. new_cost) /. old_cost);
+    e_old_pages = Database.config_storage_pages db live;
+    e_new_pages = Database.config_storage_pages db new_config;
+    e_opt_calls = advisor_calls + (Whatif.optimizer_calls cache - calls_before);
+    e_elapsed_s = elapsed;
+  }
+
+let summary o =
+  Printf.sprintf
+    "epoch[%s]: %d/%d clusters, diff %s, pages %d -> %d, window cost %.1f -> \
+     %.1f (benefit %.1f%%), %d optimizer calls, %.2fs"
+    (trigger_to_string o.e_trigger)
+    o.e_clusters_tuned o.e_budget_clusters (diff_to_string o.e_diff)
+    o.e_old_pages o.e_new_pages o.e_old_cost o.e_new_cost
+    (100. *. o.e_benefit) o.e_opt_calls o.e_elapsed_s

@@ -1,0 +1,256 @@
+module Database = Im_catalog.Database
+module Index = Im_catalog.Index
+
+type conn = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  mutable last_active : float;
+  mutable closing : bool;  (* close after pending output drains *)
+  mutable out : string;  (* unsent response bytes *)
+}
+
+type t = {
+  service : Service.t;
+  listener : Unix.file_descr;
+  bound_port : int;
+  read_timeout : float;
+  max_connections : int;
+  mutable conns : conn list;
+  mutable running : bool;
+  mutable connections_served : int;
+  mutable commands_served : int;
+}
+
+let create ?(host = "127.0.0.1") ?(port = 0) ?(read_timeout = 30.)
+    ?(max_connections = 64) service =
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen listener 16;
+  let bound_port =
+    match Unix.getsockname listener with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  {
+    service;
+    listener;
+    bound_port;
+    read_timeout;
+    max_connections;
+    conns = [];
+    running = false;
+    connections_served = 0;
+    commands_served = 0;
+  }
+
+let port t = t.bound_port
+let shutdown t = t.running <- false
+let connections_served t = t.connections_served
+let commands_served t = t.commands_served
+
+(* ---- Protocol ---- *)
+
+let stats_line service =
+  Service.stats service
+  |> List.map (fun (k, v) ->
+         let k =
+           String.map (fun c -> if c = ' ' then '_' else c)
+             (match String.index_opt k '(' with
+              | Some i -> String.trim (String.sub k 0 i)
+              | None -> k)
+         in
+         let v = String.map (fun c -> if c = ' ' then '_' else c) v in
+         k ^ "=" ^ v)
+  |> String.concat " "
+
+let epoch_line (o : Epoch.outcome) =
+  Printf.sprintf
+    "epoch trigger=%s diff=%s pages=%d->%d cost=%.1f->%.1f benefit=%.3f \
+     clusters=%d/%d opt_calls=%d"
+    (Epoch.trigger_to_string o.Epoch.e_trigger)
+    (Epoch.diff_to_string o.Epoch.e_diff)
+    o.Epoch.e_old_pages o.Epoch.e_new_pages o.Epoch.e_old_cost
+    o.Epoch.e_new_cost o.Epoch.e_benefit o.Epoch.e_clusters_tuned
+    o.Epoch.e_budget_clusters o.Epoch.e_opt_calls
+
+(* Returns the response plus whether the daemon should stop / the
+   connection should close. *)
+let handle_command t line =
+  let verb, rest =
+    match String.index_opt line ' ' with
+    | Some i ->
+      ( String.sub line 0 i,
+        String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+    | None -> (line, "")
+  in
+  match (String.uppercase_ascii verb, rest) with
+  | "STMT", "" -> (`Reply "ERR empty statement", `Keep)
+  | "STMT", sql ->
+    (match Service.feed t.service sql with
+     | Service.Rejected msg -> (`Reply ("ERR " ^ msg), `Keep)
+     | Service.Observed { ev_epoch = Some o; _ } ->
+       (`Reply ("OK observed " ^ epoch_line o), `Keep)
+     | Service.Observed { ev_drift = Some v; _ } ->
+       ( `Reply
+           (Printf.sprintf "OK observed drift=%.3f regression=%.3f fired=%b"
+              v.Drift.v_divergence v.Drift.v_regression v.Drift.v_fired),
+         `Keep )
+     | Service.Observed _ -> (`Reply "OK observed", `Keep))
+  | "STATS", _ -> (`Reply ("OK " ^ stats_line t.service), `Keep)
+  | "CONFIG", _ ->
+    let db = Service.database t.service in
+    let config = Service.config t.service in
+    let lines =
+      List.map
+        (fun ix ->
+          Printf.sprintf "%s %d" (Index.to_string ix) (Database.index_pages db ix))
+        config
+    in
+    ( `Reply
+        (String.concat "\n" (Printf.sprintf "OK %d" (List.length lines) :: lines)),
+      `Keep )
+  | "EPOCH", _ ->
+    (match Service.force_epoch t.service with
+     | Ok o -> (`Reply ("OK " ^ epoch_line o), `Keep)
+     | Error msg -> (`Reply ("ERR " ^ msg), `Keep))
+  | "QUIT", _ -> (`Reply "OK bye", `Close)
+  | "SHUTDOWN", _ -> (`Reply "OK shutting down", `Stop)
+  | "", _ -> (`Reply "ERR empty command", `Keep)
+  | _ -> (`Reply "ERR unknown command", `Keep)
+
+(* ---- Event loop ---- *)
+
+let close_conn t conn =
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  t.conns <- List.filter (fun c -> c != conn) t.conns
+
+let flush_out conn =
+  if conn.out <> "" then begin
+    let b = Bytes.of_string conn.out in
+    match Unix.write conn.fd b 0 (Bytes.length b) with
+    | n -> conn.out <- String.sub conn.out n (String.length conn.out - n)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  end
+
+let respond t conn reply =
+  conn.out <- conn.out ^ reply ^ "\n";
+  flush_out conn;
+  if conn.out <> "" then ()
+  else if conn.closing then close_conn t conn
+
+(* Consume complete lines from the connection buffer. *)
+let drain_lines t conn =
+  let rec next () =
+    let s = Buffer.contents conn.buf in
+    match String.index_opt s '\n' with
+    | None -> ()
+    | Some i ->
+      let line = String.sub s 0 i in
+      Buffer.clear conn.buf;
+      Buffer.add_string conn.buf (String.sub s (i + 1) (String.length s - i - 1));
+      let line =
+        if String.length line > 0 && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      t.commands_served <- t.commands_served + 1;
+      let `Reply reply, action = handle_command t (String.trim line) in
+      (match action with
+       | `Keep -> respond t conn reply
+       | `Close ->
+         conn.closing <- true;
+         respond t conn reply
+       | `Stop ->
+         conn.closing <- true;
+         respond t conn reply;
+         t.running <- false);
+      if t.running && List.memq conn t.conns then next ()
+  in
+  next ()
+
+let read_chunk t conn =
+  let bytes = Bytes.create 4096 in
+  match Unix.read conn.fd bytes 0 4096 with
+  | 0 -> close_conn t conn
+  | n ->
+    conn.last_active <- Unix.gettimeofday ();
+    Buffer.add_subbytes conn.buf bytes 0 n;
+    if Buffer.length conn.buf > 1_000_000 then begin
+      (* a line this long is abuse, not SQL *)
+      conn.out <- "";
+      close_conn t conn
+    end
+    else drain_lines t conn
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> close_conn t conn
+
+let accept_conn t =
+  match Unix.accept t.listener with
+  | fd, _addr ->
+    if List.length t.conns >= t.max_connections then begin
+      (try
+         ignore
+           (Unix.write fd (Bytes.of_string "ERR too many connections\n") 0 25)
+       with Unix.Unix_error _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ()
+    end
+    else begin
+      Unix.set_nonblock fd;
+      t.connections_served <- t.connections_served + 1;
+      t.conns <-
+        {
+          fd;
+          buf = Buffer.create 256;
+          last_active = Unix.gettimeofday ();
+          closing = false;
+          out = "";
+        }
+        :: t.conns
+    end
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+
+let reap_idle t =
+  let now = Unix.gettimeofday () in
+  List.iter
+    (fun conn ->
+      if now -. conn.last_active > t.read_timeout then close_conn t conn)
+    t.conns
+
+let serve t =
+  t.running <- true;
+  Unix.set_nonblock t.listener;
+  while t.running do
+    let reads = t.listener :: List.map (fun c -> c.fd) t.conns in
+    let writes =
+      List.filter_map
+        (fun c -> if c.out <> "" then Some c.fd else None)
+        t.conns
+    in
+    match Unix.select reads writes [] 1.0 with
+    | readable, writable, _ ->
+      if List.mem t.listener readable then accept_conn t;
+      (* Handlers may close connections mid-iteration: work on a
+         snapshot and recheck membership before touching each fd. *)
+      let snapshot = t.conns in
+      List.iter
+        (fun conn ->
+          if List.memq conn t.conns && List.mem conn.fd writable then begin
+            flush_out conn;
+            if conn.out = "" && conn.closing then close_conn t conn
+          end)
+        snapshot;
+      List.iter
+        (fun conn ->
+          if List.memq conn t.conns && List.mem conn.fd readable then
+            read_chunk t conn)
+        snapshot;
+      reap_idle t
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (* Graceful shutdown: best-effort flush, then close everything. *)
+  List.iter (fun conn -> flush_out conn) t.conns;
+  List.iter (fun conn -> try Unix.close conn.fd with Unix.Unix_error _ -> ())
+    t.conns;
+  t.conns <- [];
+  try Unix.close t.listener with Unix.Unix_error _ -> ()

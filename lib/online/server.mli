@@ -1,0 +1,50 @@
+(** TCP advisor daemon: a single-threaded [Unix.select] loop exposing a
+    {!Service} over a line protocol.
+
+    Requests are newline-terminated; responses are one [OK ...] or
+    [ERR ...] line, except [CONFIG] whose [OK <n>] line is followed by
+    [n] index lines. Commands (case-insensitive verb):
+
+    {v
+    STMT <sql>    ingest one statement; OK observed [epoch=...] | ERR <why>
+    STATS         OK k=v k=v ...          (counters, single line)
+    CONFIG        OK <n> + n lines "<index> <pages>"
+    EPOCH         force a tuning epoch; OK epoch ... | ERR <why>
+    QUIT          OK bye, close this connection
+    SHUTDOWN      OK shutting down, stop the whole daemon
+    v}
+
+    Connections idle longer than [read_timeout] seconds are closed; a
+    half-received line survives across reads (per-connection buffers).
+    Everything runs on one thread — intake, drift checks and epochs
+    execute inline in the event loop, which is exactly the paper-scale
+    deployment shape (one advisor per server) and keeps the service
+    state free of locks. *)
+
+type t
+
+val create :
+  ?host:string ->
+  ?port:int ->
+  ?read_timeout:float ->
+  ?max_connections:int ->
+  Service.t ->
+  t
+(** Binds and listens immediately. Defaults: host ["127.0.0.1"],
+    [port = 0] (ephemeral — read the bound port back with {!port}),
+    [read_timeout = 30.], [max_connections = 64]. Raises [Unix_error]
+    when binding fails. *)
+
+val port : t -> int
+(** The actually bound port (useful with [port = 0]). *)
+
+val serve : t -> unit
+(** Run the event loop until a client issues [SHUTDOWN] or {!shutdown}
+    is called from a signal handler. Closes all sockets before
+    returning. *)
+
+val shutdown : t -> unit
+(** Request a graceful stop; safe to call from a signal handler. *)
+
+val connections_served : t -> int
+val commands_served : t -> int

@@ -1,0 +1,182 @@
+module Database = Im_catalog.Database
+module Config = Im_catalog.Config
+module Parser = Im_sqlir.Parser
+module Workload = Im_workload.Workload
+
+type options = {
+  o_budget_pages : int;
+  o_capacity : int;
+  o_decay : float;
+  o_cluster_threshold : float;
+  o_div_threshold : float;
+  o_cost_threshold : float;
+  o_check_every : int;
+  o_warmup : int;
+  o_min_clusters : int;
+  o_max_clusters : int;
+  o_initial_clusters : int;
+}
+
+let default_options ~budget_pages =
+  {
+    o_budget_pages = budget_pages;
+    o_capacity = 48;
+    o_decay = 0.995;
+    o_cluster_threshold = 0.25;
+    o_div_threshold = 0.35;
+    o_cost_threshold = 0.30;
+    o_check_every = 32;
+    o_warmup = 24;
+    o_min_clusters = 4;
+    o_max_clusters = 64;
+    o_initial_clusters = 16;
+  }
+
+type t = {
+  db : Database.t;
+  opts : options;
+  cache : Whatif.t;
+  window : Window.t;
+  drift : Drift.t;
+  budget : Budget.t;
+  mutable live : Config.t;
+  mutable epochs : Epoch.outcome list;  (* most recent first *)
+  mutable seq : int;  (* statement id counter *)
+  mutable rejected : int;
+  mutable feed_seconds : float;
+  mutable epoch_seconds : float;
+}
+
+let create ?options ?(initial = Config.empty) db ~budget_pages =
+  let opts =
+    match options with
+    | Some o -> o
+    | None -> default_options ~budget_pages
+  in
+  {
+    db;
+    opts;
+    cache = Whatif.create db;
+    window =
+      Window.create ~capacity:opts.o_capacity ~decay:opts.o_decay
+        ~threshold:opts.o_cluster_threshold ();
+    drift =
+      Drift.create ~div_threshold:opts.o_div_threshold
+        ~cost_threshold:opts.o_cost_threshold
+        ~match_threshold:opts.o_cluster_threshold ();
+    budget =
+      Budget.create ~min_clusters:opts.o_min_clusters
+        ~max_clusters:opts.o_max_clusters ~initial:opts.o_initial_clusters ();
+    live = initial;
+    epochs = [];
+    seq = 0;
+    rejected = 0;
+    feed_seconds = 0.;
+    epoch_seconds = 0.;
+  }
+
+type event =
+  | Rejected of string
+  | Observed of {
+      ev_drift : Drift.verdict option;
+      ev_epoch : Epoch.outcome option;
+    }
+
+let run_epoch t trigger =
+  let outcome =
+    Epoch.run t.cache ~trigger ~live:t.live
+      ~window:(Window.to_workload t.window)
+      ~budget_pages:t.opts.o_budget_pages
+      ~max_clusters:(Budget.current t.budget)
+  in
+  t.live <- outcome.Epoch.e_config;
+  t.epochs <- outcome :: t.epochs;
+  t.epoch_seconds <- t.epoch_seconds +. outcome.Epoch.e_elapsed_s;
+  Budget.record t.budget ~benefit:outcome.Epoch.e_benefit;
+  Drift.rebase t.drift t.cache t.live (Window.to_workload t.window);
+  outcome
+
+let maybe_tune t =
+  let n = Window.statements t.window in
+  if not (Drift.has_baseline t.drift) then
+    if n >= t.opts.o_warmup then (None, Some (run_epoch t Epoch.Bootstrap))
+    else (None, None)
+  else if n mod t.opts.o_check_every = 0 then begin
+    let verdict =
+      Drift.check t.drift t.cache t.live (Window.to_workload t.window)
+    in
+    if verdict.Drift.v_fired then (Some verdict, Some (run_epoch t Epoch.Drift))
+    else (Some verdict, None)
+  end
+  else (None, None)
+
+let feed t sql =
+  let event, elapsed =
+    Im_util.Stopwatch.time (fun () ->
+        t.seq <- t.seq + 1;
+        let id = Printf.sprintf "S%d" t.seq in
+        match Parser.parse_query ~schema:(Database.schema t.db) ~id sql with
+        | Error msg ->
+          t.rejected <- t.rejected + 1;
+          Rejected msg
+        | Ok q ->
+          Window.observe t.window q;
+          let ev_drift, ev_epoch = maybe_tune t in
+          Observed { ev_drift; ev_epoch })
+  in
+  t.feed_seconds <- t.feed_seconds +. elapsed;
+  event
+
+let force_epoch t =
+  if Window.cluster_count t.window = 0 then Error "window is empty"
+  else Ok (run_epoch t Epoch.Forced)
+
+let config t = t.live
+let config_pages t = Database.config_storage_pages t.db t.live
+let database t = t.db
+let window t = t.window
+let epochs t = t.epochs
+let statements t = t.seq
+let rejected t = t.rejected
+
+let count_trigger t trig =
+  List.length
+    (List.filter (fun (o : Epoch.outcome) -> o.Epoch.e_trigger = trig) t.epochs)
+
+let stats t =
+  let i = string_of_int in
+  let f2 = Im_util.Ascii_table.f2 in
+  let observed = t.seq - t.rejected in
+  [
+    ("statements", i t.seq);
+    ("parse rejects", i t.rejected);
+    ("window clusters", Printf.sprintf "%d/%d" (Window.cluster_count t.window)
+       (Window.capacity t.window));
+    ("window mass", f2 (Window.total_mass t.window));
+    ("window evictions", i (Window.evictions t.window));
+    ("drift checks", i (Drift.checks t.drift));
+    ("drift fires", i (Drift.fires t.drift));
+    ("epochs (bootstrap/drift/forced)",
+     Printf.sprintf "%d/%d/%d"
+       (count_trigger t Epoch.Bootstrap)
+       (count_trigger t Epoch.Drift)
+       (count_trigger t Epoch.Forced));
+    ("epoch cluster budget", i (Budget.current t.budget));
+    ("optimizer calls (cache misses)", i (Whatif.optimizer_calls t.cache));
+    ("what-if cache hits", i (Whatif.hits t.cache));
+    ("what-if cache entries", i (Whatif.size t.cache));
+    ("config indexes", i (List.length t.live));
+    ("config pages", i (config_pages t));
+    ("intake seconds", f2 t.feed_seconds);
+    ("tuning seconds", f2 t.epoch_seconds);
+    ( "mean intake ms/stmt",
+      if observed = 0 then "-"
+      else
+        (* forced epochs run outside [feed], so clamp at 0 *)
+        f2 (1000. *. Float.max 0. (t.feed_seconds -. t.epoch_seconds)
+            /. float_of_int observed) );
+  ]
+
+let render_stats t =
+  Im_util.Ascii_table.render ~header:[ "metric"; "value" ]
+    ~rows:(List.map (fun (k, v) -> [ k; v ]) (stats t))

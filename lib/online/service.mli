@@ -1,0 +1,77 @@
+(** The online index-tuning service: the observe → summarize → re-tune →
+    apply loop, independent of any transport.
+
+    Statements are parsed one at a time into the sliding {!Window}.
+    Every [check_every] statements the service consults the {!Drift}
+    detector; before any baseline exists it instead runs a {e bootstrap}
+    epoch as soon as the window holds [warmup] statements. A fired check
+    (or an explicit {!force_epoch}) runs an {!Epoch} under the current
+    {!Budget} allocation, installs the new configuration, records the
+    realized benefit for Wii-style budget reallocation, and rebases the
+    drift detector on the window just tuned for.
+
+    All cost evaluation flows through one {!Whatif} cache that lives as
+    long as the service — the warm cache carried across epochs. *)
+
+type options = {
+  o_budget_pages : int;  (** storage budget for every epoch's advisor run *)
+  o_capacity : int;  (** window cluster capacity *)
+  o_decay : float;  (** per-statement frequency decay *)
+  o_cluster_threshold : float;  (** window leader-clustering distance *)
+  o_div_threshold : float;  (** drift: total-variation trigger *)
+  o_cost_threshold : float;  (** drift: relative cost-regression trigger *)
+  o_check_every : int;  (** statements between drift checks *)
+  o_warmup : int;  (** statements before the bootstrap epoch *)
+  o_min_clusters : int;  (** epoch budget floor *)
+  o_max_clusters : int;  (** epoch budget ceiling *)
+  o_initial_clusters : int;  (** epoch budget start *)
+}
+
+val default_options : budget_pages:int -> options
+(** Capacity 48, decay 0.995, cluster threshold 0.25, divergence 0.35,
+    cost regression 0.30, check every 32, warmup 24, cluster budget
+    4..64 starting at 16. *)
+
+type t
+
+val create :
+  ?options:options ->
+  ?initial:Im_catalog.Config.t ->
+  Im_catalog.Database.t ->
+  budget_pages:int ->
+  t
+(** [?initial] (default empty) is the configuration live before the
+    first epoch. [?options] overrides [default_options]; its
+    [o_budget_pages] wins over the [~budget_pages] argument when
+    given. *)
+
+type event =
+  | Rejected of string  (** statement did not parse / validate *)
+  | Observed of {
+      ev_drift : Drift.verdict option;  (** when a check ran *)
+      ev_epoch : Epoch.outcome option;  (** when an epoch ran *)
+    }
+
+val feed : t -> string -> event
+(** Ingest one SQL statement (text, trailing [';'] allowed). *)
+
+val force_epoch : t -> (Epoch.outcome, string) result
+(** Run an epoch now; [Error] on an empty window. *)
+
+val config : t -> Im_catalog.Config.t
+val config_pages : t -> int
+val database : t -> Im_catalog.Database.t
+val window : t -> Window.t
+val epochs : t -> Epoch.outcome list
+(** Most recent first. *)
+
+val statements : t -> int
+val rejected : t -> int
+
+val stats : t -> (string * string) list
+(** Ordered counter/latency metrics: statements, parse rejects, window
+    occupancy and mass, drift checks/fires, epochs by trigger, optimizer
+    calls and cache hits, configuration size/pages, intake latency. *)
+
+val render_stats : t -> string
+(** {!stats} as an aligned two-column ASCII table. *)

@@ -1,0 +1,60 @@
+module Database = Im_catalog.Database
+module Config = Im_catalog.Config
+module Index = Im_catalog.Index
+module Query = Im_sqlir.Query
+module Workload = Im_workload.Workload
+
+type t = {
+  db : Database.t;
+  max_entries : int;
+  cache : (string, float) Hashtbl.t;
+  mutable misses : int;
+  mutable hits : int;
+}
+
+let create ?(max_entries = 8192) db =
+  { db; max_entries; cache = Hashtbl.create 256; misses = 0; hits = 0 }
+
+let database t = t.db
+
+(* Key: canonical query text (id-independent) + the configuration
+   restricted to the query's tables, so index changes on other tables
+   leave cached costs valid. *)
+let key q config =
+  let relevant =
+    List.filter (fun ix -> List.mem ix.Index.idx_table q.Query.q_tables) config
+  in
+  let names =
+    List.sort String.compare
+      (List.map
+         (fun ix ->
+           ix.Index.idx_table ^ ":" ^ String.concat "," ix.Index.idx_columns)
+         relevant)
+  in
+  Query.canonical_string q ^ "|" ^ String.concat ";" names
+
+let query_cost t config q =
+  let k = key q config in
+  match Hashtbl.find_opt t.cache k with
+  | Some c ->
+    t.hits <- t.hits + 1;
+    c
+  | None ->
+    t.misses <- t.misses + 1;
+    if Hashtbl.length t.cache >= t.max_entries then Hashtbl.reset t.cache;
+    let c = Im_optimizer.Plan.cost (Im_optimizer.Optimizer.optimize t.db config q) in
+    Hashtbl.replace t.cache k c;
+    c
+
+let workload_cost t config w =
+  let query_cost = Workload.weighted_cost ~cost:(query_cost t config) w in
+  let update_cost =
+    match w.Workload.updates with
+    | [] -> 0.
+    | inserts -> Im_merging.Maintenance.config_batch_cost t.db config ~inserts
+  in
+  query_cost +. update_cost
+
+let optimizer_calls t = t.misses
+let hits t = t.hits
+let size t = Hashtbl.length t.cache

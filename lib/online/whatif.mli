@@ -1,0 +1,34 @@
+(** Warm what-if cost cache carried across tuning epochs.
+
+    {!Im_merging.Cost_eval} keys its per-query cache by query {e id},
+    which is perfect inside one batch search but useless for a stream:
+    every arriving statement gets a fresh id, so textually identical
+    queries would miss forever. This cache keys by
+    {!Im_sqlir.Query.canonical_string} (id-independent) plus the
+    configuration restricted to the query's tables — the paper's
+    "only relevant queries need re-optimization" rule — so drift checks
+    and epoch before/after costings hit the cache across epochs as long
+    as neither the query shape nor the relevant indexes changed. *)
+
+type t
+
+val create : ?max_entries:int -> Im_catalog.Database.t -> t
+(** [max_entries] (default 8192) bounds the table; when exceeded the
+    cache is cleared rather than grown — the stream must not leak. *)
+
+val database : t -> Im_catalog.Database.t
+
+val query_cost : t -> Im_catalog.Config.t -> Im_sqlir.Query.t -> float
+(** What-if optimizer cost of the query under the configuration. *)
+
+val workload_cost : t -> Im_catalog.Config.t -> Im_workload.Workload.t -> float
+(** Frequency-weighted query costs plus batch-insert maintenance when
+    the workload carries an update profile. *)
+
+val optimizer_calls : t -> int
+(** Cache misses — what-if optimizations that actually ran. *)
+
+val hits : t -> int
+
+val size : t -> int
+(** Live entries (for memory-cap assertions). *)

@@ -1,6 +1,32 @@
 module Query = Im_sqlir.Query
 
-let freq_prefix = "-- freq:"
+(* A frequency annotation is a comment of the shape
+   [--<ws>freq<ws>:<ws><value>] with arbitrary (including zero)
+   whitespace at every <ws>; [None] for any other line. Returning the
+   raw value string keeps malformed values (e.g. "-- freq: fast") as
+   hard parse errors rather than silently ignored comments. *)
+let annotation_value line =
+  let trimmed = String.trim line in
+  let len = String.length trimmed in
+  if len < 2 || String.sub trimmed 0 2 <> "--" then None
+  else begin
+    let rec skip_ws i =
+      if i < len && (trimmed.[i] = ' ' || trimmed.[i] = '\t') then
+        skip_ws (i + 1)
+      else i
+    in
+    let i = skip_ws 2 in
+    let keyword = "freq" in
+    let klen = String.length keyword in
+    if i + klen > len
+       || String.lowercase_ascii (String.sub trimmed i klen) <> keyword
+    then None
+    else begin
+      let i = skip_ws (i + klen) in
+      if i >= len || trimmed.[i] <> ':' then None
+      else Some (String.trim (String.sub trimmed (i + 1) (len - i - 1)))
+    end
+  end
 
 (* Extract frequency annotations in order of appearance, and the text
    with annotation lines removed (other comments are left for the lexer
@@ -11,19 +37,11 @@ let split_annotations text =
   let kept =
     List.filter
       (fun line ->
-        let trimmed = String.trim line in
-        if String.length trimmed >= String.length freq_prefix
-           && String.sub trimmed 0 (String.length freq_prefix) = freq_prefix
-        then begin
-          let v =
-            String.sub trimmed (String.length freq_prefix)
-              (String.length trimmed - String.length freq_prefix)
-            |> String.trim
-          in
+        match annotation_value line with
+        | Some v ->
           freqs := v :: !freqs;
           false
-        end
-        else true)
+        | None -> true)
       lines
   in
   (String.concat "\n" kept, List.rev !freqs)
@@ -37,9 +55,10 @@ let parse ~schema ?(id_prefix = "W") text =
       | [] -> Ok (List.rev acc)
       | f :: rest ->
         (match float_of_string_opt f with
-         | Some v when v > 0. -> conv (v :: acc) rest
-         | Some _ -> Error (Printf.sprintf "non-positive frequency %s" f)
-         | None -> Error (Printf.sprintf "malformed frequency %S" f))
+         | Some v when Float.is_finite v && v > 0. -> conv (v :: acc) rest
+         | Some v when Float.is_finite v ->
+           Error (Printf.sprintf "non-positive frequency %s" f)
+         | Some _ | None -> Error (Printf.sprintf "malformed frequency %S" f))
     in
     conv [] freqs
   in

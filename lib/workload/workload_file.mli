@@ -10,8 +10,12 @@
     SELECT ... ;
     v}
 
-    Statements without an annotation get frequency 1. [--] comments are
-    otherwise ignored. *)
+    Statements without an annotation get frequency 1. Whitespace inside
+    the annotation is free: [--freq:3], [--   freq : 3] and
+    [-- FREQ:3.5] all parse. Frequencies must be positive numbers —
+    zero, negative or malformed values are a parse error, never
+    silently dropped. [--] comments that are not frequency annotations
+    are ignored. *)
 
 val parse :
   schema:Im_sqlir.Schema.t ->

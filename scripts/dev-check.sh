@@ -1,0 +1,23 @@
+#!/bin/sh
+# Developer pre-push check: full build, the whole test suite (unit,
+# property, integration, and the `serve` daemon smoke test), and
+# formatting when ocamlformat is installed (skipped gracefully when
+# not — the CI container does not ship it).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @all =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune build @fmt =="
+  dune build @fmt
+else
+  echo "== fmt skipped (ocamlformat not installed) =="
+fi
+
+echo "== dev-check OK =="

@@ -1,0 +1,124 @@
+(* End-to-end smoke test for the `serve` daemon: spawn the real CLI
+   binary on an ephemeral port, stream statements over TCP, exercise
+   STATS / EPOCH / CONFIG / QUIT / SHUTDOWN, and insist on a clean
+   exit. Runs as part of `dune runtest` (see test/dune, which declares
+   the dependency on the binary). *)
+
+let cli () =
+  (* _build/default/test/<exe> -> _build/default/bin/index_merge_cli.exe *)
+  let here = Filename.dirname Sys.executable_name in
+  let path =
+    Filename.concat (Filename.dirname here)
+      (Filename.concat "bin" "index_merge_cli.exe")
+  in
+  if not (Sys.file_exists path) then
+    Alcotest.fail ("CLI binary not found at " ^ path);
+  path
+
+type daemon = {
+  pid : int;
+  stdout : in_channel;
+  port : int;
+}
+
+let start_daemon () =
+  let out_read, out_write = Unix.pipe ~cloexec:false () in
+  let pid =
+    Unix.create_process (cli ())
+      [|
+        cli (); "serve"; "-d"; "synthetic1"; "--port"; "0"; "--check-every";
+        "8"; "--read-timeout"; "10";
+      |]
+      Unix.stdin out_write Unix.stderr
+  in
+  Unix.close out_write;
+  let stdout = Unix.in_channel_of_descr out_read in
+  (* First line announces the bound port. *)
+  let banner = input_line stdout in
+  let port =
+    match String.index_opt banner ':' with
+    | None -> Alcotest.fail ("no port in banner: " ^ banner)
+    | Some _ ->
+      (try
+         Scanf.sscanf
+           (List.find
+              (fun s ->
+                String.length s > 10
+                && String.sub s 0 10 = "127.0.0.1:")
+              (String.split_on_char ' ' banner))
+           "127.0.0.1:%d" (fun p -> p)
+       with _ -> Alcotest.fail ("no port in banner: " ^ banner))
+  in
+  { pid; stdout; port }
+
+type client = { ic : in_channel; oc : out_channel }
+
+let connect port =
+  let ic, oc =
+    Unix.open_connection
+      (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port))
+  in
+  { ic; oc }
+
+let request c line =
+  output_string c.oc (line ^ "\n");
+  flush c.oc;
+  input_line c.ic
+
+let expect_prefix what prefix resp =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %S starts with %S" what resp prefix)
+    true
+    (String.length resp >= String.length prefix
+    && String.sub resp 0 (String.length prefix) = prefix)
+
+let test_smoke () =
+  let d = start_daemon () in
+  let finally () = try Unix.kill d.pid Sys.sigkill with Unix.Unix_error _ -> () in
+  Fun.protect ~finally (fun () ->
+      let c = connect d.port in
+      (* Stream 20 statements; every one must be acknowledged. *)
+      for i = 1 to 20 do
+        let col = Printf.sprintf "t0_c%d" (i mod 3) in
+        let resp =
+          request c
+            (Printf.sprintf "STMT SELECT %s FROM t0 WHERE %s = %d" col col i)
+        in
+        expect_prefix (Printf.sprintf "stmt %d" i) "OK observed" resp
+      done;
+      (* STATS during intake. *)
+      let stats = request c "STATS" in
+      expect_prefix "stats" "OK " stats;
+      Alcotest.(check bool) "stats counted 20 statements" true
+        (Astring_contains.contains stats "statements=20");
+      (* Force an epoch, then read the configuration back. *)
+      let epoch = request c "EPOCH" in
+      expect_prefix "epoch" "OK epoch" epoch;
+      let config = request c "CONFIG" in
+      expect_prefix "config" "OK" config;
+      let n = Scanf.sscanf config "OK %d" (fun n -> n) in
+      for _ = 1 to n do
+        ignore (input_line c.ic)
+      done;
+      (* Unknown verbs and bad statements answer ERR but keep going. *)
+      expect_prefix "unknown" "ERR" (request c "FROBNICATE");
+      expect_prefix "bad stmt" "ERR" (request c "STMT SELECT nope FROM nope");
+      (* Polite goodbye on this connection. *)
+      expect_prefix "quit" "OK bye" (request c "QUIT");
+      (* A second connection can still shut the daemon down. *)
+      let c2 = connect d.port in
+      expect_prefix "shutdown" "OK shutting down" (request c2 "SHUTDOWN");
+      (* The daemon must exit cleanly and print its metrics table. *)
+      let _, status = Unix.waitpid [] d.pid in
+      (match status with
+       | Unix.WEXITED 0 -> ()
+       | Unix.WEXITED n -> Alcotest.fail (Printf.sprintf "exit %d" n)
+       | Unix.WSIGNALED n -> Alcotest.fail (Printf.sprintf "signal %d" n)
+       | Unix.WSTOPPED n -> Alcotest.fail (Printf.sprintf "stopped %d" n));
+      let rest = In_channel.input_all d.stdout in
+      Alcotest.(check bool) "metrics table printed" true
+        (Astring_contains.contains rest "statements"))
+
+let () =
+  Alcotest.run "im_online_smoke"
+    [ ("daemon", [ Alcotest.test_case "serve smoke" `Slow test_smoke ]) ]

@@ -372,6 +372,58 @@ let test_compress_threshold_behavior () =
   Alcotest.(check bool) "extreme threshold collapses hard" true
     (Workload.size all <= Workload.size loose)
 
+let test_compress_deterministic () =
+  (* Same seed, same workload, same clustering — the online window
+     depends on the leader choice being stable. *)
+  let db = Lazy.force syn_db in
+  let run () =
+    let w = Ragsgen.generate db ~rng:(Rng.create 91) ~n:25 in
+    Compress.compress ~threshold:0.4 w
+  in
+  let c1 = run () and c2 = run () in
+  Alcotest.(check (list string)) "identical leaders"
+    (List.map Query.canonical_string (Workload.queries c1))
+    (List.map Query.canonical_string (Workload.queries c2));
+  Alcotest.(check (list (float 1e-9))) "identical frequencies"
+    (List.map (fun e -> e.Workload.freq) c1.Workload.entries)
+    (List.map (fun e -> e.Workload.freq) c2.Workload.entries)
+
+let test_compress_idempotent () =
+  (* Compressing an already-compressed workload changes nothing: every
+     surviving leader is farther than the threshold from every other. *)
+  let db = Lazy.force syn_db in
+  let w = Ragsgen.generate db ~rng:(Rng.create 92) ~n:30 in
+  List.iter
+    (fun threshold ->
+      let once = Compress.compress ~threshold w in
+      let twice = Compress.compress ~threshold once in
+      Alcotest.(check int) "size stable" (Workload.size once)
+        (Workload.size twice);
+      Alcotest.(check (list string)) "entries stable"
+        (List.map Query.canonical_string (Workload.queries once))
+        (List.map Query.canonical_string (Workload.queries twice));
+      Alcotest.(check (list (float 1e-9))) "frequencies stable"
+        (List.map (fun e -> e.Workload.freq) once.Workload.entries)
+        (List.map (fun e -> e.Workload.freq) twice.Workload.entries))
+    [ 0.0; 0.25; 0.5 ]
+
+let test_compress_preserves_mass () =
+  (* Total frequency mass survives clustering at every threshold. *)
+  let db = Lazy.force syn_db in
+  let w0 = Ragsgen.generate db ~rng:(Rng.create 93) ~n:40 in
+  let w =
+    Workload.of_entries ~name:"weighted"
+      (List.mapi
+         (fun i e -> { e with Workload.freq = 0.5 +. float_of_int (i mod 7) })
+         w0.Workload.entries)
+  in
+  List.iter
+    (fun threshold ->
+      let c = Compress.compress ~threshold w in
+      Alcotest.(check (float 1e-6)) "mass preserved" (Workload.total_freq w)
+        (Workload.total_freq c))
+    [ 0.0; 0.1; 0.3; 0.7; 1.0 ]
+
 let test_compress_preserves_updates () =
   let q = Query.make ~id:"u" [ "t0" ] in
   let w = Workload.with_updates (Workload.make [ q ]) [ ("t0", 10) ] in
@@ -435,6 +487,59 @@ let test_workload_file_errors () =
    | Error _ -> ()
    | Ok _ -> Alcotest.fail "missing file accepted")
 
+let test_workload_file_annotation_whitespace () =
+  let db = Lazy.force syn_db in
+  let schema = Database.schema db in
+  (* Every spelling below must be recognized as an annotation. *)
+  List.iter
+    (fun annot ->
+      match
+        Im_workload.Workload_file.parse ~schema
+          (annot ^ "\nSELECT t0_c0 FROM t0;")
+      with
+      | Error m -> Alcotest.fail (annot ^ ": " ^ m)
+      | Ok w ->
+        Alcotest.(check (list (float 1e-9)))
+          (annot ^ " parsed") [ 2.5 ]
+          (List.map (fun e -> e.Workload.freq) w.Workload.entries))
+    [
+      "-- freq: 2.5";
+      "--freq:2.5";
+      "--   freq   :   2.5";
+      "\t--\tfreq\t:\t2.5";
+      "-- FREQ: 2.5";
+    ];
+  (* Non-annotation comments stay comments. *)
+  (match
+     Im_workload.Workload_file.parse ~schema
+       "-- frequency of execution\nSELECT t0_c0 FROM t0;"
+   with
+   | Ok w ->
+     Alcotest.(check (list (float 1e-9))) "plain comment ignored" [ 1.0 ]
+       (List.map (fun e -> e.Workload.freq) w.Workload.entries)
+   | Error m -> Alcotest.fail m)
+
+let test_workload_file_bad_frequencies () =
+  let db = Lazy.force syn_db in
+  let schema = Database.schema db in
+  let reject annot fragment =
+    match
+      Im_workload.Workload_file.parse ~schema (annot ^ "\nSELECT t0_c0 FROM t0;")
+    with
+    | Ok _ -> Alcotest.fail (annot ^ " accepted")
+    | Error m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s rejected with %S, got %S" annot fragment m)
+        true
+        (Astring_contains.contains m fragment)
+  in
+  reject "-- freq: 0" "non-positive";
+  reject "--freq:0" "non-positive";
+  reject "--  freq : -3" "non-positive";
+  reject "-- freq: nan" "malformed";
+  reject "-- freq:" "malformed";
+  reject "-- freq: fast" "malformed"
+
 let test_workload_updates_field () =
   let w = Workload.make [ Query.make ~id:"u" [ "t0" ] ] in
   Alcotest.(check bool) "no updates by default" false (Workload.has_updates w);
@@ -476,6 +581,9 @@ let () =
           tc "signature distance" `Quick test_compress_signature_distance;
           tc "dedups same signature" `Quick test_compress_dedups_same_signature;
           tc "threshold behavior" `Quick test_compress_threshold_behavior;
+          tc "deterministic" `Quick test_compress_deterministic;
+          tc "idempotent" `Quick test_compress_idempotent;
+          tc "preserves mass" `Quick test_compress_preserves_mass;
           tc "preserves updates" `Quick test_compress_preserves_updates;
         ] );
       ( "files",
@@ -483,6 +591,8 @@ let () =
           tc "save/load round trip" `Quick test_workload_file_roundtrip;
           tc "frequencies" `Quick test_workload_file_frequencies;
           tc "errors" `Quick test_workload_file_errors;
+          tc "annotation whitespace" `Quick test_workload_file_annotation_whitespace;
+          tc "bad frequencies" `Quick test_workload_file_bad_frequencies;
           tc "updates field" `Quick test_workload_updates_field;
         ] );
       ( "generators",
