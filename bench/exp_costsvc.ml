@@ -1,0 +1,141 @@
+(* EXP-COSTSVC — cost accounting of the unified memoizing service on
+   the fig5/6 pipeline (exhaustive + greedy, three seeds per database).
+
+   Two modes:
+   - isolated: a fresh service per Search.run — the pre-refactor
+     operating point, where nothing is shared between strategies;
+   - shared: one service per (database, seed) handed to both runs, so
+     configurations the exhaustive enumeration costed are cache hits
+     for greedy.
+
+   The results (final pages per strategy) must be identical in both
+   modes; the shared mode must spend fewer optimizer calls. Totals per
+   database and the savings are printed, and a JSON artifact is written
+   to $IM_BENCH_OUT (default BENCH_costsvc.json) for dev-check. *)
+
+module Search = Im_merging.Search
+module Cost_eval = Im_merging.Cost_eval
+module Service = Im_costsvc.Service
+
+let seeds = [ 2; 3; 4 ]
+
+type cell = {
+  c_opt_calls : int;
+  c_cost_evals : int;
+  c_hits : int;
+  c_misses : int;
+  c_elapsed_s : float;
+  c_exh_pages : int;
+  c_greedy_pages : int;
+}
+
+type mode = Isolated | Shared
+
+let run_mode ~mode db workload ~seed =
+  let initial = Exp_common.initial_config db workload ~n:5 ~seed in
+  let service =
+    match mode with
+    | Isolated -> None
+    | Shared ->
+      Some
+        (Service.create
+           ~update_cost:(Im_merging.Maintenance.config_batch_cost db)
+           db)
+  in
+  let run strategy =
+    Search.run ?service ~cost_model:Cost_eval.Optimizer_estimated
+      ~cost_constraint:0.10 db workload ~initial strategy
+  in
+  let e = run (Search.Exhaustive_search { config_limit = 100_000 }) in
+  let g = run Search.Greedy in
+  {
+    c_opt_calls = e.Search.o_optimizer_calls + g.Search.o_optimizer_calls;
+    c_cost_evals = e.Search.o_cost_evaluations + g.Search.o_cost_evaluations;
+    c_hits = e.Search.o_cache_hits + g.Search.o_cache_hits;
+    c_misses = e.Search.o_cache_misses + g.Search.o_cache_misses;
+    c_elapsed_s = e.Search.o_elapsed_s +. g.Search.o_elapsed_s;
+    c_exh_pages = e.Search.o_final_pages;
+    c_greedy_pages = g.Search.o_final_pages;
+  }
+
+let total cells =
+  {
+    c_opt_calls = Im_util.List_ext.sum_by (fun c -> c.c_opt_calls) cells;
+    c_cost_evals = Im_util.List_ext.sum_by (fun c -> c.c_cost_evals) cells;
+    c_hits = Im_util.List_ext.sum_by (fun c -> c.c_hits) cells;
+    c_misses = Im_util.List_ext.sum_by (fun c -> c.c_misses) cells;
+    c_elapsed_s = Im_util.List_ext.sum_by_f (fun c -> c.c_elapsed_s) cells;
+    c_exh_pages = Im_util.List_ext.sum_by (fun c -> c.c_exh_pages) cells;
+    c_greedy_pages = Im_util.List_ext.sum_by (fun c -> c.c_greedy_pages) cells;
+  }
+
+let json_cell name iso sh savings =
+  Printf.sprintf
+    "    {\"db\": \"%s\", \"isolated\": {\"opt_calls\": %d, \"cost_evals\": \
+     %d, \"hits\": %d, \"misses\": %d, \"elapsed_s\": %.3f}, \"shared\": \
+     {\"opt_calls\": %d, \"cost_evals\": %d, \"hits\": %d, \"misses\": %d, \
+     \"elapsed_s\": %.3f}, \"exh_pages\": %d, \"greedy_pages\": %d, \
+     \"opt_call_savings_pct\": %.1f}"
+    name iso.c_opt_calls iso.c_cost_evals iso.c_hits iso.c_misses
+    iso.c_elapsed_s sh.c_opt_calls sh.c_cost_evals sh.c_hits sh.c_misses
+    sh.c_elapsed_s iso.c_exh_pages iso.c_greedy_pages savings
+
+let run () =
+  Exp_common.section
+    "EXP-COSTSVC unified cost service: isolated vs shared (fig5/6 setup)";
+  let rows, json_rows =
+    List.split
+      (List.map
+         (fun (name, db) ->
+           let workload = Exp_common.complex_workload db ~n:30 ~seed:1 in
+           let cells mode =
+             total (List.map (fun seed -> run_mode ~mode db workload ~seed) seeds)
+           in
+           let iso = cells Isolated in
+           let sh = cells Shared in
+           (* Sharing the cache must never change the search result. *)
+           if iso.c_exh_pages <> sh.c_exh_pages
+              || iso.c_greedy_pages <> sh.c_greedy_pages
+           then
+             failwith
+               (Printf.sprintf
+                  "%s: shared-service results diverge (exh %d vs %d, greedy \
+                   %d vs %d)"
+                  name iso.c_exh_pages sh.c_exh_pages iso.c_greedy_pages
+                  sh.c_greedy_pages);
+           let savings =
+             if iso.c_opt_calls = 0 then 0.
+             else
+               100.
+               *. (1. -. (float_of_int sh.c_opt_calls /. float_of_int iso.c_opt_calls))
+           in
+           ( [
+               name;
+               string_of_int iso.c_opt_calls;
+               string_of_int sh.c_opt_calls;
+               Printf.sprintf "%.1f%%" savings;
+               Printf.sprintf "%d/%d" sh.c_hits sh.c_misses;
+               Printf.sprintf "%.3f/%.3f" iso.c_elapsed_s sh.c_elapsed_s;
+               string_of_int iso.c_exh_pages;
+               string_of_int iso.c_greedy_pages;
+             ],
+             json_cell name iso sh savings ))
+         (Exp_common.databases ()))
+  in
+  Exp_common.print_table ~title:"Optimizer-call accounting, summed over seeds"
+    ~header:
+      [ "db"; "iso calls"; "shared calls"; "saved"; "hits/misses (shared)";
+        "elapsed iso/shared"; "exh pages"; "greedy pages" ]
+    ~rows;
+  let out =
+    match Sys.getenv_opt "IM_BENCH_OUT" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_costsvc.json"
+  in
+  let oc = open_out out in
+  output_string oc
+    ("{\n  \"experiment\": \"costsvc\",\n  \"databases\": [\n"
+     ^ String.concat ",\n" json_rows
+     ^ "\n  ]\n}\n");
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out

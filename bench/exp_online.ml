@@ -19,7 +19,7 @@ module Query = Im_sqlir.Query
 module Service = Im_online.Service
 module Epoch = Im_online.Epoch
 module Window = Im_online.Window
-module Whatif = Im_online.Whatif
+module Costsvc = Im_costsvc.Service
 module Drift = Im_online.Drift
 
 let stream_of db ~seed ~queries ~repeats =
@@ -82,10 +82,14 @@ let run () =
          epochs);
   (* Final comparison on the end-of-stream window (phase-B traffic). *)
   let final_window = Window.to_workload (Service.window svc) in
-  let cache = Whatif.create db in
-  let frozen_cost = Whatif.workload_cost cache initial final_window in
+  let cache =
+    Costsvc.create
+      ~update_cost:(Im_merging.Maintenance.config_batch_cost db)
+      db
+  in
+  let frozen_cost = Costsvc.workload_cost cache initial final_window in
   let online_config = Service.config svc in
-  let online_cost = Whatif.workload_cost cache online_config final_window in
+  let online_cost = Costsvc.workload_cost cache online_config final_window in
   let online_pages = Service.config_pages svc in
   Exp_common.print_table ~title:"Never-re-tune vs online loop (final window)"
     ~header:[ "strategy"; "indexes"; "pages"; "final-window cost" ]

@@ -18,6 +18,7 @@ let experiments =
     ("costval", Exp_costval.run);
     ("micro", Exp_micro.run);
     ("online", Exp_online.run);
+    ("costsvc", Exp_costsvc.run);
   ]
 
 let () =

@@ -22,13 +22,28 @@ type outcome = {
   a_optimizer_calls : int;
 }
 
-let advise ?(relax = 2.0) db workload ~budget_pages =
-  let relaxed = int_of_float (relax *. float_of_int budget_pages) in
-  let selection = Selection.select db workload ~budget_pages:relaxed in
-  let merged =
-    Dual.run db workload ~initial:selection.Selection.s_config ~budget_pages
+let advise ?service ?(relax = 2.0) db workload ~budget_pages =
+  (* One memoizing cost service spans all three phases: configurations
+     costed during relaxed selection are cache hits for the dual merge
+     and the plain selection. *)
+  let svc =
+    match service with
+    | Some s -> s
+    | None ->
+        Im_costsvc.Service.create
+          ~update_cost:(Im_merging.Maintenance.config_batch_cost db)
+          db
   in
-  let plain = Selection.select db workload ~budget_pages in
+  let calls_before = Im_costsvc.Service.opt_calls svc in
+  let relaxed = int_of_float (relax *. float_of_int budget_pages) in
+  let selection =
+    Selection.select ~service:svc db workload ~budget_pages:relaxed
+  in
+  let merged =
+    Dual.run ~service:svc db workload ~initial:selection.Selection.s_config
+      ~budget_pages
+  in
+  let plain = Selection.select ~service:svc db workload ~budget_pages in
   let merged_wins =
     merged.Dual.d_fits
     && merged.Dual.d_final_cost <= plain.Selection.s_final_cost
@@ -61,9 +76,7 @@ let advise ?(relax = 2.0) db workload ~budget_pages =
     a_merged_fits = merged.Dual.d_fits;
     a_plain_cost = plain.Selection.s_final_cost;
     a_final_cost = final_cost;
-    a_optimizer_calls =
-      selection.Selection.s_optimizer_calls + merged.Dual.d_optimizer_calls
-      + plain.Selection.s_optimizer_calls;
+    a_optimizer_calls = Im_costsvc.Service.opt_calls svc - calls_before;
   }
 
 let final_config o = Merge.config_of_items o.a_final

@@ -38,17 +38,23 @@ type outcome = {
   a_final_cost : float;  (** cost of the recommendation *)
   a_optimizer_calls : int;
       (** what-if optimizer invocations across all three phases — the
-          quantity online tuning budgets per epoch *)
+          quantity online tuning budgets per epoch. A per-run delta of
+          the shared service's counter: phases re-costing a
+          configuration another phase already saw are cache hits and
+          do not count. *)
 }
 
 val advise :
+  ?service:Im_costsvc.Service.t ->
   ?relax:float ->
   Im_catalog.Database.t ->
   Im_workload.Workload.t ->
   budget_pages:int ->
   outcome
 (** [advise db w ~budget_pages] with relaxation factor [?relax]
-    (default 2.0) for the selection phase. *)
+    (default 2.0) for the selection phase. All three phases share one
+    memoizing cost service — [?service] to supply it (the online layer
+    carries one across epochs), otherwise a fresh one is created. *)
 
 val final_config : outcome -> Im_catalog.Config.t
 

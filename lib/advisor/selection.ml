@@ -14,8 +14,13 @@ type outcome = {
   s_optimizer_calls : int;
 }
 
-let select ?(max_indexes = 40) ?(min_benefit = 0.002) db workload ~budget_pages =
-  let evaluator = Cost_eval.create Cost_eval.Optimizer_estimated db workload in
+let select ?service ?(max_indexes = 40) ?(min_benefit = 0.002) db workload
+    ~budget_pages =
+  let evaluator =
+    Cost_eval.create ?service Cost_eval.Optimizer_estimated db workload
+  in
+  let svc = Cost_eval.service evaluator in
+  let calls_before = Im_costsvc.Service.opt_calls svc in
   let schema = Database.schema db in
   let candidates =
     List.concat_map
@@ -63,5 +68,5 @@ let select ?(max_indexes = 40) ?(min_benefit = 0.002) db workload ~budget_pages 
     s_base_cost = base_cost;
     s_final_cost = Cost_eval.workload_cost evaluator config;
     s_candidates = List.length candidates;
-    s_optimizer_calls = Cost_eval.optimizer_calls evaluator;
+    s_optimizer_calls = Im_costsvc.Service.opt_calls svc - calls_before;
   }

@@ -13,10 +13,11 @@ type outcome = {
   s_base_cost : float;  (** workload cost with no indexes *)
   s_final_cost : float;
   s_candidates : int;  (** size of the candidate pool *)
-  s_optimizer_calls : int;
+  s_optimizer_calls : int;  (** service what-if calls, this run *)
 }
 
 val select :
+  ?service:Im_costsvc.Service.t ->
   ?max_indexes:int ->
   ?min_benefit:float ->
   Im_catalog.Database.t ->
@@ -24,4 +25,7 @@ val select :
   budget_pages:int ->
   outcome
 (** Defaults: at most 40 indexes, stop when the best candidate improves
-    workload cost by less than 0.2 % relative. *)
+    workload cost by less than 0.2 % relative. [?service] shares the
+    memoizing cost service across phases (the advisor's relaxed and
+    plain selections then re-cost only configurations not seen
+    before). *)

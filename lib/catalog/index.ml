@@ -17,6 +17,23 @@ let make ?name ~table cols =
 
 let equal a b = a.idx_table = b.idx_table && a.idx_columns = b.idx_columns
 
+(* Interned identity: dense ids hash-consed on (table, column sequence)
+   — exactly the definition equality of [equal], names excluded. The
+   table is global and append-only; ids are never reused, so an id is a
+   stable, collision-free stand-in for the definition in cache keys. *)
+let intern_tbl : (string * string list, int) Hashtbl.t = Hashtbl.create 256
+
+let intern t =
+  let key = (t.idx_table, t.idx_columns) in
+  match Hashtbl.find_opt intern_tbl key with
+  | Some id -> id
+  | None ->
+    let id = Hashtbl.length intern_tbl in
+    Hashtbl.add intern_tbl key id;
+    id
+
+let interned_definitions () = Hashtbl.length intern_tbl
+
 let compare a b =
   match String.compare a.idx_table b.idx_table with
   | 0 -> Stdlib.compare a.idx_columns b.idx_columns

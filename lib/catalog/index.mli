@@ -23,6 +23,17 @@ val equal : t -> t -> bool
 
 val compare : t -> t -> int
 
+val intern : t -> int
+(** Dense integer id of the definition, hash-consed on (table, column
+    sequence): [intern a = intern b] iff [equal a b]. Ids are assigned
+    on first use, never reused, and are process-global — two structurally
+    equal definitions built independently share one id, so an id array
+    is a collision-free cache key where concatenated name strings are
+    not (column names may themselves contain separators). *)
+
+val interned_definitions : unit -> int
+(** Number of distinct definitions interned so far. *)
+
 val same_columns : t -> t -> bool
 (** Same table and same column *set* (order ignored). *)
 

@@ -3,9 +3,8 @@ module Config = Im_catalog.Config
 module Index = Im_catalog.Index
 module Schema = Im_sqlir.Schema
 module Query = Im_sqlir.Query
-module Optimizer = Im_optimizer.Optimizer
-module Plan = Im_optimizer.Plan
 module Workload = Im_workload.Workload
+module Service = Im_costsvc.Service
 
 type model =
   | No_cost of { f : float; p : float }
@@ -18,46 +17,25 @@ type t = {
   ce_model : model;
   db : Database.t;
   workload : Workload.t;
-  query_cache : (string, float) Hashtbl.t;
-  mutable evals : int;
-  mutable opt_calls : int;
+  svc : Service.t;
 }
 
-let create model db workload =
-  {
-    ce_model = model;
-    db;
-    workload;
-    query_cache = Hashtbl.create 256;
-    evals = 0;
-    opt_calls = 0;
-  }
+let create ?service model db workload =
+  let svc =
+    match service with
+    | Some s -> s
+    | None ->
+      Service.create ~update_cost:(Maintenance.config_batch_cost db) db
+  in
+  { ce_model = model; db; workload; svc }
 
 let model t = t.ce_model
+let service t = t.svc
 
 let is_numeric t =
   match t.ce_model with
   | No_cost _ -> false
   | External | Optimizer_estimated -> true
-
-(* Cache key: query id + the configuration restricted to the query's
-   tables. Merging indexes of other tables leaves the key — and thus the
-   cached cost — untouched, which is the paper's "only relevant queries
-   need re-optimization". *)
-let cache_key q config =
-  let relevant =
-    List.filter
-      (fun ix -> List.mem ix.Index.idx_table q.Query.q_tables)
-      config
-  in
-  let names =
-    List.sort String.compare
-      (List.map
-         (fun ix ->
-           ix.Index.idx_table ^ ":" ^ String.concat "," ix.Index.idx_columns)
-         relevant)
-  in
-  q.Query.q_id ^ "|" ^ String.concat ";" names
 
 (* ---- External model (deliberately coarse) ---- *)
 
@@ -110,36 +88,19 @@ let external_query_cost t config q =
   (* Flat penalty per join: the model deliberately does not plan joins. *)
   base +. (float_of_int (max 0 (List.length q.Query.q_tables - 1)) *. 5.)
 
-(* ---- Optimizer-estimated model ---- *)
-
-let optimizer_query_cost t config q =
-  let key = cache_key q config in
-  match Hashtbl.find_opt t.query_cache key with
-  | Some c -> c
-  | None ->
-    t.opt_calls <- t.opt_calls + 1;
-    let c = Plan.cost (Optimizer.optimize t.db config q) in
-    Hashtbl.replace t.query_cache key c;
-    c
+(* ---- Workload cost through the one service ---- *)
 
 let workload_cost t config =
-  t.evals <- t.evals + 1;
-  let per_query =
-    match t.ce_model with
-    | No_cost _ ->
-      invalid_arg "Cost_eval.workload_cost: the No-Cost model has no costs"
-    | External -> external_query_cost t config
-    | Optimizer_estimated -> optimizer_query_cost t config
-  in
-  let query_cost = Workload.weighted_cost ~cost:per_query t.workload in
-  (* Updates in the workload charge the configuration for its upkeep
-     (§3.1: the workload consists of queries and updates). *)
-  let update_cost =
-    match t.workload.Workload.updates with
-    | [] -> 0.
-    | inserts -> Maintenance.config_batch_cost t.db config ~inserts
-  in
-  query_cost +. update_cost
+  match t.ce_model with
+  | No_cost _ ->
+    invalid_arg "Cost_eval.workload_cost: the No-Cost model has no costs"
+  | External ->
+    (* Analytic per-query costs bypass the what-if cache but are still
+       counted at the service choke point. *)
+    Service.workload_cost
+      ~query_cost:(fun config q -> external_query_cost t config q)
+      t.svc config t.workload
+  | Optimizer_estimated -> Service.workload_cost t.svc config t.workload
 
 let no_cost_accepts ~f ~p schema ~merged ~parents =
   let left, right = parents in
@@ -172,6 +133,5 @@ let accepts_item t (item : Merge.item) =
          (fun parent -> width merged <= (1. +. p) *. width parent)
          parents
 
-let evaluations t = t.evals
-
-let optimizer_calls t = t.opt_calls
+let evaluations t = Service.cost_evals t.svc
+let optimizer_calls t = Service.opt_calls t.svc

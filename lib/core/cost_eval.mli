@@ -1,4 +1,6 @@
-(** Cost evaluation — the three alternatives of the paper's §3.5.
+(** Cost evaluation — the three alternatives of the paper's §3.5, as a
+    thin model-selection façade over the unified
+    {!Im_costsvc.Service} what-if service.
 
     - {b No-Cost model} (§3.5.1): no cost numbers at all; a merge is
       acceptable iff the merged index's width stays within [f] of the
@@ -8,12 +10,12 @@
     - {b External cost model} (§3.5.2): a deliberately coarse analytic
       model, independent of the optimizer — covering-index/scan page
       counts with first-order seek shortcuts, no join planning. Cheap,
-      and exactly as fragile as the paper warns.
+      and exactly as fragile as the paper warns. Evaluations are
+      counted at the service choke point but bypass the what-if cache.
     - {b Optimizer-estimated cost} (§3.5.3): what-if optimization of
-      every query under the candidate configuration, with a per-query
-      cache keyed by the configuration restricted to the query's tables
-      — only "relevant queries" are re-optimized, as the paper
-      prescribes. *)
+      every query under the candidate configuration, memoized by the
+      service under [(query id, relevant index ids)] — only "relevant
+      queries" are re-optimized, as the paper prescribes. *)
 
 type model =
   | No_cost of { f : float; p : float }
@@ -25,9 +27,22 @@ val default_no_cost : model
 
 type t
 
-val create : model -> Im_catalog.Database.t -> Im_workload.Workload.t -> t
+val create :
+  ?service:Im_costsvc.Service.t ->
+  model ->
+  Im_catalog.Database.t ->
+  Im_workload.Workload.t ->
+  t
+(** [create ?service model db workload]. When [service] is given, its
+    cache and counters are shared with every other user of that service
+    (cross-strategy and cross-phase reuse); otherwise a private service
+    is created, wired with {!Maintenance.config_batch_cost} for update
+    profiles. *)
 
 val model : t -> model
+
+val service : t -> Im_costsvc.Service.t
+(** The underlying cost service (for counter deltas and sharing). *)
 
 val is_numeric : t -> bool
 (** False only for the No-Cost model. *)
@@ -59,8 +74,10 @@ val accepts_item : t -> Merge.item -> bool
     configurations via {!workload_cost}). *)
 
 val evaluations : t -> int
-(** Workload-cost evaluations performed (cache hits included). *)
+(** Workload-cost evaluations through the service (cache hits
+    included). Cumulative over the service — use counter deltas when the
+    service is shared. *)
 
 val optimizer_calls : t -> int
-(** Per-query optimizer invocations that actually reached the optimizer
-    (cache misses), under the optimizer-estimated model. *)
+(** What-if optimizer invocations that actually ran (service cache
+    misses). Cumulative over the service. *)

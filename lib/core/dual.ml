@@ -2,6 +2,7 @@ module Database = Im_catalog.Database
 module Config = Im_catalog.Config
 module Index = Im_catalog.Index
 module List_ext = Im_util.List_ext
+module Service = Im_costsvc.Service
 
 type outcome = {
   d_initial : Config.t;
@@ -20,24 +21,28 @@ type outcome = {
 let items_pages db items =
   Database.config_storage_pages db (Merge.config_of_items items)
 
-let run ?(merge_pair = Merge_pair.Cost_based)
+let run ?service ?(merge_pair = Merge_pair.Cost_based)
     ?(cost_model = Cost_eval.Optimizer_estimated) ?(candidates_per_round = 6)
     db workload ~initial ~budget_pages =
-  let evaluator = Cost_eval.create cost_model db workload in
+  let evaluator = Cost_eval.create ?service cost_model db workload in
   if not (Cost_eval.is_numeric evaluator) then
     invalid_arg "Dual.run: a numeric cost model is required";
+  let svc = Cost_eval.service evaluator in
+  let calls_before = Service.opt_calls svc in
+  let index_pages = Search.page_memo db in
+  let memo_items_pages items =
+    List_ext.sum_by (fun it -> index_pages it.Merge.it_index) items
+  in
   let (items, iterations), elapsed =
     Im_util.Stopwatch.time (fun () ->
         let seek = Seek_cost.analyze db initial workload in
         let merge_indexes current i1 i2 =
-          Merge_pair.merge merge_pair ~db ~workload ~seek ~evaluator ~current
-            i1 i2
+          Merge_pair.merge merge_pair ~db ~workload ~seek ~service:svc
+            ~current i1 i2
         in
         let rec loop items iterations =
-          if items_pages db items <= budget_pages then (items, iterations)
+          if memo_items_pages items <= budget_pages then (items, iterations)
           else begin
-            let current_pages = items_pages db items in
-            let current_config = Merge.config_of_items items in
             let pairs =
               List.filter
                 (fun ((a : Merge.item), (b : Merge.item)) ->
@@ -45,6 +50,7 @@ let run ?(merge_pair = Merge_pair.Cost_based)
                   = b.Merge.it_index.Index.idx_table)
                 (List_ext.pairs items)
             in
+            let current_config = Merge.config_of_items items in
             let shrinking =
               List.filter_map
                 (fun (left, right) ->
@@ -63,7 +69,11 @@ let run ?(merge_pair = Merge_pair.Cost_based)
                     merged_item
                     :: List.filter (fun it -> it != left && it != right) items
                   in
-                  let reduction = current_pages - items_pages db new_items in
+                  let reduction =
+                    index_pages left.Merge.it_index
+                    + index_pages right.Merge.it_index
+                    - index_pages merged_index
+                  in
                   if reduction > 0 then Some (new_items, reduction) else None)
                 pairs
               |> List.stable_sort (fun (_, r1) (_, r2) -> compare r2 r1)
@@ -102,6 +112,6 @@ let run ?(merge_pair = Merge_pair.Cost_based)
     d_final_cost =
       Cost_eval.workload_cost evaluator (Merge.config_of_items items);
     d_iterations = iterations;
-    d_optimizer_calls = Cost_eval.optimizer_calls evaluator;
+    d_optimizer_calls = Service.opt_calls svc - calls_before;
     d_elapsed_s = elapsed;
   }

@@ -24,11 +24,12 @@ type outcome = {
   d_initial_cost : float;
   d_final_cost : float;
   d_iterations : int;
-  d_optimizer_calls : int;
+  d_optimizer_calls : int;  (** service what-if calls, this run *)
   d_elapsed_s : float;
 }
 
 val run :
+  ?service:Im_costsvc.Service.t ->
   ?merge_pair:Merge_pair.procedure ->
   ?cost_model:Cost_eval.model ->
   ?candidates_per_round:int ->
@@ -39,5 +40,8 @@ val run :
   outcome
 (** Defaults: MergePair-Cost, optimizer-estimated cost (the model must
     be numeric — [Invalid_argument] otherwise), 6 costed candidates per
-    round. If no sequence of merges fits the budget, the outcome has
-    [d_fits = false] and carries the smallest configuration reached. *)
+    round. [?service] shares the memoizing cost service with other
+    phases (the advisor threads one through selection and merging);
+    [d_optimizer_calls] is the per-run delta either way. If no sequence
+    of merges fits the budget, the outcome has [d_fits = false] and
+    carries the smallest configuration reached. *)

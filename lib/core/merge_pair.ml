@@ -36,7 +36,7 @@ let syntactic_frequency workload ix =
 
 let merged_storage_pages db ix = Database.index_pages db ix
 
-let merge procedure ~db ~workload ~seek ?evaluator ~current i1 i2 =
+let merge procedure ~db ~workload ~seek ?service ~current i1 i2 =
   ignore db;
   match procedure with
   | Cost_based ->
@@ -54,12 +54,10 @@ let merge procedure ~db ~workload ~seek ?evaluator ~current i1 i2 =
     if f1 >= f2 then Merge.preserving_pair ~leading:i1 ~trailing:i2
     else Merge.preserving_pair ~leading:i2 ~trailing:i1
   | Exhaustive { perm_limit } ->
-    let evaluator =
-      match evaluator with
-      | Some e when Cost_eval.is_numeric e -> e
-      | Some _ ->
-        invalid_arg "Merge_pair.merge: Exhaustive needs a numeric evaluator"
-      | None -> invalid_arg "Merge_pair.merge: Exhaustive needs an evaluator"
+    let service =
+      match service with
+      | Some s -> s
+      | None -> invalid_arg "Merge_pair.merge: Exhaustive needs a cost service"
     in
     let union = Merge.union_columns [ i1; i2 ] in
     let orders = Im_util.Combin.permutations ~limit:perm_limit union in
@@ -68,7 +66,9 @@ let merge procedure ~db ~workload ~seek ?evaluator ~current i1 i2 =
       List.map
         (fun order ->
           let m = Merge.merge_with_order [ i1; i2 ] order in
-          (m, Cost_eval.workload_cost evaluator (Config.add m base)))
+          ( m,
+            Im_costsvc.Service.workload_cost service (Config.add m base)
+              workload ))
         orders
     in
     (match Im_util.List_ext.min_by (fun (_, c) -> c) scored with

@@ -29,16 +29,17 @@ val merge :
   db:Im_catalog.Database.t ->
   workload:Im_workload.Workload.t ->
   seek:Seek_cost.t ->
-  ?evaluator:Cost_eval.t ->
+  ?service:Im_costsvc.Service.t ->
   current:Im_catalog.Config.t ->
   Im_catalog.Index.t ->
   Im_catalog.Index.t ->
   Im_catalog.Index.t
 (** Merge a same-table pair. [seek] must describe the *initial*
     configuration (the paper computes Seek-Cost once, on C). The
-    [Exhaustive] procedure requires [?evaluator] (a numeric one) and
-    [current], the configuration the pair lives in;
-    raises [Invalid_argument] without them. *)
+    [Exhaustive] procedure requires [?service] (the memoizing what-if
+    service its candidate orders are scored through) and [current], the
+    configuration the pair lives in; raises [Invalid_argument] without
+    a service. *)
 
 val merged_storage_pages :
   Im_catalog.Database.t -> Im_catalog.Index.t -> int

@@ -3,6 +3,7 @@ module Config = Im_catalog.Config
 module Index = Im_catalog.Index
 module Workload = Im_workload.Workload
 module List_ext = Im_util.List_ext
+module Service = Im_costsvc.Service
 
 type strategy = Greedy | Exhaustive_search of { config_limit : int }
 
@@ -17,6 +18,8 @@ type outcome = {
   o_iterations : int;
   o_cost_evaluations : int;
   o_optimizer_calls : int;
+  o_cache_hits : int;
+  o_cache_misses : int;
   o_elapsed_s : float;
   o_truncated : bool;
 }
@@ -34,14 +37,28 @@ let cost_increase o =
 let items_pages db items =
   Database.config_storage_pages db (Merge.config_of_items items)
 
+(* Per-index page counts are pure in the index definition (for a fixed
+   database), so both searches memoize them by interned id instead of
+   re-deriving the size model per candidate pair per iteration. The sum
+   over items equals [Database.config_storage_pages] because a
+   configuration's storage is defined as the sum of its indexes'. *)
+let page_memo db =
+  let memo : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  fun ix ->
+    let id = Index.intern ix in
+    match Hashtbl.find_opt memo id with
+    | Some p -> p
+    | None ->
+      let p = Database.index_pages db ix in
+      Hashtbl.add memo id p;
+      p
+
 (* ---- Greedy (Figure 4) ---- *)
 
-let greedy ~procedure ~evaluator ~seek ~bound db workload initial =
-  let numeric = Cost_eval.is_numeric evaluator in
+let greedy ~procedure ~evaluator ~service ~seek ~bound db workload initial =
+  let index_pages = page_memo db in
   let merge_indexes current i1 i2 =
-    Merge_pair.merge procedure ~db ~workload ~seek
-      ?evaluator:(if numeric then Some evaluator else None)
-      ~current i1 i2
+    Merge_pair.merge procedure ~db ~workload ~seek ?service ~current i1 i2
   in
   let rec loop items iterations =
     let same_table_pairs =
@@ -53,7 +70,6 @@ let greedy ~procedure ~evaluator ~seek ~bound db workload initial =
     if same_table_pairs = [] then (items, iterations)
     else begin
       let current_config = Merge.config_of_items items in
-      let current_pages = items_pages db items in
       let candidates =
         List.map
           (fun (left, right) ->
@@ -71,7 +87,14 @@ let greedy ~procedure ~evaluator ~seek ~bound db workload initial =
               merged_item
               :: List.filter (fun it -> it != left && it != right) items
             in
-            let reduction = current_pages - items_pages db new_items in
+            (* Replacing {left, right} by merged changes nothing else, so
+               the pair's storage reduction needs only three memoized
+               page counts — not an O(n) rescan of the configuration. *)
+            let reduction =
+              index_pages left.Merge.it_index
+              + index_pages right.Merge.it_index
+              - index_pages merged_index
+            in
             (left, right, merged_item, new_items, reduction))
           same_table_pairs
       in
@@ -103,7 +126,7 @@ let greedy ~procedure ~evaluator ~seek ~bound db workload initial =
    permutation of the block is tried (capped) and the distinct resulting
    indexes are all candidates — making the exhaustive search dominate
    any order the greedy strategy might pick. *)
-let merge_block ~procedure ~evaluator ~seek ~numeric db workload current block =
+let merge_block ~procedure ~service ~seek db workload current block =
   match block with
   | [] -> invalid_arg "Search.merge_block: empty block"
   | [ ix ] -> [ Merge.item_of_index ix ]
@@ -115,9 +138,8 @@ let merge_block ~procedure ~evaluator ~seek ~numeric db workload current block =
         List.fold_left
           (fun acc ix ->
             let merged =
-              Merge_pair.merge procedure ~db ~workload ~seek
-                ?evaluator:(if numeric then Some evaluator else None)
-                ~current acc.Merge.it_index ix
+              Merge_pair.merge procedure ~db ~workload ~seek ?service ~current
+                acc.Merge.it_index ix
             in
             {
               Merge.it_index = merged;
@@ -143,9 +165,10 @@ let cartesian (lists : 'a list list) ~limit =
   let combos = List.fold_left combine [ [] ] lists in
   (List.map List.rev combos, !truncated)
 
-let exhaustive ~procedure ~evaluator ~seek ~bound ~config_limit db workload
-    initial =
+let exhaustive ~procedure ~evaluator ~service ~seek ~bound ~config_limit db
+    workload initial =
   let numeric = Cost_eval.is_numeric evaluator in
+  let index_pages = page_memo db in
   let by_table = List_ext.group_by (fun ix -> ix.Index.idx_table) initial in
   let truncated_blocks = ref false in
   let per_table_options =
@@ -161,8 +184,8 @@ let exhaustive ~procedure ~evaluator ~seek ~bound ~config_limit db workload
             let block_candidates =
               List.map
                 (fun block ->
-                  merge_block ~procedure ~evaluator ~seek ~numeric db workload
-                    initial block)
+                  merge_block ~procedure ~service ~seek db workload initial
+                    block)
                 partition
             in
             let combos, t = cartesian block_candidates ~limit:config_limit in
@@ -175,7 +198,11 @@ let exhaustive ~procedure ~evaluator ~seek ~bound ~config_limit db workload
   let truncated = truncated || !truncated_blocks in
   let configurations = List.map List.concat combos in
   let scored =
-    List.map (fun items -> (items, items_pages db items)) configurations
+    List.map
+      (fun items ->
+        ( items,
+          List_ext.sum_by (fun it -> index_pages it.Merge.it_index) items ))
+      configurations
     |> List.stable_sort (fun (_, a) (_, b) -> compare a b)
   in
   let ok items =
@@ -194,11 +221,17 @@ let exhaustive ~procedure ~evaluator ~seek ~bound ~config_limit db workload
 
 (* ---- Entry point ---- *)
 
-let run ?(merge_pair = Merge_pair.Cost_based)
+let run ?service ?(merge_pair = Merge_pair.Cost_based)
     ?(cost_model = Cost_eval.Optimizer_estimated) ?(cost_constraint = 0.10) db
     workload ~initial strategy =
-  let evaluator = Cost_eval.create cost_model db workload in
+  let evaluator = Cost_eval.create ?service cost_model db workload in
+  let svc = Cost_eval.service evaluator in
   let numeric = Cost_eval.is_numeric evaluator in
+  (* The Merge_pair Exhaustive procedure scores candidate column orders
+     through the service; non-numeric models never score, matching the
+     paper's No-Cost mode. *)
+  let pair_service = if numeric then Some svc else None in
+  let counters_before = Service.counters svc in
   let (items, iterations, truncated), elapsed =
     Im_util.Stopwatch.time (fun () ->
         let seek = Seek_cost.analyze db initial workload in
@@ -212,16 +245,17 @@ let run ?(merge_pair = Merge_pair.Cost_based)
         match strategy with
         | Greedy ->
           let items, iterations =
-            greedy ~procedure:merge_pair ~evaluator ~seek ~bound db workload
-              initial
+            greedy ~procedure:merge_pair ~evaluator ~service:pair_service
+              ~seek ~bound db workload initial
           in
           (items, iterations, false)
         | Exhaustive_search { config_limit } ->
-          exhaustive ~procedure:merge_pair ~evaluator ~seek ~bound
-            ~config_limit db workload initial)
+          exhaustive ~procedure:merge_pair ~evaluator ~service:pair_service
+            ~seek ~bound ~config_limit db workload initial)
   in
   (* Recompute reference numbers outside the timed region where they are
-     byproducts, for a truthful report. *)
+     byproducts, for a truthful report. With the memoizing service these
+     recomputations are cache hits, not fresh optimizer calls. *)
   let initial_cost =
     if numeric then Some (Cost_eval.workload_cost evaluator initial) else None
   in
@@ -231,6 +265,8 @@ let run ?(merge_pair = Merge_pair.Cost_based)
       Some (Cost_eval.workload_cost evaluator (Merge.config_of_items items))
     else None
   in
+  let d = Service.counters svc in
+  let b = counters_before in
   {
     o_initial = initial;
     o_items = items;
@@ -240,8 +276,10 @@ let run ?(merge_pair = Merge_pair.Cost_based)
     o_final_cost = final_cost;
     o_bound = bound;
     o_iterations = iterations;
-    o_cost_evaluations = Cost_eval.evaluations evaluator;
-    o_optimizer_calls = Cost_eval.optimizer_calls evaluator;
+    o_cost_evaluations = d.Service.c_cost_evals - b.Service.c_cost_evals;
+    o_optimizer_calls = d.Service.c_opt_calls - b.Service.c_opt_calls;
+    o_cache_hits = d.Service.c_hits - b.Service.c_hits;
+    o_cache_misses = d.Service.c_misses - b.Service.c_misses;
     o_elapsed_s = elapsed;
     o_truncated = truncated;
   }

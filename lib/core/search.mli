@@ -30,8 +30,10 @@ type outcome = {
   o_final_cost : float option;
   o_bound : float option;
   o_iterations : int;  (** greedy outer-loop iterations / configs examined *)
-  o_cost_evaluations : int;
-  o_optimizer_calls : int;
+  o_cost_evaluations : int;  (** service workload evaluations, this run *)
+  o_optimizer_calls : int;  (** service what-if calls (misses), this run *)
+  o_cache_hits : int;  (** service cache hits, this run *)
+  o_cache_misses : int;  (** service cache misses, this run *)
   o_elapsed_s : float;
   o_truncated : bool;  (** exhaustive enumeration hit [config_limit] *)
 }
@@ -39,10 +41,18 @@ type outcome = {
 val storage_reduction : outcome -> float
 (** [1 - final/initial] (0 if the initial configuration is empty). *)
 
+val page_memo : Im_catalog.Database.t -> Im_catalog.Index.t -> int
+(** [page_memo db] returns a memoizing page counter: per-index storage
+    pages cached by interned id for the life of the returned closure.
+    Valid as long as the database's row counts do not change. The sum
+    over a configuration equals
+    {!Im_catalog.Database.config_storage_pages}. *)
+
 val cost_increase : outcome -> float option
 (** [final/initial - 1] under a numeric model. *)
 
 val run :
+  ?service:Im_costsvc.Service.t ->
   ?merge_pair:Merge_pair.procedure ->
   ?cost_model:Cost_eval.model ->
   ?cost_constraint:float ->
@@ -52,4 +62,9 @@ val run :
   strategy ->
   outcome
 (** Defaults: MergePair-Cost, optimizer-estimated cost, 10 % constraint
-    (the paper's Figure 5 setting). *)
+    (the paper's Figure 5 setting). [?service] shares a memoizing cost
+    service with other runs (configurations costed by one strategy are
+    cache hits for another); counters in the outcome are per-run deltas
+    either way. Page counts are memoized by interned index id, and only
+    queries whose relevant index set changed are re-optimized after a
+    merge — the others are cache hits. *)

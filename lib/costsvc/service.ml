@@ -1,0 +1,208 @@
+module Database = Im_catalog.Database
+module Config = Im_catalog.Config
+module Index = Im_catalog.Index
+module Query = Im_sqlir.Query
+module Workload = Im_workload.Workload
+
+type counters = {
+  c_cost_evals : int;
+  c_query_costs : int;
+  c_opt_calls : int;
+  c_hits : int;
+  c_misses : int;
+  c_evictions : int;
+  c_invalidated : int;
+}
+
+type key = { k_query : int; k_relevant : int array }
+
+type node = {
+  n_key : key;
+  n_cost : float;
+  n_tables : string list;
+  mutable n_prev : node option;  (* toward the MRU end *)
+  mutable n_next : node option;  (* toward the LRU end *)
+}
+
+type t = {
+  db : Database.t;
+  capacity : int;
+  update_cost : (Config.t -> inserts:(string * int) list -> float) option;
+  tbl : (key, node) Hashtbl.t;
+  mutable mru : node option;
+  mutable lru : node option;
+  mutable cost_evals : int;
+  mutable query_costs : int;
+  mutable opt_calls : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidated : int;
+}
+
+let create ?(capacity = 8192) ?update_cost db =
+  if capacity < 1 then invalid_arg "Service.create: capacity < 1";
+  {
+    db;
+    capacity;
+    update_cost;
+    tbl = Hashtbl.create 256;
+    mru = None;
+    lru = None;
+    cost_evals = 0;
+    query_costs = 0;
+    opt_calls = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    invalidated = 0;
+  }
+
+let database t = t.db
+let size t = Hashtbl.length t.tbl
+let capacity t = t.capacity
+
+let counters t =
+  {
+    c_cost_evals = t.cost_evals;
+    c_query_costs = t.query_costs;
+    c_opt_calls = t.opt_calls;
+    c_hits = t.hits;
+    c_misses = t.misses;
+    c_evictions = t.evictions;
+    c_invalidated = t.invalidated;
+  }
+
+let cost_evals t = t.cost_evals
+let opt_calls t = t.opt_calls
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+(* ---- Intrusive LRU list ---- *)
+
+let unlink t n =
+  (match n.n_prev with
+   | Some p -> p.n_next <- n.n_next
+   | None -> t.mru <- n.n_next);
+  (match n.n_next with
+   | Some s -> s.n_prev <- n.n_prev
+   | None -> t.lru <- n.n_prev);
+  n.n_prev <- None;
+  n.n_next <- None
+
+let push_mru t n =
+  n.n_prev <- None;
+  n.n_next <- t.mru;
+  (match t.mru with
+   | Some m -> m.n_prev <- Some n
+   | None -> t.lru <- Some n);
+  t.mru <- Some n
+
+let touch t n =
+  match t.mru with
+  | Some m when m == n -> ()
+  | _ ->
+    unlink t n;
+    push_mru t n
+
+let evict_lru t =
+  match t.lru with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.tbl n.n_key;
+    t.evictions <- t.evictions + 1
+
+(* ---- Keys ---- *)
+
+(* The paper's "only relevant queries need re-optimization": the key is
+   the query plus the configuration restricted to the query's tables, so
+   changing indexes of other tables leaves the key — and the cached cost
+   — untouched. Identities are interned ids, never concatenated name
+   strings, so no column-name choice can alias two configurations. *)
+let key_of q config =
+  let qtables = q.Query.q_tables in
+  let ids =
+    List.filter_map
+      (fun ix ->
+        if List.mem ix.Index.idx_table qtables then Some (Index.intern ix)
+        else None)
+      config
+  in
+  let arr = Array.of_list (List.sort_uniq Int.compare ids) in
+  { k_query = Query.intern q; k_relevant = arr }
+
+(* ---- Costing ---- *)
+
+let query_cost t config q =
+  t.query_costs <- t.query_costs + 1;
+  let key = key_of q config in
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+    t.hits <- t.hits + 1;
+    touch t n;
+    n.n_cost
+  | None ->
+    t.misses <- t.misses + 1;
+    t.opt_calls <- t.opt_calls + 1;
+    let c =
+      Im_optimizer.Plan.cost (Im_optimizer.Optimizer.optimize t.db config q)
+    in
+    if Hashtbl.length t.tbl >= t.capacity then evict_lru t;
+    let n =
+      {
+        n_key = key;
+        n_cost = c;
+        n_tables = q.Query.q_tables;
+        n_prev = None;
+        n_next = None;
+      }
+    in
+    Hashtbl.add t.tbl key n;
+    push_mru t n;
+    c
+
+let workload_cost ?query_cost:override t config w =
+  t.cost_evals <- t.cost_evals + 1;
+  let per_query =
+    match override with
+    | Some f -> f config
+    | None -> query_cost t config
+  in
+  let queries = Workload.weighted_cost ~cost:per_query w in
+  let updates =
+    match w.Workload.updates with
+    | [] -> 0.
+    | inserts ->
+      (match t.update_cost with
+       | Some f -> f config ~inserts
+       | None ->
+         invalid_arg
+           "Service.workload_cost: workload carries updates but the service \
+            was created without ~update_cost")
+  in
+  queries +. updates
+
+(* ---- Invalidation ---- *)
+
+let remove_if t pred =
+  let doomed =
+    Hashtbl.fold (fun _ n acc -> if pred n then n :: acc else acc) t.tbl []
+  in
+  List.iter
+    (fun n ->
+      Hashtbl.remove t.tbl n.n_key;
+      unlink t n)
+    doomed;
+  let k = List.length doomed in
+  t.invalidated <- t.invalidated + k;
+  k
+
+let invalidate_index t ix =
+  let id = Index.intern ix in
+  remove_if t (fun n -> Array.exists (Int.equal id) n.n_key.k_relevant)
+
+let invalidate_table t tbl = remove_if t (fun n -> List.mem tbl n.n_tables)
+
+let clear t = ignore (remove_if t (fun _ -> true))

@@ -1,0 +1,97 @@
+(** The memoizing what-if cost service — the single costing choke point.
+
+    Every [Cost (W, C)] evaluation in the system (offline merging
+    search, index selection, the dual-phase advisor, and the online
+    epoch runner) flows through one instance of this service. Per-query
+    what-if optimizer costs are memoized under the key
+
+    {[ (Query.intern q, sorted [Index.intern] ids of C restricted to q's tables) ]}
+
+    — the paper's "only relevant queries need re-optimization" rule
+    (merging indexes of other tables leaves the key untouched), with
+    CoPhy-style atomic-unit sharing: any caller costing the same query
+    under the same relevant sub-configuration hits the same entry,
+    whether it is the greedy search, the exhaustive search, the
+    selection phase, or a later tuning epoch.
+
+    Keys are interned integer ids, never concatenated name strings, so
+    adversarial column names (containing [","] or [";"]) cannot alias
+    two distinct configurations.
+
+    The cache is a bounded LRU: hits refresh recency, insertion beyond
+    capacity evicts the least-recently-used entry. Counters (hits,
+    misses, evictions, optimizer calls, workload evaluations) are
+    cumulative per service and reported by the CLI [merge] report and
+    the daemon's STATS line.
+
+    Invalidation is the {e owner's} duty: the service never observes
+    data changes. Whoever mutates the database (row inserts changing
+    statistics) must call {!invalidate_table}; whoever distrusts a
+    definition's costs can call {!invalidate_index}; {!clear} drops
+    everything. *)
+
+type t
+
+type counters = {
+  c_cost_evals : int;  (** workload-level evaluations *)
+  c_query_costs : int;  (** per-query costings, hits included *)
+  c_opt_calls : int;  (** what-if optimizations actually run *)
+  c_hits : int;
+  c_misses : int;
+  c_evictions : int;  (** capacity evictions (LRU order) *)
+  c_invalidated : int;  (** entries dropped by explicit invalidation *)
+}
+
+val create :
+  ?capacity:int ->
+  ?update_cost:(Im_catalog.Config.t -> inserts:(string * int) list -> float) ->
+  Im_catalog.Database.t ->
+  t
+(** [capacity] (default 8192) bounds live entries; beyond it the
+    least-recently-used entry is evicted per insertion, so a stream
+    cannot leak. [update_cost] prices index maintenance for workloads
+    carrying an update profile (pass
+    [Im_merging.Maintenance.config_batch_cost db]); omitting it makes
+    {!workload_cost} raise on such workloads rather than silently
+    under-charge. Raises [Invalid_argument] if [capacity < 1]. *)
+
+val database : t -> Im_catalog.Database.t
+
+val query_cost : t -> Im_catalog.Config.t -> Im_sqlir.Query.t -> float
+(** Memoized what-if optimizer cost of the query under the
+    configuration restricted to the query's tables. *)
+
+val workload_cost :
+  ?query_cost:(Im_catalog.Config.t -> Im_sqlir.Query.t -> float) ->
+  t ->
+  Im_catalog.Config.t ->
+  Im_workload.Workload.t ->
+  float
+(** Frequency-weighted per-query costs plus maintenance when the
+    workload carries updates. [?query_cost] substitutes an external
+    (non-optimizer) per-query model while still counting the evaluation
+    at the one choke point; such costs bypass the cache (they are cheap
+    and would pollute what-if entries). *)
+
+val invalidate_index : t -> Im_catalog.Index.t -> int
+(** Drop every cached cost whose relevant sub-configuration contains
+    the definition. Returns the number of entries dropped. *)
+
+val invalidate_table : t -> string -> int
+(** Drop every cached cost of a query referencing the table (use after
+    data/statistics changes on it). Returns the number dropped. *)
+
+val clear : t -> unit
+
+val counters : t -> counters
+
+val cost_evals : t -> int
+val opt_calls : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+
+val size : t -> int
+(** Live entries (for memory-cap assertions). *)
+
+val capacity : t -> int

@@ -76,19 +76,20 @@ let total_variation t buckets current =
     buckets;
   0.5 *. !sum
 
-let unit_cost cache config w =
+let unit_cost service config w =
   let mass = Workload.total_freq w in
-  if mass <= 0. then 0. else Whatif.workload_cost cache config w /. mass
+  if mass <= 0. then 0.
+  else Im_costsvc.Service.workload_cost service config w /. mass
 
-let rebase t cache config window =
+let rebase t service config window =
   t.baseline <-
     Some
       {
         b_buckets = distribution window;
-        b_unit_cost = unit_cost cache config window;
+        b_unit_cost = unit_cost service config window;
       }
 
-let check t cache config window =
+let check t service config window =
   t.checks <- t.checks + 1;
   match t.baseline with
   | None ->
@@ -97,7 +98,8 @@ let check t cache config window =
     let divergence = total_variation t b.b_buckets (distribution window) in
     let regression =
       if b.b_unit_cost <= 0. then 0.
-      else Float.max 0. ((unit_cost cache config window /. b.b_unit_cost) -. 1.)
+      else
+        Float.max 0. ((unit_cost service config window /. b.b_unit_cost) -. 1.)
     in
     let div_fired = divergence > t.div_threshold in
     let cost_fired = regression > t.cost_threshold in

@@ -17,8 +17,8 @@
       than [cost_threshold] — traffic the installed indexes no longer
       serve well, even if its shape mix looks similar.
 
-    Cost is evaluated through the shared {!Whatif} cache, so steady
-    traffic makes checks nearly free. *)
+    Cost is evaluated through the shared {!Im_costsvc.Service}, so
+    steady traffic makes checks nearly free. *)
 
 type t
 
@@ -44,12 +44,20 @@ val has_baseline : t -> bool
     baseline (the bootstrap epoch is the service's job). *)
 
 val rebase :
-  t -> Whatif.t -> Im_catalog.Config.t -> Im_workload.Workload.t -> unit
-(** [rebase t cache config window] records [window]'s signature
+  t ->
+  Im_costsvc.Service.t ->
+  Im_catalog.Config.t ->
+  Im_workload.Workload.t ->
+  unit
+(** [rebase t service config window] records [window]'s signature
     distribution and unit cost under [config] as the new baseline. *)
 
 val check :
-  t -> Whatif.t -> Im_catalog.Config.t -> Im_workload.Workload.t -> verdict
+  t ->
+  Im_costsvc.Service.t ->
+  Im_catalog.Config.t ->
+  Im_workload.Workload.t ->
+  verdict
 (** Compare the current window against the baseline; returns an unfired
     verdict with zero divergence when no baseline exists. *)
 

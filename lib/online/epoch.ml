@@ -46,32 +46,32 @@ type outcome = {
   e_elapsed_s : float;
 }
 
-let run cache ~trigger ~live ~window ~budget_pages ~max_clusters =
+let run service ~trigger ~live ~window ~budget_pages ~max_clusters =
   if Workload.size window = 0 then invalid_arg "Epoch.run: empty window";
-  let db = Whatif.database cache in
-  let calls_before = Whatif.optimizer_calls cache in
-  let (new_config, tuned, advisor_calls, old_cost, new_cost), elapsed =
+  let db = Im_costsvc.Service.database service in
+  let calls_before = Im_costsvc.Service.opt_calls service in
+  let (new_config, tuned, old_cost, new_cost), elapsed =
     Im_util.Stopwatch.time (fun () ->
         (* Exact-signature dedup, then spend the cluster budget on the
            entries costing most under the live configuration. *)
         let compressed = Compress.compress window in
         let tuning =
           Workload.top_k_by_cost
-            ~cost:(Whatif.query_cost cache live)
+            ~cost:(Im_costsvc.Service.query_cost service live)
             ~k:max_clusters compressed
         in
-        let outcome = Im_advisor.Advisor.advise db tuning ~budget_pages in
+        let outcome =
+          Im_advisor.Advisor.advise ~service db tuning ~budget_pages
+        in
         let new_config = Im_advisor.Advisor.final_config outcome in
         (* Both costings run over the *full* window, through the warm
-           cache, so the benefit reflects all live traffic, not just the
-           tuned clusters. *)
-        let old_cost = Whatif.workload_cost cache live window in
-        let new_cost = Whatif.workload_cost cache new_config window in
-        ( new_config,
-          Workload.size tuning,
-          outcome.Im_advisor.Advisor.a_optimizer_calls,
-          old_cost,
-          new_cost ))
+           service, so the benefit reflects all live traffic, not just
+           the tuned clusters. *)
+        let old_cost = Im_costsvc.Service.workload_cost service live window in
+        let new_cost =
+          Im_costsvc.Service.workload_cost service new_config window
+        in
+        (new_config, Workload.size tuning, old_cost, new_cost))
   in
   {
     e_trigger = trigger;
@@ -84,7 +84,7 @@ let run cache ~trigger ~live ~window ~budget_pages ~max_clusters =
     e_benefit = (if old_cost <= 0. then 0. else (old_cost -. new_cost) /. old_cost);
     e_old_pages = Database.config_storage_pages db live;
     e_new_pages = Database.config_storage_pages db new_config;
-    e_opt_calls = advisor_calls + (Whatif.optimizer_calls cache - calls_before);
+    e_opt_calls = Im_costsvc.Service.opt_calls service - calls_before;
     e_elapsed_s = elapsed;
   }
 

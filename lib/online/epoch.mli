@@ -44,13 +44,16 @@ type outcome = {
 }
 
 val run :
-  Whatif.t ->
+  Im_costsvc.Service.t ->
   trigger:trigger ->
   live:Im_catalog.Config.t ->
   window:Im_workload.Workload.t ->
   budget_pages:int ->
   max_clusters:int ->
   outcome
-(** Raises [Invalid_argument] on an empty window. *)
+(** Raises [Invalid_argument] on an empty window. The service is the
+    warm cost cache carried across epochs; [e_opt_calls] is the per-run
+    delta of its optimizer-call counter (advisor phases and window
+    costings included). *)
 
 val summary : outcome -> string

@@ -35,7 +35,7 @@ let default_options ~budget_pages =
 type t = {
   db : Database.t;
   opts : options;
-  cache : Whatif.t;
+  cache : Im_costsvc.Service.t;
   window : Window.t;
   drift : Drift.t;
   budget : Budget.t;
@@ -56,7 +56,10 @@ let create ?options ?(initial = Config.empty) db ~budget_pages =
   {
     db;
     opts;
-    cache = Whatif.create db;
+    cache =
+      Im_costsvc.Service.create
+        ~update_cost:(Im_merging.Maintenance.config_batch_cost db)
+        db;
     window =
       Window.create ~capacity:opts.o_capacity ~decay:opts.o_decay
         ~threshold:opts.o_cluster_threshold ();
@@ -162,9 +165,12 @@ let stats t =
        (count_trigger t Epoch.Drift)
        (count_trigger t Epoch.Forced));
     ("epoch cluster budget", i (Budget.current t.budget));
-    ("optimizer calls (cache misses)", i (Whatif.optimizer_calls t.cache));
-    ("what-if cache hits", i (Whatif.hits t.cache));
-    ("what-if cache entries", i (Whatif.size t.cache));
+    ("cost_evals", i (Im_costsvc.Service.cost_evals t.cache));
+    ("opt_calls", i (Im_costsvc.Service.opt_calls t.cache));
+    ("cache_hits", i (Im_costsvc.Service.hits t.cache));
+    ("cache_misses", i (Im_costsvc.Service.misses t.cache));
+    ("cache_evictions", i (Im_costsvc.Service.evictions t.cache));
+    ("cache_entries", i (Im_costsvc.Service.size t.cache));
     ("config indexes", i (List.length t.live));
     ("config pages", i (config_pages t));
     ("intake seconds", f2 t.feed_seconds);

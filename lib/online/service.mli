@@ -10,8 +10,9 @@
     realized benefit for Wii-style budget reallocation, and rebases the
     drift detector on the window just tuned for.
 
-    All cost evaluation flows through one {!Whatif} cache that lives as
-    long as the service — the warm cache carried across epochs. *)
+    All cost evaluation flows through one {!Im_costsvc.Service} that
+    lives as long as the service — the warm what-if cache carried
+    across epochs. *)
 
 type options = {
   o_budget_pages : int;  (** storage budget for every epoch's advisor run *)
@@ -70,8 +71,10 @@ val rejected : t -> int
 
 val stats : t -> (string * string) list
 (** Ordered counter/latency metrics: statements, parse rejects, window
-    occupancy and mass, drift checks/fires, epochs by trigger, optimizer
-    calls and cache hits, configuration size/pages, intake latency. *)
+    occupancy and mass, drift checks/fires, epochs by trigger, the cost
+    service's unified counters ([cost_evals], [opt_calls],
+    [cache_hits], [cache_misses], [cache_evictions], [cache_entries]),
+    configuration size/pages, intake latency. *)
 
 val render_stats : t -> string
 (** {!stats} as an aligned two-column ASCII table. *)

@@ -226,3 +226,21 @@ let to_sql q =
   Buffer.contents buf
 
 let canonical_string q = to_sql q
+
+(* Interned identity: dense ids hash-consed on [canonical_string] — the
+   id-independent text equality used for duplicate detection. Two
+   statements with different [q_id] but identical text share one id, so
+   caches keyed by it stay warm across a stream of arriving statements
+   (each of which gets a fresh id). *)
+let intern_tbl : (string, int) Hashtbl.t = Hashtbl.create 256
+
+let intern q =
+  let key = canonical_string q in
+  match Hashtbl.find_opt intern_tbl key with
+  | Some id -> id
+  | None ->
+    let id = Hashtbl.length intern_tbl in
+    Hashtbl.add intern_tbl key id;
+    id
+
+let interned_queries () = Hashtbl.length intern_tbl

@@ -71,3 +71,13 @@ val canonical_string : t -> string
 
 val to_sql : t -> string
 (** SQL-ish pretty form, for display and logs. *)
+
+val intern : t -> int
+(** Dense integer id hash-consed on {!canonical_string}: queries with
+    identical text (modulo [q_id]) share one id, queries differing in
+    any constant, column or clause do not. Ids are assigned on first
+    use, never reused, and are process-global — the stable half of the
+    [(query, relevant sub-configuration)] cost-cache key. *)
+
+val interned_queries : unit -> int
+(** Number of distinct query texts interned so far. *)

@@ -1,17 +1,26 @@
 #!/bin/sh
-# Developer pre-push check: full build, the whole test suite (unit,
-# property, integration, and the `serve` daemon smoke test), and
-# formatting when ocamlformat is installed (skipped gracefully when
-# not — the CI container does not ship it).
+# Developer pre-push check: full build with warnings promoted to
+# errors, the whole test suite (unit, property, integration, and the
+# `serve` daemon smoke test), the cost-service accounting benchmark
+# (emits BENCH_costsvc.json), and formatting when ocamlformat is
+# installed (skipped gracefully when not — the CI container does not
+# ship it).
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== dune build @all =="
-dune build @all
+# A warning anywhere fails the check. (lib/costsvc additionally bakes
+# -warn-error into its dune flags, so plain `dune build` enforces it
+# there too.)
+echo "== dune build @all (warnings as errors) =="
+OCAMLPARAM="_,warn-error=+a" dune build @all
 
 echo "== dune runtest =="
 dune runtest
+
+echo "== bench: costsvc accounting (BENCH_costsvc.json) =="
+IM_BENCH_OUT="${IM_BENCH_OUT:-BENCH_costsvc.json}" dune exec bench/main.exe -- costsvc
+echo "wrote ${IM_BENCH_OUT:-BENCH_costsvc.json}"
 
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt =="

@@ -308,7 +308,8 @@ let test_merge_pair_exhaustive () =
   let m =
     Merge_pair.merge
       (Merge_pair.Exhaustive { perm_limit = 720 })
-      ~db ~workload ~seek ~evaluator ~current:initial i_seek i_scan
+      ~db ~workload ~seek ~service:(Cost_eval.service evaluator)
+      ~current:initial i_seek i_scan
   in
   Alcotest.(check bool) "exhaustive result is a Definition-1 merge" true
     (Merge.is_merge_of m [ i_seek; i_scan ]);
@@ -327,8 +328,8 @@ let test_merge_pair_exhaustive () =
 
 let test_merge_pair_exhaustive_needs_evaluator () =
   let seek = Seek_cost.analyze db initial workload in
-  Alcotest.check_raises "missing evaluator"
-    (Invalid_argument "Merge_pair.merge: Exhaustive needs an evaluator")
+  Alcotest.check_raises "missing service"
+    (Invalid_argument "Merge_pair.merge: Exhaustive needs a cost service")
     (fun () ->
       ignore
         (Merge_pair.merge
@@ -497,6 +498,56 @@ let test_greedy_iteration_bound () =
   let o = Search.run db workload ~initial Search.Greedy in
   Alcotest.(check bool) "iterations <= N" true
     (o.Search.o_iterations <= List.length initial)
+
+let test_page_memo_accounting () =
+  (* The memoized per-index page counts the greedy loop scores pairs
+     with must agree with a from-scratch recomputation. *)
+  let pages = Search.page_memo db in
+  let sum config = List.fold_left (fun acc ix -> acc + pages ix) 0 config in
+  Alcotest.(check int) "memoized sum = config pages"
+    (Database.config_storage_pages db initial)
+    (sum initial);
+  (* Same closure again: cached answers, identical totals. *)
+  Alcotest.(check int) "stable across calls"
+    (Database.config_storage_pages db initial)
+    (sum initial);
+  let o = Search.run db workload ~initial Search.Greedy in
+  let final = Merge.config_of_items o.Search.o_items in
+  Alcotest.(check int) "greedy final pages match recomputation"
+    (Database.config_storage_pages db final)
+    o.Search.o_final_pages;
+  Alcotest.(check int) "greedy initial pages match recomputation"
+    (Database.config_storage_pages db initial)
+    o.Search.o_initial_pages
+
+let test_shared_service_across_strategies () =
+  (* One service across exhaustive + greedy: identical results to
+     isolated runs, strictly fewer optimizer calls on the second run
+     (its configurations were already costed). *)
+  let iso_g = Search.run db workload ~initial Search.Greedy in
+  let svc =
+    Im_costsvc.Service.create
+      ~update_cost:(Im_merging.Maintenance.config_batch_cost db)
+      db
+  in
+  let _e =
+    Search.run ~service:svc db workload ~initial
+      (Search.Exhaustive_search { config_limit = 10_000 })
+  in
+  let g = Search.run ~service:svc db workload ~initial Search.Greedy in
+  Alcotest.(check int) "same final pages as isolated" iso_g.Search.o_final_pages
+    g.Search.o_final_pages;
+  Alcotest.(check (list string)) "same final indexes as isolated"
+    (List.map (fun it -> Index.to_string it.Merge.it_index) iso_g.Search.o_items)
+    (List.map (fun it -> Index.to_string it.Merge.it_index) g.Search.o_items)
+    ;
+  Alcotest.(check bool) "warm run spends fewer optimizer calls" true
+    (g.Search.o_optimizer_calls < iso_g.Search.o_optimizer_calls);
+  Alcotest.(check bool) "warm run hits the shared cache" true
+    (g.Search.o_cache_hits > 0);
+  (* The outcome's counters are per-run deltas of the shared service. *)
+  Alcotest.(check int) "hits + misses = per-query costings of this run"
+    g.Search.o_optimizer_calls g.Search.o_cache_misses
 
 (* ---- Search: Exhaustive vs Greedy ---- *)
 
@@ -672,6 +723,9 @@ let () =
           tc "counters" `Quick test_greedy_counters;
           tc "deterministic" `Quick test_greedy_deterministic;
           tc "iteration bound" `Quick test_greedy_iteration_bound;
+          tc "page accounting" `Quick test_page_memo_accounting;
+          tc "shared service across strategies" `Quick
+            test_shared_service_across_strategies;
           tc "exhaustive at least as good" `Quick test_exhaustive_at_least_as_good;
           qtest prop_greedy_vs_exhaustive;
         ] );

@@ -1,9 +1,9 @@
-(* Tests for the online tuning subsystem: sliding window, warm what-if
-   cache, drift detection, Wii-style budgets, epoch diffs and the
-   service loop. *)
+(* Tests for the online tuning subsystem: sliding window, the shared
+   cost service as warm what-if cache, drift detection, Wii-style
+   budgets, epoch diffs and the service loop. *)
 
 module Window = Im_online.Window
-module Whatif = Im_online.Whatif
+module Costsvc = Im_costsvc.Service
 module Drift = Im_online.Drift
 module Budget = Im_online.Budget
 module Epoch = Im_online.Epoch
@@ -106,47 +106,47 @@ let test_window_to_workload () =
   Alcotest.(check (float 1e-6)) "mass carried" (Window.total_mass w)
     (Workload.total_freq wl)
 
-(* ---- Whatif ---- *)
+(* ---- Cost service as the online what-if cache ---- *)
 
 let test_whatif_canonical_cache () =
   let db = Lazy.force syn_db in
-  let cache = Whatif.create db in
+  let cache = Costsvc.create db in
   let q1 = point_query ~id:"S1" "t0" "t0_c0" 1 in
   let q2 = point_query ~id:"S2" "t0" "t0_c0" 1 in
-  let c1 = Whatif.query_cost cache [] q1 in
-  let misses = Whatif.optimizer_calls cache in
+  let c1 = Costsvc.query_cost cache [] q1 in
+  let misses = Costsvc.opt_calls cache in
   (* Different statement id, same text: a hit — this is what the
      id-keyed Cost_eval cache cannot do across a stream. Different
      constants intentionally miss (selectivity changes the cost). *)
-  let c2 = Whatif.query_cost cache [] q2 in
+  let c2 = Costsvc.query_cost cache [] q2 in
   Alcotest.(check bool) "cost positive" true (c1 > 0.);
   Alcotest.(check (float 1e-9)) "identical cached cost" c1 c2;
   Alcotest.(check int) "no extra optimizer call" misses
-    (Whatif.optimizer_calls cache);
-  Alcotest.(check int) "one hit" 1 (Whatif.hits cache)
+    (Costsvc.opt_calls cache);
+  Alcotest.(check int) "one hit" 1 (Costsvc.hits cache)
 
 let test_whatif_config_restriction () =
   let db = Lazy.force syn_db in
-  let cache = Whatif.create db in
+  let cache = Costsvc.create db in
   let q = point_query "t0" "t0_c0" 1 in
-  let _ = Whatif.query_cost cache [] q in
-  let misses = Whatif.optimizer_calls cache in
+  let _ = Costsvc.query_cost cache [] q in
+  let misses = Costsvc.opt_calls cache in
   (* An index on another table is irrelevant to q: still a hit. *)
   let other = Index.make ~table:"t1" [ "t1_c0" ] in
-  let _ = Whatif.query_cost cache [ other ] q in
+  let _ = Costsvc.query_cost cache [ other ] q in
   Alcotest.(check int) "irrelevant index, cache hit" misses
-    (Whatif.optimizer_calls cache);
+    (Costsvc.opt_calls cache);
   (* An index on q's table changes the key: a miss. *)
   let relevant = Index.make ~table:"t0" [ "t0_c0" ] in
-  let with_ix = Whatif.query_cost cache [ relevant ] q in
+  let with_ix = Costsvc.query_cost cache [ relevant ] q in
   Alcotest.(check int) "relevant index re-optimizes" (misses + 1)
-    (Whatif.optimizer_calls cache);
+    (Costsvc.opt_calls cache);
   Alcotest.(check bool) "index helps the point query" true
-    (with_ix <= Whatif.query_cost cache [] q)
+    (with_ix <= Costsvc.query_cost cache [] q)
 
 let test_whatif_capped () =
   let db = Lazy.force syn_db in
-  let cache = Whatif.create ~max_entries:8 db in
+  let cache = Costsvc.create ~capacity:8 db in
   for i = 0 to 40 do
     let col = Printf.sprintf "t0_c%d" (i mod 5) in
     let tbl_q =
@@ -155,9 +155,9 @@ let test_whatif_capped () =
         ~order_by:[ (Predicate.colref "t0" (Printf.sprintf "t0_c%d" ((i + 1) mod 5)), Query.Asc) ]
         [ "t0" ]
     in
-    ignore (Whatif.query_cost cache [] tbl_q)
+    ignore (Costsvc.query_cost cache [] tbl_q)
   done;
-  Alcotest.(check bool) "cache size capped" true (Whatif.size cache <= 8)
+  Alcotest.(check bool) "cache size capped" true (Costsvc.size cache <= 8)
 
 (* ---- Drift ---- *)
 
@@ -167,7 +167,7 @@ let window_workload queries_with_freq =
 
 let test_drift_stable_traffic_quiet () =
   let db = Lazy.force syn_db in
-  let cache = Whatif.create db in
+  let cache = Costsvc.create db in
   let drift = Drift.create () in
   let w = window_workload [ (point_query "t0" "t0_c0" 1, 10.); (point_query "t1" "t1_c0" 2, 5.) ] in
   Alcotest.(check bool) "no baseline" false (Drift.has_baseline drift);
@@ -182,7 +182,7 @@ let test_drift_stable_traffic_quiet () =
 
 let test_drift_shifted_mix_fires () =
   let db = Lazy.force syn_db in
-  let cache = Whatif.create db in
+  let cache = Costsvc.create db in
   let drift = Drift.create () in
   let before = window_workload [ (point_query "t0" "t0_c0" 1, 10.) ] in
   Drift.rebase drift cache [] before;
@@ -196,7 +196,7 @@ let test_drift_shifted_mix_fires () =
 
 let test_drift_partial_shift_graded () =
   let db = Lazy.force syn_db in
-  let cache = Whatif.create db in
+  let cache = Costsvc.create db in
   let drift = Drift.create ~div_threshold:0.9 () in
   let before =
     window_workload
@@ -214,7 +214,7 @@ let test_drift_partial_shift_graded () =
 
 let test_drift_cost_regression_fires () =
   let db = Lazy.force syn_db in
-  let cache = Whatif.create db in
+  let cache = Costsvc.create db in
   let drift = Drift.create ~div_threshold:1.1 (* divergence disabled *) () in
   let ix = Index.make ~table:"t0" [ "t0_c0" ] in
   let covered = window_workload [ (point_query "t0" "t0_c0" 1, 10.) ] in
@@ -277,7 +277,11 @@ let test_epoch_diff () =
 
 let test_epoch_run () =
   let db = Lazy.force syn_db in
-  let cache = Whatif.create db in
+  let cache =
+    Costsvc.create
+      ~update_cost:(Im_merging.Maintenance.config_batch_cost db)
+      db
+  in
   let w = Ragsgen.generate db ~rng:(Rng.create 21) ~n:12 in
   let window = Workload.of_entries ~name:"win" w.Workload.entries in
   let budget_pages = max 1 (Database.data_pages db / 2) in
@@ -423,7 +427,7 @@ let () =
           tc "decay" `Quick test_window_decay;
           tc "to_workload" `Quick test_window_to_workload;
         ] );
-      ( "whatif",
+      ( "costsvc",
         [
           tc "canonical cache" `Quick test_whatif_canonical_cache;
           tc "config restriction" `Quick test_whatif_config_restriction;
