@@ -133,9 +133,14 @@ let run () =
     | _ -> "BENCH_costsvc.json"
   in
   let oc = open_out out in
+  (* Embed the process metrics registry so the artifact carries the
+     full instrumentation picture (latency percentiles included), not
+     just the experiment's own counters. *)
   output_string oc
     ("{\n  \"experiment\": \"costsvc\",\n  \"databases\": [\n"
      ^ String.concat ",\n" json_rows
-     ^ "\n  ]\n}\n");
+     ^ "\n  ],\n  \"metrics\": "
+     ^ Im_obs.Metrics.to_json ()
+     ^ "\n}\n");
   close_out oc;
   Printf.printf "\nwrote %s\n" out

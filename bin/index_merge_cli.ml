@@ -114,6 +114,19 @@ let workload_file_arg =
   in
   Arg.(value & opt (some string) None & info [ "f"; "workload-file" ] ~docv:"FILE" ~doc)
 
+let metrics_arg =
+  let doc =
+    "After the command finishes, print the process metrics registry \
+     (counters, gauges, latency percentiles) in its stable dump order."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let maybe_dump_metrics enabled =
+  if enabled then begin
+    print_endline "-- metrics --";
+    print_string (Im_obs.Metrics.dump ())
+  end
+
 (* ---- Construction helpers ---- *)
 
 let build_database ?schema_file ?data_dir name sf seed =
@@ -199,7 +212,8 @@ let info_cmd =
 
 (* ---- tune ---- *)
 
-let run_tune db_name sf seed wl_kind n_queries file schema_file data_dir =
+let run_tune db_name sf seed wl_kind n_queries file schema_file data_dir
+    metrics =
   let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
   let workload = or_die (build_workload ?file db wl_kind n_queries seed) in
   List.iter
@@ -213,19 +227,20 @@ let run_tune db_name sf seed wl_kind n_queries file schema_file data_dir =
             Printf.printf "  recommend %s (%d pages)\n" (Index.to_string ix)
               (Database.index_pages db ix))
           recommended)
-    (Workload.queries workload)
+    (Workload.queries workload);
+  maybe_dump_metrics metrics
 
 let tune_cmd =
   Cmd.v
     (Cmd.info "tune" ~doc:"Per-query index recommendations.")
     Term.(
       const run_tune $ db_arg $ sf_arg $ seed_arg $ workload_arg $ queries_arg
-      $ workload_file_arg $ schema_arg $ data_arg)
+      $ workload_file_arg $ schema_arg $ data_arg $ metrics_arg)
 
 (* ---- merge ---- *)
 
 let run_merge db_name sf seed wl_kind n_queries n_initial constraint_ cost_model
-    merge_pair strategy file updates schema_file data_dir =
+    merge_pair strategy file updates schema_file data_dir metrics =
   let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
   let workload = or_die (build_workload ?file db wl_kind n_queries seed) in
   let workload =
@@ -248,7 +263,8 @@ let run_merge db_name sf seed wl_kind n_queries n_initial constraint_ cost_model
   print_newline ();
   print_endline (Im_merging.Report.summary outcome);
   print_endline "merged configuration:";
-  print_endline (Im_merging.Report.configuration_listing outcome)
+  print_endline (Im_merging.Report.configuration_listing outcome);
+  maybe_dump_metrics metrics
 
 let merge_cmd =
   Cmd.v
@@ -259,12 +275,13 @@ let merge_cmd =
     Term.(
       const run_merge $ db_arg $ sf_arg $ seed_arg $ workload_arg $ queries_arg
       $ initial_arg $ constraint_arg $ cost_model_arg $ merge_pair_arg
-      $ strategy_arg $ workload_file_arg $ updates_arg $ schema_arg $ data_arg)
+      $ strategy_arg $ workload_file_arg $ updates_arg $ schema_arg $ data_arg
+      $ metrics_arg)
 
 (* ---- explain ---- *)
 
 let run_explain db_name sf seed wl_kind n_queries n_initial file schema_file
-    data_dir =
+    data_dir metrics =
   let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
   let workload = or_die (build_workload ?file db wl_kind n_queries seed) in
   let config = build_initial db workload n_initial seed in
@@ -274,14 +291,16 @@ let run_explain db_name sf seed wl_kind n_queries n_initial file schema_file
       print_string
         (Im_optimizer.Plan.explain (Im_optimizer.Optimizer.optimize db config q));
       print_newline ())
-    (Workload.queries workload)
+    (Workload.queries workload);
+  maybe_dump_metrics metrics
 
 let explain_cmd =
   Cmd.v
     (Cmd.info "explain" ~doc:"Show optimizer plans for the workload.")
     Term.(
       const run_explain $ db_arg $ sf_arg $ seed_arg $ workload_arg
-      $ queries_arg $ initial_arg $ workload_file_arg $ schema_arg $ data_arg)
+      $ queries_arg $ initial_arg $ workload_file_arg $ schema_arg $ data_arg
+      $ metrics_arg)
 
 (* ---- advise ---- *)
 
@@ -290,7 +309,7 @@ let budget_arg =
   Arg.(required & opt (some int) None & info [ "b"; "budget" ] ~docv:"PAGES" ~doc)
 
 let run_advise db_name sf seed wl_kind n_queries file budget schema_file
-    data_dir =
+    data_dir metrics =
   let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
   let workload = or_die (build_workload ?file db wl_kind n_queries seed) in
   let outcome = Im_advisor.Advisor.advise db workload ~budget_pages:budget in
@@ -301,7 +320,8 @@ let run_advise db_name sf seed wl_kind n_queries file budget schema_file
       Printf.printf "  %s (%d pages)\n"
         (Index.to_string it.Im_merging.Merge.it_index)
         (Database.index_pages db it.Im_merging.Merge.it_index))
-    outcome.Im_advisor.Advisor.a_final
+    outcome.Im_advisor.Advisor.a_final;
+  maybe_dump_metrics metrics
 
 let advise_cmd =
   Cmd.v
@@ -311,7 +331,8 @@ let advise_cmd =
           (selection with an integrated merging phase).")
     Term.(
       const run_advise $ db_arg $ sf_arg $ seed_arg $ workload_arg
-      $ queries_arg $ workload_file_arg $ budget_arg $ schema_arg $ data_arg)
+      $ queries_arg $ workload_file_arg $ budget_arg $ schema_arg $ data_arg
+      $ metrics_arg)
 
 (* ---- serve ---- *)
 
@@ -351,7 +372,7 @@ let read_timeout_arg =
   Arg.(value & opt float 30.0 & info [ "read-timeout" ] ~docv:"SECONDS" ~doc)
 
 let run_serve db_name sf seed schema_file data_dir port budget window decay
-    check_every drift_threshold cost_threshold read_timeout =
+    check_every drift_threshold cost_threshold read_timeout metrics =
   let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
   let budget_pages =
     if budget > 0 then budget else max 1 (Database.data_pages db / 2)
@@ -385,7 +406,8 @@ let run_serve db_name sf seed schema_file data_dir port budget window decay
   Printf.printf "served %d connections, %d commands\n"
     (Im_online.Server.connections_served server)
     (Im_online.Server.commands_served server);
-  print_endline (Im_online.Service.render_stats service)
+  print_endline (Im_online.Service.render_stats service);
+  maybe_dump_metrics metrics
 
 let serve_cmd =
   Cmd.v
@@ -396,7 +418,8 @@ let serve_cmd =
     Term.(
       const run_serve $ db_arg $ sf_arg $ seed_arg $ schema_arg $ data_arg
       $ port_arg $ serve_budget_arg $ window_arg $ decay_arg $ check_every_arg
-      $ drift_threshold_arg $ cost_threshold_arg $ read_timeout_arg)
+      $ drift_threshold_arg $ cost_threshold_arg $ read_timeout_arg
+      $ metrics_arg)
 
 (* ---- generate ---- *)
 

@@ -4,6 +4,8 @@ module Index = Im_catalog.Index
 module List_ext = Im_util.List_ext
 module Service = Im_costsvc.Service
 
+let m_dual_seconds = Im_obs.Metrics.histogram "merge_dual_seconds"
+
 type outcome = {
   d_initial : Config.t;
   d_items : Merge.item list;
@@ -100,6 +102,7 @@ let run ?service ?(merge_pair = Merge_pair.Cost_based)
         in
         loop (Merge.items_of_config initial) 0)
   in
+  Im_obs.Metrics.Histogram.observe m_dual_seconds elapsed;
   let final_pages = items_pages db items in
   {
     d_initial = initial;

@@ -10,6 +10,20 @@ type procedure =
   | Syntactic
   | Exhaustive of { perm_limit : int }
 
+let m_pair_by_procedure =
+  List.map
+    (fun name ->
+      ( name,
+        Im_obs.Metrics.histogram
+          ~labels:[ ("procedure", name) ]
+          "merge_pair_seconds" ))
+    [ "cost_based"; "syntactic"; "exhaustive" ]
+
+let procedure_name = function
+  | Cost_based -> "cost_based"
+  | Syntactic -> "syntactic"
+  | Exhaustive _ -> "exhaustive"
+
 let leading_column_appearances q ix =
   let tbl = ix.Index.idx_table in
   if not (List.mem tbl q.Query.q_tables) then 0
@@ -36,7 +50,7 @@ let syntactic_frequency workload ix =
 
 let merged_storage_pages db ix = Database.index_pages db ix
 
-let merge procedure ~db ~workload ~seek ?service ~current i1 i2 =
+let merge_impl procedure ~db ~workload ~seek ?service ~current i1 i2 =
   ignore db;
   match procedure with
   | Cost_based ->
@@ -74,3 +88,10 @@ let merge procedure ~db ~workload ~seek ?service ~current i1 i2 =
     (match Im_util.List_ext.min_by (fun (_, c) -> c) scored with
      | Some (m, _) -> m
      | None -> assert false (* permutations of a non-empty union *))
+
+let merge procedure ~db ~workload ~seek ?service ~current i1 i2 =
+  match List.assoc_opt (procedure_name procedure) m_pair_by_procedure with
+  | Some h ->
+    Im_obs.Metrics.time h (fun () ->
+        merge_impl procedure ~db ~workload ~seek ?service ~current i1 i2)
+  | None -> merge_impl procedure ~db ~workload ~seek ?service ~current i1 i2

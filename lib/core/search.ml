@@ -7,6 +7,16 @@ module Service = Im_costsvc.Service
 
 type strategy = Greedy | Exhaustive_search of { config_limit : int }
 
+let m_search_greedy =
+  Im_obs.Metrics.histogram
+    ~labels:[ ("strategy", "greedy") ]
+    "merge_search_seconds"
+
+let m_search_exhaustive =
+  Im_obs.Metrics.histogram
+    ~labels:[ ("strategy", "exhaustive") ]
+    "merge_search_seconds"
+
 type outcome = {
   o_initial : Config.t;
   o_items : Merge.item list;
@@ -253,6 +263,11 @@ let run ?service ?(merge_pair = Merge_pair.Cost_based)
           exhaustive ~procedure:merge_pair ~evaluator ~service:pair_service
             ~seek ~bound ~config_limit db workload initial)
   in
+  Im_obs.Metrics.Histogram.observe
+    (match strategy with
+     | Greedy -> m_search_greedy
+     | Exhaustive_search _ -> m_search_exhaustive)
+    elapsed;
   (* Recompute reference numbers outside the timed region where they are
      byproducts, for a truthful report. With the memoizing service these
      recomputations are cache hits, not fresh optimizer calls. *)

@@ -3,6 +3,24 @@ module Config = Im_catalog.Config
 module Index = Im_catalog.Index
 module Query = Im_sqlir.Query
 module Workload = Im_workload.Workload
+module Metrics = Im_obs.Metrics
+module Stopwatch = Im_util.Stopwatch
+
+(* Process-wide metrics. Per-instance counters live in [t] and drive
+   the existing per-run delta reporting; these aggregate across every
+   service in the process for the registry dump / METRICS verb. The
+   latency split shows what memoization buys: a hit is a hash lookup,
+   a miss pays a full what-if optimizer call. *)
+let m_hits = Metrics.counter "costsvc_hits_total"
+let m_misses = Metrics.counter "costsvc_misses_total"
+let m_evictions = Metrics.counter "costsvc_evictions_total"
+let m_invalidated = Metrics.counter "costsvc_invalidated_total"
+
+let m_lookup_hit =
+  Metrics.histogram ~labels:[ ("outcome", "hit") ] "costsvc_lookup_seconds"
+
+let m_lookup_miss =
+  Metrics.histogram ~labels:[ ("outcome", "miss") ] "costsvc_lookup_seconds"
 
 type counters = {
   c_cost_evals : int;
@@ -112,7 +130,8 @@ let evict_lru t =
   | Some n ->
     unlink t n;
     Hashtbl.remove t.tbl n.n_key;
-    t.evictions <- t.evictions + 1
+    t.evictions <- t.evictions + 1;
+    Metrics.Counter.incr m_evictions
 
 (* ---- Keys ---- *)
 
@@ -137,11 +156,14 @@ let key_of q config =
 
 let query_cost t config q =
   t.query_costs <- t.query_costs + 1;
+  let t0 = Stopwatch.now_ns () in
   let key = key_of q config in
   match Hashtbl.find_opt t.tbl key with
   | Some n ->
     t.hits <- t.hits + 1;
     touch t n;
+    Metrics.Counter.incr m_hits;
+    Metrics.Histogram.observe m_lookup_hit (Stopwatch.elapsed_since_ns t0);
     n.n_cost
   | None ->
     t.misses <- t.misses + 1;
@@ -161,6 +183,8 @@ let query_cost t config q =
     in
     Hashtbl.add t.tbl key n;
     push_mru t n;
+    Metrics.Counter.incr m_misses;
+    Metrics.Histogram.observe m_lookup_miss (Stopwatch.elapsed_since_ns t0);
     c
 
 let workload_cost ?query_cost:override t config w =
@@ -197,6 +221,7 @@ let remove_if t pred =
     doomed;
   let k = List.length doomed in
   t.invalidated <- t.invalidated + k;
+  Metrics.Counter.add m_invalidated k;
   k
 
 let invalidate_index t ix =

@@ -13,6 +13,9 @@ type verdict = {
   v_reason : string;
 }
 
+let m_checks = Im_obs.Metrics.counter "online_drift_checks_total"
+let m_fires = Im_obs.Metrics.counter "online_drift_fires_total"
+
 type t = {
   div_threshold : float;
   cost_threshold : float;
@@ -91,6 +94,7 @@ let rebase t service config window =
 
 let check t service config window =
   t.checks <- t.checks + 1;
+  Im_obs.Metrics.Counter.incr m_checks;
   match t.baseline with
   | None ->
     { v_divergence = 0.; v_regression = 0.; v_fired = false; v_reason = "-" }
@@ -104,7 +108,10 @@ let check t service config window =
     let div_fired = divergence > t.div_threshold in
     let cost_fired = regression > t.cost_threshold in
     let fired = div_fired || cost_fired in
-    if fired then t.fires <- t.fires + 1;
+    if fired then begin
+      t.fires <- t.fires + 1;
+      Im_obs.Metrics.Counter.incr m_fires
+    end;
     {
       v_divergence = divergence;
       v_regression = regression;

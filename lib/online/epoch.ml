@@ -31,6 +31,15 @@ let trigger_to_string = function
   | Drift -> "drift"
   | Forced -> "forced"
 
+let m_epoch_metrics =
+  List.map
+    (fun trig ->
+      let labels = [ ("trigger", trigger_to_string trig) ] in
+      ( trig,
+        ( Im_obs.Metrics.counter ~labels "online_epochs_total",
+          Im_obs.Metrics.histogram ~labels "online_epoch_seconds" ) ))
+    [ Bootstrap; Drift; Forced ]
+
 type outcome = {
   e_trigger : trigger;
   e_clusters_tuned : int;
@@ -73,6 +82,11 @@ let run service ~trigger ~live ~window ~budget_pages ~max_clusters =
         in
         (new_config, Workload.size tuning, old_cost, new_cost))
   in
+  (match List.assoc_opt trigger m_epoch_metrics with
+   | Some (c, h) ->
+     Im_obs.Metrics.Counter.incr c;
+     Im_obs.Metrics.Histogram.observe h elapsed
+   | None -> ());
   {
     e_trigger = trigger;
     e_clusters_tuned = tuned;

@@ -1,10 +1,40 @@
 module Database = Im_catalog.Database
 module Index = Im_catalog.Index
+module Metrics = Im_obs.Metrics
+
+let m_commands = Metrics.counter "server_commands_total"
+let m_live = Metrics.gauge "server_connections_live"
+let m_bytes_in = Metrics.counter "server_bytes_in_total"
+let m_bytes_out = Metrics.counter "server_bytes_out_total"
+let m_reaped = Metrics.counter "server_connections_reaped_total"
+let m_rejected = Metrics.counter "server_connections_rejected_total"
+let m_write_errors = Metrics.counter "server_write_errors_total"
+
+(* Per-verb latency histograms; unknown verbs share one "other" series
+   so a hostile client cannot grow the label set. *)
+let m_command_seconds =
+  List.map
+    (fun verb ->
+      ( verb,
+        Metrics.histogram ~labels:[ ("verb", verb) ] "server_command_seconds"
+      ))
+    [ "stmt"; "stats"; "config"; "epoch"; "metrics"; "quit"; "shutdown";
+      "other" ]
+
+let command_histogram line =
+  let verb =
+    match String.index_opt line ' ' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let verb = String.lowercase_ascii verb in
+  let verb = if List.mem_assoc verb m_command_seconds then verb else "other" in
+  List.assoc verb m_command_seconds
 
 type conn = {
   fd : Unix.file_descr;
   buf : Buffer.t;
-  mutable last_active : float;
+  mutable last_active : float;  (* monotonic seconds, Stopwatch.now_s *)
   mutable closing : bool;  (* close after pending output drains *)
   mutable out : string;  (* unsent response bytes *)
 }
@@ -114,6 +144,12 @@ let handle_command t line =
     (match Service.force_epoch t.service with
      | Ok o -> (`Reply ("OK " ^ epoch_line o), `Keep)
      | Error msg -> (`Reply ("ERR " ^ msg), `Keep))
+  | "METRICS", _ ->
+    let lines = Metrics.dump_lines Metrics.default in
+    ( `Reply
+        (String.concat "\n"
+           (Printf.sprintf "OK %d" (List.length lines) :: lines)),
+      `Keep )
   | "QUIT", _ -> (`Reply "OK bye", `Close)
   | "SHUTDOWN", _ -> (`Reply "OK shutting down", `Stop)
   | "", _ -> (`Reply "ERR empty command", `Keep)
@@ -123,39 +159,64 @@ let handle_command t line =
 
 let close_conn t conn =
   (try Unix.close conn.fd with Unix.Unix_error _ -> ());
-  t.conns <- List.filter (fun c -> c != conn) t.conns
+  t.conns <- List.filter (fun c -> c != conn) t.conns;
+  Metrics.Gauge.set_int m_live (List.length t.conns)
 
-let flush_out conn =
+(* Write as much of [conn.out] as the socket accepts. A peer that
+   disconnected mid-reply surfaces here as EPIPE/ECONNRESET (EBADF or
+   ENOTCONN if the fd was already torn down): that peer's failure must
+   not unwind the serve loop — count it and drop only this
+   connection. *)
+let flush_out t conn =
   if conn.out <> "" then begin
     let b = Bytes.of_string conn.out in
     match Unix.write conn.fd b 0 (Bytes.length b) with
-    | n -> conn.out <- String.sub conn.out n (String.length conn.out - n)
+    | n ->
+      Metrics.Counter.add m_bytes_out n;
+      conn.out <- String.sub conn.out n (String.length conn.out - n)
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception
+        Unix.Unix_error
+          ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF | Unix.ENOTCONN), _, _)
+      ->
+      Metrics.Counter.incr m_write_errors;
+      conn.out <- "";
+      close_conn t conn
   end
 
 let respond t conn reply =
   conn.out <- conn.out ^ reply ^ "\n";
-  flush_out conn;
-  if conn.out <> "" then ()
-  else if conn.closing then close_conn t conn
+  flush_out t conn;
+  if List.memq conn t.conns && conn.out = "" && conn.closing then
+    close_conn t conn
 
-(* Consume complete lines from the connection buffer. *)
+(* Consume complete lines from the connection buffer. Scans from an
+   advancing offset and compacts the buffer once at the end: a
+   pipelined batch of N commands costs O(bytes), where the old
+   copy-per-line loop re-copied the whole buffer for every line and
+   made large batches O(N^2). *)
 let drain_lines t conn =
-  let rec next () =
-    let s = Buffer.contents conn.buf in
-    match String.index_opt s '\n' with
-    | None -> ()
+  let s = Buffer.contents conn.buf in
+  let len = String.length s in
+  let pos = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match String.index_from_opt s !pos '\n' with
+    | None -> continue := false
     | Some i ->
-      let line = String.sub s 0 i in
-      Buffer.clear conn.buf;
-      Buffer.add_string conn.buf (String.sub s (i + 1) (String.length s - i - 1));
+      let line = String.sub s !pos (i - !pos) in
+      pos := i + 1;
       let line =
         if String.length line > 0 && line.[String.length line - 1] = '\r' then
           String.sub line 0 (String.length line - 1)
         else line
       in
       t.commands_served <- t.commands_served + 1;
-      let `Reply reply, action = handle_command t (String.trim line) in
+      Metrics.Counter.incr m_commands;
+      let line = String.trim line in
+      let `Reply reply, action =
+        Metrics.time (command_histogram line) (fun () -> handle_command t line)
+      in
       (match action with
        | `Keep -> respond t conn reply
        | `Close ->
@@ -165,16 +226,20 @@ let drain_lines t conn =
          conn.closing <- true;
          respond t conn reply;
          t.running <- false);
-      if t.running && List.memq conn t.conns then next ()
-  in
-  next ()
+      if not (t.running && List.memq conn t.conns) then continue := false
+  done;
+  if List.memq conn t.conns then begin
+    Buffer.clear conn.buf;
+    if !pos < len then Buffer.add_substring conn.buf s !pos (len - !pos)
+  end
 
 let read_chunk t conn =
   let bytes = Bytes.create 4096 in
   match Unix.read conn.fd bytes 0 4096 with
   | 0 -> close_conn t conn
   | n ->
-    conn.last_active <- Unix.gettimeofday ();
+    conn.last_active <- Im_util.Stopwatch.now_s ();
+    Metrics.Counter.add m_bytes_in n;
     Buffer.add_subbytes conn.buf bytes 0 n;
     if Buffer.length conn.buf > 1_000_000 then begin
       (* a line this long is abuse, not SQL *)
@@ -185,13 +250,19 @@ let read_chunk t conn =
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
   | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> close_conn t conn
 
+let overload_msg = "ERR too many connections\n"
+
 let accept_conn t =
   match Unix.accept t.listener with
   | fd, _addr ->
     if List.length t.conns >= t.max_connections then begin
+      Metrics.Counter.incr m_rejected;
       (try
          ignore
-           (Unix.write fd (Bytes.of_string "ERR too many connections\n") 0 25)
+           (Unix.write fd
+              (Bytes.of_string overload_msg)
+              0
+              (String.length overload_msg))
        with Unix.Unix_error _ -> ());
       try Unix.close fd with Unix.Unix_error _ -> ()
     end
@@ -202,19 +273,41 @@ let accept_conn t =
         {
           fd;
           buf = Buffer.create 256;
-          last_active = Unix.gettimeofday ();
+          last_active = Im_util.Stopwatch.now_s ();
           closing = false;
           out = "";
         }
-        :: t.conns
+        :: t.conns;
+      Metrics.Gauge.set_int m_live (List.length t.conns)
     end
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
 
 let reap_idle t =
-  let now = Unix.gettimeofday () in
+  let now = Im_util.Stopwatch.now_s () in
   List.iter
     (fun conn ->
-      if now -. conn.last_active > t.read_timeout then close_conn t conn)
+      if List.memq conn t.conns && now -. conn.last_active > t.read_timeout
+      then begin
+        (* Give queued replies a last chance to leave before dropping
+           the connection. *)
+        flush_out t conn;
+        if List.memq conn t.conns then begin
+          if conn.out = "" then begin
+            Metrics.Counter.incr m_reaped;
+            close_conn t conn
+          end
+          else
+            (* Pending output on a still-writable socket means the main
+               loop will drain it next round; reap only sockets that
+               stopped accepting bytes. (No leak: once the kernel buffer
+               fills, the socket stops selecting writable.) *)
+            match Unix.select [] [ conn.fd ] [] 0. with
+            | _, _ :: _, _ -> ()
+            | _, [], _ | (exception Unix.Unix_error _) ->
+              Metrics.Counter.incr m_reaped;
+              close_conn t conn
+        end
+      end)
     t.conns
 
 let serve t =
@@ -236,8 +329,9 @@ let serve t =
       List.iter
         (fun conn ->
           if List.memq conn t.conns && List.mem conn.fd writable then begin
-            flush_out conn;
-            if conn.out = "" && conn.closing then close_conn t conn
+            flush_out t conn;
+            if List.memq conn t.conns && conn.out = "" && conn.closing then
+              close_conn t conn
           end)
         snapshot;
       List.iter
@@ -249,7 +343,7 @@ let serve t =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
   (* Graceful shutdown: best-effort flush, then close everything. *)
-  List.iter (fun conn -> flush_out conn) t.conns;
+  List.iter (fun conn -> flush_out t conn) t.conns;
   List.iter (fun conn -> try Unix.close conn.fd with Unix.Unix_error _ -> ())
     t.conns;
   t.conns <- [];

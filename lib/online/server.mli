@@ -10,16 +10,24 @@
     STATS         OK k=v k=v ...          (counters, single line)
     CONFIG        OK <n> + n lines "<index> <pages>"
     EPOCH         force a tuning epoch; OK epoch ... | ERR <why>
+    METRICS       OK <n> + n lines from the process metrics registry
+                  (stable [Im_obs.Metrics.dump] order)
     QUIT          OK bye, close this connection
     SHUTDOWN      OK shutting down, stop the whole daemon
     v}
 
-    Connections idle longer than [read_timeout] seconds are closed; a
+    Connections idle longer than [read_timeout] seconds are reaped
+    (after a best-effort flush of queued replies; a connection with
+    pending output on a still-writable socket is left to drain); a
     half-received line survives across reads (per-connection buffers).
-    Everything runs on one thread — intake, drift checks and epochs
-    execute inline in the event loop, which is exactly the paper-scale
-    deployment shape (one advisor per server) and keeps the service
-    state free of locks. *)
+    Idle tracking uses the monotonic clock, so wall-clock jumps never
+    mass-disconnect clients. A peer that disconnects before reading
+    its reply costs only that connection ([EPIPE]/[ECONNRESET] on
+    write is counted in [server_write_errors_total], never raised out
+    of the loop). Everything runs on one thread — intake, drift checks
+    and epochs execute inline in the event loop, which is exactly the
+    paper-scale deployment shape (one advisor per server) and keeps
+    the service state free of locks. *)
 
 type t
 

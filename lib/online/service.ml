@@ -3,6 +3,9 @@ module Config = Im_catalog.Config
 module Parser = Im_sqlir.Parser
 module Workload = Im_workload.Workload
 
+let m_statements = Im_obs.Metrics.counter "online_statements_total"
+let m_window_clusters = Im_obs.Metrics.gauge "online_window_clusters"
+
 type options = {
   o_budget_pages : int;
   o_capacity : int;
@@ -117,6 +120,7 @@ let feed t sql =
   let event, elapsed =
     Im_util.Stopwatch.time (fun () ->
         t.seq <- t.seq + 1;
+        Im_obs.Metrics.Counter.incr m_statements;
         let id = Printf.sprintf "S%d" t.seq in
         match Parser.parse_query ~schema:(Database.schema t.db) ~id sql with
         | Error msg ->
@@ -124,6 +128,8 @@ let feed t sql =
           Rejected msg
         | Ok q ->
           Window.observe t.window q;
+          Im_obs.Metrics.Gauge.set_int m_window_clusters
+            (Window.cluster_count t.window);
           let ev_drift, ev_epoch = maybe_tune t in
           Observed { ev_drift; ev_epoch })
   in

@@ -7,6 +7,30 @@ let counter = ref 0
 let invocations () = !counter
 let reset_invocations () = counter := 0
 
+(* Process-wide metrics: invocations split by the kind of plan the
+   call produced (root operator). Handles resolved once; the hot-path
+   cost is one list lookup and a field increment. *)
+let m_calls_by_kind =
+  List.map
+    (fun kind ->
+      ( kind,
+        Im_obs.Metrics.counter ~labels:[ ("kind", kind) ]
+          "optimizer_calls_total" ))
+    [ "access"; "hash_join"; "index_nlj"; "sort"; "hash_aggregate" ]
+
+let count_call (plan : Plan.t) =
+  let kind =
+    match plan.Plan.root.Plan.op with
+    | Plan.Access _ -> "access"
+    | Plan.Hash_join _ -> "hash_join"
+    | Plan.Index_nlj _ -> "index_nlj"
+    | Plan.Sort _ -> "sort"
+    | Plan.Hash_aggregate _ -> "hash_aggregate"
+  in
+  match List.assoc_opt kind m_calls_by_kind with
+  | Some c -> Im_obs.Metrics.Counter.incr c
+  | None -> ()
+
 let join_order_limit = 5
 
 (* ---- Single-table building blocks ---- *)
@@ -226,7 +250,7 @@ let add_sort q (node : Plan.node) =
     }
   end
 
-let optimize db config q =
+let optimize_plan db config q =
   incr counter;
   match q.Query.q_tables with
   | [ tbl ] ->
@@ -273,3 +297,8 @@ let optimize db config q =
       | None -> add_sort q joined
     in
     { Plan.root; query_id = q.Query.q_id; usages = Plan.collect_usages root }
+
+let optimize db config q =
+  let plan = optimize_plan db config q in
+  count_call plan;
+  plan

@@ -1,5 +1,17 @@
+(* Monotonic timing. [Unix.gettimeofday] is wall-clock time: NTP steps
+   and manual clock changes make elapsed intervals jump or go negative,
+   which poisoned epoch/search [elapsed_s] fields. OCaml's [Unix] does
+   not bind [clock_gettime], so the CLOCK_MONOTONIC read comes from the
+   preinstalled bechamel stub ([Monotonic_clock.now], nanoseconds).
+   `lib/obs` timestamps spans with the same clock via {!now_ns}. *)
+
+let now_ns : unit -> int64 = Monotonic_clock.now
+
+let now_s () = Int64.to_float (now_ns ()) *. 1e-9
+
+let elapsed_since_ns t0 = Int64.to_float (Int64.sub (now_ns ()) t0) *. 1e-9
+
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = now_ns () in
   let result = f () in
-  let t1 = Unix.gettimeofday () in
-  (result, t1 -. t0)
+  (result, elapsed_since_ns t0)

@@ -1,5 +1,20 @@
-(** Wall-clock timing for the running-time comparison (Figure 6). *)
+(** Monotonic timing (CLOCK_MONOTONIC) for running-time comparisons and
+    the metrics layer. Immune to wall-clock steps: elapsed intervals are
+    always non-negative and never jump with NTP/manual clock changes. *)
+
+val now_ns : unit -> int64
+(** Current CLOCK_MONOTONIC reading in nanoseconds. The epoch is
+    unspecified (boot time on Linux): only differences are meaningful.
+    This is the one clock shared by all timing in the system, including
+    [Im_obs] spans. *)
+
+val now_s : unit -> float
+(** {!now_ns} in seconds. *)
+
+val elapsed_since_ns : int64 -> float
+(** [elapsed_since_ns t0] is the seconds elapsed since the {!now_ns}
+    reading [t0]. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result together with the
-    elapsed wall-clock seconds. *)
+    elapsed monotonic seconds. *)

@@ -18,6 +18,18 @@ OCAMLPARAM="_,warn-error=+a" dune build @all
 echo "== dune runtest =="
 dune runtest
 
+# The daemon fault paths are the regressions this repo has actually
+# hit (EPIPE unwinding the serve loop); run them explicitly even
+# though runtest covers them, so a failure is impossible to miss.
+echo "== daemon fault tests =="
+dune exec test/test_server_faults.exe
+
+echo "== metrics smoke (--metrics exposes the registry) =="
+dune exec bin/index_merge_cli.exe -- merge -d synthetic1 -q 6 --metrics \
+  | grep -q 'optimizer_calls_total{kind="access"}' \
+  || { echo "metrics smoke FAILED: optimizer_calls_total missing"; exit 1; }
+echo "metrics smoke OK"
+
 echo "== bench: costsvc accounting (BENCH_costsvc.json) =="
 IM_BENCH_OUT="${IM_BENCH_OUT:-BENCH_costsvc.json}" dune exec bench/main.exe -- costsvc
 echo "wrote ${IM_BENCH_OUT:-BENCH_costsvc.json}"

@@ -1,0 +1,200 @@
+(* Fault-path tests for the `serve` daemon, against the real CLI binary
+   on an ephemeral port.
+
+   The centerpiece is the disconnect-mid-reply regression: a client
+   pipelines STMT/STMT/EPOCH in one write and closes without reading.
+   The whole pipeline is read before any reply is written, and the
+   close turns the peer's socket into an RST source, so the daemon's
+   reply writes hit EPIPE/ECONNRESET. A daemon that lets that error
+   unwind the serve loop dies here; the fixed one counts a write error,
+   drops that connection, and keeps serving the next client. *)
+
+let cli () =
+  let here = Filename.dirname Sys.executable_name in
+  let path =
+    Filename.concat (Filename.dirname here)
+      (Filename.concat "bin" "index_merge_cli.exe")
+  in
+  if not (Sys.file_exists path) then
+    Alcotest.fail ("CLI binary not found at " ^ path);
+  path
+
+type daemon = {
+  pid : int;
+  stdout : in_channel;
+  port : int;
+}
+
+let start_daemon ?(check_every = 1_000_000) () =
+  let out_read, out_write = Unix.pipe ~cloexec:false () in
+  let pid =
+    Unix.create_process (cli ())
+      [|
+        cli (); "serve"; "-d"; "synthetic1"; "--port"; "0"; "--check-every";
+        string_of_int check_every; "--read-timeout"; "30";
+      |]
+      Unix.stdin out_write Unix.stderr
+  in
+  Unix.close out_write;
+  let stdout = Unix.in_channel_of_descr out_read in
+  let banner = input_line stdout in
+  let port =
+    try
+      Scanf.sscanf
+        (List.find
+           (fun s ->
+             String.length s > 10 && String.sub s 0 10 = "127.0.0.1:")
+           (String.split_on_char ' ' banner))
+        "127.0.0.1:%d" (fun p -> p)
+    with _ -> Alcotest.fail ("no port in banner: " ^ banner)
+  in
+  { pid; stdout; port }
+
+let stop_daemon d =
+  try Unix.kill d.pid Sys.sigkill with Unix.Unix_error _ -> ()
+
+type client = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let request c line =
+  output_string c.oc (line ^ "\n");
+  flush c.oc;
+  input_line c.ic
+
+let expect_prefix what prefix resp =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %S starts with %S" what resp prefix)
+    true
+    (String.length resp >= String.length prefix
+    && String.sub resp 0 (String.length prefix) = prefix)
+
+(* Read a METRICS reply ("OK <n>" then n dump lines) into an assoc of
+   full series name (labels included) -> float value. *)
+let read_metrics c =
+  let head = request c "METRICS" in
+  expect_prefix "metrics" "OK " head;
+  let n = Scanf.sscanf head "OK %d" (fun n -> n) in
+  List.init n (fun _ ->
+      let line = input_line c.ic in
+      match String.rindex_opt line ' ' with
+      | None -> Alcotest.fail ("unparseable metric line: " ^ line)
+      | Some i ->
+        ( String.sub line 0 i,
+          float_of_string
+            (String.sub line (i + 1) (String.length line - i - 1)) ))
+
+let metric metrics name =
+  match List.assoc_opt name metrics with
+  | Some v -> v
+  | None -> Alcotest.fail ("metric not exported: " ^ name)
+
+(* ---- Tests ---- *)
+
+let test_disconnect_mid_reply () =
+  let d = start_daemon () in
+  Fun.protect
+    ~finally:(fun () -> stop_daemon d)
+    (fun () ->
+      (* Client 1: pipeline three commands in one small write, then
+         close without ever reading a byte. *)
+      let c1 = connect d.port in
+      output_string c1.oc
+        "STMT SELECT t0_c0 FROM t0 WHERE t0_c0 = 1\n\
+         STMT SELECT t0_c1 FROM t0 WHERE t0_c1 = 2\n\
+         EPOCH\n";
+      flush c1.oc;
+      Unix.close c1.fd;
+      (* Client 2: the daemon must still answer, and a STMT+EPOCH
+         sequence must leave visible traces in the registry. *)
+      let c2 = connect d.port in
+      expect_prefix "stmt after disconnect" "OK observed"
+        (request c2 "STMT SELECT t0_c2 FROM t0 WHERE t0_c2 = 3");
+      expect_prefix "epoch after disconnect" "OK epoch" (request c2 "EPOCH");
+      let metrics = read_metrics c2 in
+      Alcotest.(check bool) "server_commands_total > 0" true
+        (metric metrics "server_commands_total" > 0.);
+      Alcotest.(check bool) "write errors counted" true
+        (metric metrics "server_write_errors_total" >= 1.);
+      Alcotest.(check bool) "costsvc hits nonzero after epoch" true
+        (metric metrics "costsvc_hits_total" > 0.);
+      Alcotest.(check bool) "costsvc misses nonzero after epoch" true
+        (metric metrics "costsvc_misses_total" > 0.);
+      Alcotest.(check bool) "live gauge excludes dead conn" true
+        (metric metrics "server_connections_live" = 1.);
+      expect_prefix "quit" "OK bye" (request c2 "QUIT"))
+
+let test_pipelined_batch () =
+  (* 1000 commands in a single write: the drain must stay linear in the
+     buffer (the old copy-per-line loop made this quadratic) and every
+     command must be answered in order. *)
+  let n = 1000 in
+  let d = start_daemon () in
+  Fun.protect
+    ~finally:(fun () -> stop_daemon d)
+    (fun () ->
+      let c = connect d.port in
+      let b = Buffer.create (n * 48) in
+      for i = 1 to n do
+        Buffer.add_string b
+          (Printf.sprintf "STMT SELECT t0_c%d FROM t0 WHERE t0_c%d = %d\n"
+             (i mod 3) (i mod 3) i)
+      done;
+      output_string c.oc (Buffer.contents b);
+      flush c.oc;
+      for i = 1 to n do
+        expect_prefix (Printf.sprintf "batch reply %d" i) "OK observed"
+          (input_line c.ic)
+      done;
+      let stats = request c "STATS" in
+      expect_prefix "stats" "OK " stats;
+      Alcotest.(check bool)
+        ("all statements ingested: " ^ stats)
+        true
+        (Astring_contains.contains stats (Printf.sprintf "statements=%d" n)))
+
+let test_oversized_line () =
+  let d = start_daemon () in
+  Fun.protect
+    ~finally:(fun () -> stop_daemon d)
+    (fun () ->
+      let c = connect d.port in
+      (* Over a megabyte with no newline: the daemon must drop this
+         connection as abuse, not buffer it forever. The write can hit
+         EPIPE/ECONNRESET once the daemon closes mid-stream. *)
+      let chunk = String.make 65536 'a' in
+      (try
+         for _ = 1 to 20 do
+           output_string c.oc chunk;
+           flush c.oc
+         done
+       with Sys_error _ | Unix.Unix_error _ -> ());
+      let closed =
+        try
+          ignore (input_line c.ic);
+          false
+        with End_of_file | Sys_error _ | Unix.Unix_error _ -> true
+      in
+      Alcotest.(check bool) "oversized connection dropped" true closed;
+      (* The daemon itself survives and keeps serving. *)
+      let c2 = connect d.port in
+      expect_prefix "stats after abuse" "OK " (request c2 "STATS");
+      expect_prefix "quit" "OK bye" (request c2 "QUIT"))
+
+let () =
+  (* Writes to dead sockets must surface as EPIPE, not kill this test
+     process. *)
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  Alcotest.run "im_server_faults"
+    [
+      ( "daemon faults",
+        [
+          Alcotest.test_case "disconnect mid-reply" `Slow
+            test_disconnect_mid_reply;
+          Alcotest.test_case "pipelined 1k batch" `Slow test_pipelined_batch;
+          Alcotest.test_case "oversized line" `Slow test_oversized_line;
+        ] );
+    ]
