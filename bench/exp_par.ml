@@ -1,0 +1,161 @@
+(* EXP-PAR — parallel candidate evaluation on the fig5/6 pipeline.
+
+   For each database and each pool size in {0, 1, 2, 4, 8}, runs greedy
+   and exhaustive (N = 5 initial configurations, three seeds) through
+   [Search.run] with an explicit [Im_par] pool, and
+
+   - hard-asserts the result (merged items with their parents, final
+     pages, final cost) is identical to the domains = 0 run — the
+     determinism contract of DESIGN.md §2e;
+   - records wall-clock per setting and derives the speedup curve
+     relative to domains = 0.
+
+   The speedups are whatever the runner's cores deliver — on a
+   single-core machine every setting lands near 1× (or below: queue
+   overhead with nothing to run it on) and the identity assertion is
+   the meaningful claim. JSON artifact to $IM_BENCH_OUT (default
+   BENCH_par.json) for dev-check. *)
+
+module Search = Im_merging.Search
+module Cost_eval = Im_merging.Cost_eval
+module Merge = Im_merging.Merge
+module Index = Im_catalog.Index
+module Pool = Im_par.Pool
+
+let domain_settings = [ 0; 1; 2; 4; 8 ]
+let seeds = [ 2; 3; 4 ]
+
+type run_result = {
+  r_fingerprint : string;  (** merged items + parents, rendered *)
+  r_pages : int;
+  r_cost : float option;
+}
+
+let fingerprint items =
+  String.concat "; "
+    (List.map
+       (fun it ->
+         Printf.sprintf "%s<-[%s]"
+           (Index.to_string it.Merge.it_index)
+           (String.concat ", " (List.map Index.to_string it.Merge.it_parents)))
+       items)
+
+let equal_result a b =
+  String.equal a.r_fingerprint b.r_fingerprint
+  && a.r_pages = b.r_pages
+  && Option.equal Float.equal a.r_cost b.r_cost
+
+let run_one ~pool db workload ~seed strategy =
+  let initial = Exp_common.initial_config db workload ~n:5 ~seed in
+  let o =
+    Search.run ~pool ~cost_model:Cost_eval.Optimizer_estimated
+      ~cost_constraint:0.10 db workload ~initial strategy
+  in
+  ( {
+      r_fingerprint = fingerprint o.Search.o_items;
+      r_pages = o.Search.o_final_pages;
+      r_cost = o.Search.o_final_cost;
+    },
+    o.Search.o_elapsed_s )
+
+(* One (results, elapsed-sum) per strategy at this pool size. *)
+let measure ~domains db workload =
+  let pool = Pool.create ~domains () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let per strategy =
+    let cells =
+      List.map (fun seed -> run_one ~pool db workload ~seed strategy) seeds
+    in
+    (List.map fst cells, Im_util.List_ext.sum_by_f snd cells)
+  in
+  (per Search.Greedy, per (Search.Exhaustive_search { config_limit = 100_000 }))
+
+let assert_identical ~db_name ~strategy ~domains baseline results =
+  List.iteri
+    (fun i (b, r) ->
+      if not (equal_result b r) then
+        failwith
+          (Printf.sprintf
+             "%s/%s seed %d: domains=%d diverges from sequential (pages %d vs \
+              %d; %s vs %s)"
+             db_name strategy (List.nth seeds i) domains b.r_pages r.r_pages
+             b.r_fingerprint r.r_fingerprint))
+    (List.combine baseline results)
+
+let speedup base s = if s > 0. then base /. s else 0.
+
+let run () =
+  Exp_common.section
+    "EXP-PAR parallel search: result identity + speedup (fig5/6 setup)";
+  Printf.printf "recommended_domain_count: %d\n%!"
+    (Domain.recommended_domain_count ());
+  let rows, json_dbs =
+    List.split
+      (List.map
+         (fun (name, db) ->
+           let workload = Exp_common.complex_workload db ~n:30 ~seed:1 in
+           (* Unrecorded warmup: the first search over a database pays
+              one-time memoized work (column stats, per-index storage
+              builds, interning) that would otherwise be billed entirely
+              to the domains = 0 setting and fake a parallel speedup. *)
+           ignore (measure ~domains:0 db workload);
+           let settings =
+             List.map (fun d -> (d, measure ~domains:d db workload)) domain_settings
+           in
+           let (g0, g0_s), (e0, e0_s) = List.assoc 0 settings in
+           let setting_rows, setting_json =
+             List.split
+               (List.map
+                  (fun (d, ((g, g_s), (e, e_s))) ->
+                    assert_identical ~db_name:name ~strategy:"greedy" ~domains:d
+                      g0 g;
+                    assert_identical ~db_name:name ~strategy:"exhaustive"
+                      ~domains:d e0 e;
+                    ( [
+                        name;
+                        string_of_int d;
+                        Printf.sprintf "%.3f" g_s;
+                        Printf.sprintf "%.2fx" (speedup g0_s g_s);
+                        Printf.sprintf "%.3f" e_s;
+                        Printf.sprintf "%.2fx" (speedup e0_s e_s);
+                        "identical";
+                      ],
+                      Printf.sprintf
+                        "      {\"domains\": %d, \"greedy_s\": %.3f, \
+                         \"greedy_speedup\": %.3f, \"exhaustive_s\": %.3f, \
+                         \"exhaustive_speedup\": %.3f}"
+                        d g_s (speedup g0_s g_s) e_s (speedup e0_s e_s) ))
+                  settings)
+           in
+           let pages which = Im_util.List_ext.sum_by (fun r -> r.r_pages) which in
+           ( setting_rows,
+             Printf.sprintf
+               "    {\"db\": \"%s\", \"greedy_pages\": %d, \
+                \"exhaustive_pages\": %d, \"settings\": [\n%s\n    ]}"
+               name (pages g0) (pages e0)
+               (String.concat ",\n" setting_json) ))
+         (Exp_common.databases ()))
+  in
+  Exp_common.print_table
+    ~title:"Wall-clock by pool size, summed over seeds (speedup vs domains=0)"
+    ~header:
+      [ "db"; "domains"; "greedy s"; "greedy x"; "exhaustive s";
+        "exhaustive x"; "result" ]
+    ~rows:(List.concat rows);
+  let out =
+    match Sys.getenv_opt "IM_BENCH_OUT" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_par.json"
+  in
+  let oc = open_out out in
+  output_string oc
+    (Printf.sprintf
+       "{\n  \"experiment\": \"par\",\n  \"recommended_domain_count\": %d,\n\
+       \  \"domain_settings\": [%s],\n  \"databases\": [\n%s\n  ],\n\
+       \  \"metrics\": %s\n}\n"
+       (Domain.recommended_domain_count ())
+       (String.concat ", " (List.map string_of_int domain_settings))
+       (String.concat ",\n" json_dbs)
+       (Im_obs.Metrics.to_json ()));
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out

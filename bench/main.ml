@@ -3,7 +3,7 @@
 
    Usage: dune exec bench/main.exe [-- experiment ...]
    where experiment is one of e0a e0b fig5 fig6 fig7 fig8 ablate costval
-   micro online
+   micro online costsvc par
    (default: everything). *)
 
 let experiments =
@@ -19,6 +19,7 @@ let experiments =
     ("micro", Exp_micro.run);
     ("online", Exp_online.run);
     ("costsvc", Exp_costsvc.run);
+    ("par", Exp_par.run);
   ]
 
 let () =

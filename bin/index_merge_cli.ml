@@ -121,6 +121,23 @@ let metrics_arg =
   in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Worker domains for parallel candidate evaluation (0 = sequential). \
+     Results are bit-identical at any setting. Default: the IM_DOMAINS \
+     environment variable if set, else the machine's recommended domain \
+     count minus one."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+let apply_domains = function
+  | None -> ()
+  | Some n when n >= 0 -> Im_par.Pool.set_default_domains n
+  | Some n ->
+    prerr_endline
+      (Printf.sprintf "index-merge: --domains must be >= 0, got %d" n);
+    exit 2
+
 let maybe_dump_metrics enabled =
   if enabled then begin
     print_endline "-- metrics --";
@@ -213,13 +230,20 @@ let info_cmd =
 (* ---- tune ---- *)
 
 let run_tune db_name sf seed wl_kind n_queries file schema_file data_dir
-    metrics =
+    domains metrics =
+  apply_domains domains;
   let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
   let workload = or_die (build_workload ?file db wl_kind n_queries seed) in
+  (* Tune every query on the pool, then print in workload order. *)
+  let tuned =
+    Im_par.Pool.parallel_map
+      (Im_par.Pool.default ())
+      (fun q -> (q, Im_tuning.Wizard.tune_query db q))
+      (Workload.queries workload)
+  in
   List.iter
-    (fun q ->
+    (fun (q, recommended) ->
       Printf.printf "%s: %s\n" q.Im_sqlir.Query.q_id (Im_sqlir.Query.to_sql q);
-      let recommended = Im_tuning.Wizard.tune_query db q in
       if recommended = [] then print_endline "  (no index recommended)"
       else
         List.iter
@@ -227,7 +251,7 @@ let run_tune db_name sf seed wl_kind n_queries file schema_file data_dir
             Printf.printf "  recommend %s (%d pages)\n" (Index.to_string ix)
               (Database.index_pages db ix))
           recommended)
-    (Workload.queries workload);
+    tuned;
   maybe_dump_metrics metrics
 
 let tune_cmd =
@@ -235,12 +259,13 @@ let tune_cmd =
     (Cmd.info "tune" ~doc:"Per-query index recommendations.")
     Term.(
       const run_tune $ db_arg $ sf_arg $ seed_arg $ workload_arg $ queries_arg
-      $ workload_file_arg $ schema_arg $ data_arg $ metrics_arg)
+      $ workload_file_arg $ schema_arg $ data_arg $ domains_arg $ metrics_arg)
 
 (* ---- merge ---- *)
 
 let run_merge db_name sf seed wl_kind n_queries n_initial constraint_ cost_model
-    merge_pair strategy file updates schema_file data_dir metrics =
+    merge_pair strategy file updates schema_file data_dir domains metrics =
+  apply_domains domains;
   let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
   let workload = or_die (build_workload ?file db wl_kind n_queries seed) in
   let workload =
@@ -276,7 +301,7 @@ let merge_cmd =
       const run_merge $ db_arg $ sf_arg $ seed_arg $ workload_arg $ queries_arg
       $ initial_arg $ constraint_arg $ cost_model_arg $ merge_pair_arg
       $ strategy_arg $ workload_file_arg $ updates_arg $ schema_arg $ data_arg
-      $ metrics_arg)
+      $ domains_arg $ metrics_arg)
 
 (* ---- explain ---- *)
 
@@ -309,7 +334,8 @@ let budget_arg =
   Arg.(required & opt (some int) None & info [ "b"; "budget" ] ~docv:"PAGES" ~doc)
 
 let run_advise db_name sf seed wl_kind n_queries file budget schema_file
-    data_dir metrics =
+    data_dir domains metrics =
+  apply_domains domains;
   let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
   let workload = or_die (build_workload ?file db wl_kind n_queries seed) in
   let outcome = Im_advisor.Advisor.advise db workload ~budget_pages:budget in
@@ -332,7 +358,7 @@ let advise_cmd =
     Term.(
       const run_advise $ db_arg $ sf_arg $ seed_arg $ workload_arg
       $ queries_arg $ workload_file_arg $ budget_arg $ schema_arg $ data_arg
-      $ metrics_arg)
+      $ domains_arg $ metrics_arg)
 
 (* ---- serve ---- *)
 
@@ -372,7 +398,8 @@ let read_timeout_arg =
   Arg.(value & opt float 30.0 & info [ "read-timeout" ] ~docv:"SECONDS" ~doc)
 
 let run_serve db_name sf seed schema_file data_dir port budget window decay
-    check_every drift_threshold cost_threshold read_timeout metrics =
+    check_every drift_threshold cost_threshold read_timeout domains metrics =
+  apply_domains domains;
   let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
   let budget_pages =
     if budget > 0 then budget else max 1 (Database.data_pages db / 2)
@@ -387,7 +414,11 @@ let run_serve db_name sf seed schema_file data_dir port budget window decay
       o_cost_threshold = cost_threshold;
     }
   in
-  let service = Im_online.Service.create ~options db ~budget_pages in
+  let service =
+    Im_online.Service.create ~options
+      ~pool:(Im_par.Pool.default ())
+      db ~budget_pages
+  in
   let server =
     try Im_online.Server.create ~port ~read_timeout:read_timeout service
     with Unix.Unix_error (e, _, _) ->
@@ -419,7 +450,7 @@ let serve_cmd =
       const run_serve $ db_arg $ sf_arg $ seed_arg $ schema_arg $ data_arg
       $ port_arg $ serve_budget_arg $ window_arg $ decay_arg $ check_every_arg
       $ drift_threshold_arg $ cost_threshold_arg $ read_timeout_arg
-      $ metrics_arg)
+      $ domains_arg $ metrics_arg)
 
 (* ---- generate ---- *)
 

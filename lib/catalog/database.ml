@@ -6,9 +6,10 @@ type t = {
   db_schema : Schema.t;
   heaps : (string, Heap.t) Hashtbl.t;
   stats_cache : (string * string, Im_stats.Column_stats.t) Hashtbl.t;
+  stats_lock : Mutex.t;  (* guards stats_cache only *)
   materialized : (string, Bptree.t) Hashtbl.t;  (* keyed by index name *)
   mat_defs : (string, Index.t) Hashtbl.t;
-  stats_rng : Im_util.Rng.t;
+  stats_seed : int;
   sample_threshold : int;
   sample_size : int;
 }
@@ -32,9 +33,10 @@ let create ?(seed = 42) ?(sample_threshold = 20_000) ?(sample_size = 5_000)
     db_schema = schema;
     heaps;
     stats_cache = Hashtbl.create 64;
+    stats_lock = Mutex.create ();
     materialized = Hashtbl.create 16;
     mat_defs = Hashtbl.create 16;
-    stats_rng = Im_util.Rng.create seed;
+    stats_seed = seed;
     sample_threshold;
     sample_size;
   }
@@ -56,18 +58,39 @@ let data_pages t =
     0 t.db_schema.Schema.tables
 
 let stats t tbl col =
-  match Hashtbl.find_opt t.stats_cache (tbl, col) with
+  let key = (tbl, col) in
+  Mutex.lock t.stats_lock;
+  let cached = Hashtbl.find_opt t.stats_cache key in
+  Mutex.unlock t.stats_lock;
+  match cached with
   | Some s -> s
   | None ->
     let h = heap t tbl in
     let values = Heap.column_values h col in
     let sample =
       if Heap.row_count h > t.sample_threshold then
-        Some (t.sample_size, Im_util.Rng.split t.stats_rng)
+        (* The sampling seed is derived from the column, not drawn from
+           a shared mutable stream: histograms must not depend on the
+           order in which columns are first touched, or parallel
+           evaluation would see different stats than sequential. *)
+        Some
+          ( t.sample_size,
+            Im_util.Rng.create (t.stats_seed + Hashtbl.hash key) )
       else None
     in
     let s = Im_stats.Column_stats.build ~table:tbl ~column:col ?sample values in
-    Hashtbl.replace t.stats_cache (tbl, col) s;
+    (* The build runs outside the lock; a concurrent duplicate build
+       produced an identical value (deterministic seed), but publish
+       only the first so every caller shares one object. *)
+    Mutex.lock t.stats_lock;
+    let s =
+      match Hashtbl.find_opt t.stats_cache key with
+      | Some first -> first
+      | None ->
+        Hashtbl.replace t.stats_cache key s;
+        s
+    in
+    Mutex.unlock t.stats_lock;
     s
 
 let index_pages t ix =
@@ -100,12 +123,14 @@ let drop_materialized t ix =
   Hashtbl.remove t.mat_defs ix.Index.idx_name
 
 let invalidate_stats t tbl =
+  Mutex.lock t.stats_lock;
   let keys =
     Hashtbl.fold
       (fun (tbl', col) _ acc -> if tbl' = tbl then (tbl', col) :: acc else acc)
       t.stats_cache []
   in
-  List.iter (Hashtbl.remove t.stats_cache) keys
+  List.iter (Hashtbl.remove t.stats_cache) keys;
+  Mutex.unlock t.stats_lock
 
 let insert_row t tbl row =
   let h = heap t tbl in

@@ -20,19 +20,48 @@ let equal a b = a.idx_table = b.idx_table && a.idx_columns = b.idx_columns
 (* Interned identity: dense ids hash-consed on (table, column sequence)
    — exactly the definition equality of [equal], names excluded. The
    table is global and append-only; ids are never reused, so an id is a
-   stable, collision-free stand-in for the definition in cache keys. *)
-let intern_tbl : (string * string list, int) Hashtbl.t = Hashtbl.create 256
+   stable, collision-free stand-in for the definition in cache keys.
+
+   Domain safety: the mapping is published as an immutable map behind
+   an [Atomic], so the hit path is a lock-free read of a snapshot;
+   misses take the mutex and re-check before assigning the next dense
+   id (double-checked insert). A Hashtbl would race under concurrent
+   resize, a plain mutex would serialize every hot-path lookup. *)
+module Intern_key = struct
+  type t = string * string list
+
+  let compare (ta, ca) (tb, cb) =
+    match String.compare ta tb with
+    | 0 -> Stdlib.compare ca cb
+    | c -> c
+end
+
+module Intern_map = Map.Make (Intern_key)
+
+let intern_lock = Mutex.create ()
+let intern_map : int Intern_map.t Atomic.t = Atomic.make Intern_map.empty
+let intern_count = Atomic.make 0
 
 let intern t =
   let key = (t.idx_table, t.idx_columns) in
-  match Hashtbl.find_opt intern_tbl key with
+  match Intern_map.find_opt key (Atomic.get intern_map) with
   | Some id -> id
   | None ->
-    let id = Hashtbl.length intern_tbl in
-    Hashtbl.add intern_tbl key id;
+    Mutex.lock intern_lock;
+    let m = Atomic.get intern_map in
+    let id =
+      match Intern_map.find_opt key m with
+      | Some id -> id
+      | None ->
+        let id = Atomic.get intern_count in
+        Atomic.set intern_map (Intern_map.add key id m);
+        Atomic.incr intern_count;
+        id
+    in
+    Mutex.unlock intern_lock;
     id
 
-let interned_definitions () = Hashtbl.length intern_tbl
+let interned_definitions () = Atomic.get intern_count
 
 let compare a b =
   match String.compare a.idx_table b.idx_table with

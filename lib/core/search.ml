@@ -4,6 +4,7 @@ module Index = Im_catalog.Index
 module Workload = Im_workload.Workload
 module List_ext = Im_util.List_ext
 module Service = Im_costsvc.Service
+module Pool = Im_par.Pool
 
 type strategy = Greedy | Exhaustive_search of { config_limit : int }
 
@@ -53,19 +54,64 @@ let items_pages db items =
    over items equals [Database.config_storage_pages] because a
    configuration's storage is defined as the sum of its indexes'. *)
 let page_memo db =
+  (* The memo is shared by parallel candidate scoring, so the table is
+     mutex-guarded; values are pure in the id, so a lost race costs a
+     duplicate computation at most and both sides agree. *)
   let memo : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let lock = Mutex.create () in
   fun ix ->
     let id = Index.intern ix in
-    match Hashtbl.find_opt memo id with
+    Mutex.lock lock;
+    let cached = Hashtbl.find_opt memo id in
+    Mutex.unlock lock;
+    match cached with
     | Some p -> p
     | None ->
       let p = Database.index_pages db ix in
-      Hashtbl.add memo id p;
+      Mutex.lock lock;
+      Hashtbl.replace memo id p;
+      Mutex.unlock lock;
       p
+
+(* Speculative ordered scan: find the first element of [xs] (already in
+   its decision order) satisfying [accept], evaluating a wave of
+   domains+1 elements in parallel and discarding verdicts after the
+   first hit. The chosen element — and therefore the search result — is
+   exactly the sequential scan's for any pool size; only the number of
+   evaluations performed (and thus cache/counter tallies) can differ.
+   Returns the element with its 0-based position. *)
+let find_first_ordered pool accept xs =
+  let rec pick i cs fs =
+    match (cs, fs) with
+    | c :: _, true :: _ -> Some (c, i)
+    | _ :: cs, _ :: fs -> pick (i + 1) cs fs
+    | _, _ -> None
+  in
+  match Pool.domain_count pool with
+  | 0 ->
+    (* Sequential: evaluate nothing past the chosen element. *)
+    let rec go i = function
+      | [] -> None
+      | x :: rest -> if accept x then Some (x, i) else go (i + 1) rest
+    in
+    go 0 xs
+  | n ->
+    let wave = n + 1 in
+    let rec scan offset = function
+      | [] -> None
+      | l ->
+        let chunk = List_ext.take wave l in
+        let flags = Pool.parallel_map pool accept chunk in
+        (match pick offset chunk flags with
+         | Some hit -> Some hit
+         | None -> scan (offset + List.length chunk) (List_ext.drop wave l))
+    in
+    scan 0 xs
 
 (* ---- Greedy (Figure 4) ---- *)
 
-let greedy ~procedure ~evaluator ~service ~seek ~bound db workload initial =
+let greedy ~pool ~procedure ~evaluator ~service ~seek ~bound db workload
+    initial =
   let index_pages = page_memo db in
   let merge_indexes current i1 i2 =
     Merge_pair.merge procedure ~db ~workload ~seek ?service ~current i1 i2
@@ -80,8 +126,11 @@ let greedy ~procedure ~evaluator ~service ~seek ~bound db workload initial =
     if same_table_pairs = [] then (items, iterations)
     else begin
       let current_config = Merge.config_of_items items in
+      (* Every pair of a round is independent — score them on the pool
+         (order-preserving, so the sort below sees the sequential
+         candidate order). *)
       let candidates =
-        List.map
+        Pool.parallel_map pool
           (fun (left, right) ->
             let merged_index =
               merge_indexes current_config left.Merge.it_index
@@ -114,7 +163,7 @@ let greedy ~procedure ~evaluator ~service ~seek ~bound db workload initial =
                compare r2 r1)
       in
       let accepted =
-        List.find_opt
+        find_first_ordered pool
           (fun (left, right, merged_item, new_items, _) ->
             Cost_eval.accepts evaluator ~items:new_items
               ~merged:merged_item.Merge.it_index
@@ -124,7 +173,7 @@ let greedy ~procedure ~evaluator ~service ~seek ~bound db workload initial =
       in
       match accepted with
       | None -> (items, iterations + 1)
-      | Some (_, _, _, new_items, _) -> loop new_items (iterations + 1)
+      | Some ((_, _, _, new_items, _), _) -> loop new_items (iterations + 1)
     end
   in
   loop (Merge.items_of_config initial) 0
@@ -165,7 +214,19 @@ let merge_block ~procedure ~service ~seek db workload current block =
 
 let cartesian (lists : 'a list list) ~limit =
   let truncated = ref false in
-  let take l = if List.length l > limit then (truncated := true; List_ext.take limit l) else l in
+  (* Length-bounded take: one O(limit) pass — never O(n) per combine
+     step on the growing combo list (the old [List.length l > limit]
+     check made the fold quadratic). *)
+  let take l =
+    let rec go n acc = function
+      | [] -> l (* within the limit: unchanged *)
+      | _ :: _ when n = 0 ->
+        truncated := true;
+        List.rev acc
+      | x :: tl -> go (n - 1) (x :: acc) tl
+    in
+    go limit [] l
+  in
   let combine acc options =
     take
       (List.concat_map
@@ -175,8 +236,8 @@ let cartesian (lists : 'a list list) ~limit =
   let combos = List.fold_left combine [ [] ] lists in
   (List.map List.rev combos, !truncated)
 
-let exhaustive ~procedure ~evaluator ~service ~seek ~bound ~config_limit db
-    workload initial =
+let exhaustive ~pool ~procedure ~evaluator ~service ~seek ~bound ~config_limit
+    db workload initial =
   let numeric = Cost_eval.is_numeric evaluator in
   let index_pages = page_memo db in
   let by_table = List_ext.group_by (fun ix -> ix.Index.idx_table) initial in
@@ -188,20 +249,28 @@ let exhaustive ~procedure ~evaluator ~service ~seek ~bound ~config_limit db
           Im_util.Combin.set_partitions ~limit:config_limit indexes
         in
         (* Each partition yields one option per combination of its
-           blocks' candidate merge orders. *)
+           blocks' candidate merge orders. Partitions are independent
+           (merge_block is where the permutation scoring lives), so
+           they fan out on the pool; the truncation flag is folded in
+           afterwards, on the calling domain. *)
+        let per_partition =
+          Pool.parallel_map pool
+            (fun partition ->
+              let block_candidates =
+                List.map
+                  (fun block ->
+                    merge_block ~procedure ~service ~seek db workload initial
+                      block)
+                  partition
+              in
+              cartesian block_candidates ~limit:config_limit)
+            partitions
+        in
         List.concat_map
-          (fun partition ->
-            let block_candidates =
-              List.map
-                (fun block ->
-                  merge_block ~procedure ~service ~seek db workload initial
-                    block)
-                partition
-            in
-            let combos, t = cartesian block_candidates ~limit:config_limit in
+          (fun (combos, t) ->
             if t then truncated_blocks := true;
             combos)
-          partitions)
+          per_partition)
       by_table
   in
   let combos, truncated = cartesian per_table_options ~limit:config_limit in
@@ -221,20 +290,26 @@ let exhaustive ~procedure ~evaluator ~service ~seek ~bound ~config_limit db
         || Cost_eval.workload_cost evaluator (Merge.config_of_items items)
            <= Option.value bound ~default:infinity)
   in
-  let rec first_ok examined = function
-    | [] -> (Merge.items_of_config initial, examined)
-    | (items, _) :: rest ->
-      if ok items then (items, examined + 1) else first_ok (examined + 1) rest
-  in
-  let result, examined = first_ok 0 scored in
-  (result, examined, truncated)
+  (* [examined] is derived from the winner's position in the scored
+     order, so it reports the same count whether the speculative scan
+     evaluated extra configurations or not. *)
+  match find_first_ordered pool (fun (items, _) -> ok items) scored with
+  | Some ((items, _), i) -> (items, i + 1, truncated)
+  | None -> (Merge.items_of_config initial, List.length scored, truncated)
 
 (* ---- Entry point ---- *)
 
-let run ?service ?(merge_pair = Merge_pair.Cost_based)
+let run ?service ?pool ?(merge_pair = Merge_pair.Cost_based)
     ?(cost_model = Cost_eval.Optimizer_estimated) ?(cost_constraint = 0.10) db
     workload ~initial strategy =
-  let evaluator = Cost_eval.create ?service cost_model db workload in
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  (* A private service gets one lock stripe per evaluating domain (×4
+     so same-shard collisions are rare); a shared service keeps its own
+     striping. *)
+  let shards =
+    match Pool.domain_count pool with 0 -> 1 | n -> 4 * n
+  in
+  let evaluator = Cost_eval.create ?service ~shards cost_model db workload in
   let svc = Cost_eval.service evaluator in
   let numeric = Cost_eval.is_numeric evaluator in
   (* The Merge_pair Exhaustive procedure scores candidate column orders
@@ -246,7 +321,8 @@ let run ?service ?(merge_pair = Merge_pair.Cost_based)
     Im_util.Stopwatch.time (fun () ->
         let seek = Seek_cost.analyze db initial workload in
         let initial_cost =
-          if numeric then Some (Cost_eval.workload_cost evaluator initial)
+          if numeric then
+            Some (Cost_eval.workload_cost ~pool evaluator initial)
           else None
         in
         let bound =
@@ -255,13 +331,14 @@ let run ?service ?(merge_pair = Merge_pair.Cost_based)
         match strategy with
         | Greedy ->
           let items, iterations =
-            greedy ~procedure:merge_pair ~evaluator ~service:pair_service
-              ~seek ~bound db workload initial
+            greedy ~pool ~procedure:merge_pair ~evaluator
+              ~service:pair_service ~seek ~bound db workload initial
           in
           (items, iterations, false)
         | Exhaustive_search { config_limit } ->
-          exhaustive ~procedure:merge_pair ~evaluator ~service:pair_service
-            ~seek ~bound ~config_limit db workload initial)
+          exhaustive ~pool ~procedure:merge_pair ~evaluator
+            ~service:pair_service ~seek ~bound ~config_limit db workload
+            initial)
   in
   Im_obs.Metrics.Histogram.observe
     (match strategy with
@@ -272,12 +349,14 @@ let run ?service ?(merge_pair = Merge_pair.Cost_based)
      byproducts, for a truthful report. With the memoizing service these
      recomputations are cache hits, not fresh optimizer calls. *)
   let initial_cost =
-    if numeric then Some (Cost_eval.workload_cost evaluator initial) else None
+    if numeric then Some (Cost_eval.workload_cost ~pool evaluator initial)
+    else None
   in
   let bound = Option.map (fun c -> c *. (1. +. cost_constraint)) initial_cost in
   let final_cost =
     if numeric then
-      Some (Cost_eval.workload_cost evaluator (Merge.config_of_items items))
+      Some
+        (Cost_eval.workload_cost ~pool evaluator (Merge.config_of_items items))
     else None
   in
   let d = Service.counters svc in

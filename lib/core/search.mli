@@ -53,6 +53,7 @@ val cost_increase : outcome -> float option
 
 val run :
   ?service:Im_costsvc.Service.t ->
+  ?pool:Im_par.Pool.t ->
   ?merge_pair:Merge_pair.procedure ->
   ?cost_model:Cost_eval.model ->
   ?cost_constraint:float ->
@@ -67,4 +68,16 @@ val run :
     cache hits for another); counters in the outcome are per-run deltas
     either way. Page counts are memoized by interned index id, and only
     queries whose relevant index set changed are re-optimized after a
-    merge — the others are cache hits. *)
+    merge — the others are cache hits.
+
+    [?pool] (default {!Im_par.Pool.default}, sized by [IM_DOMAINS])
+    evaluates candidates on the pool's domains: greedy scores each
+    round's same-table pairs with a parallel map and then applies the
+    same sort-by-reduction / first-acceptable decision order as the
+    sequential scan (speculatively testing a wave of candidates at a
+    time); exhaustive fans the per-partition merge work and the
+    per-configuration acceptance scan out the same way. The returned
+    configuration, page counts, costs, iteration and examined counts
+    are bit-identical to the sequential run for any domain count —
+    only elapsed time and cache-counter deltas (speculation may cost
+    extra configurations) vary. *)

@@ -42,95 +42,146 @@ type node = {
   mutable n_next : node option;  (* toward the LRU end *)
 }
 
+(* Lock-striped shard: an independent LRU cache plus its slice of the
+   per-instance counters. A key lives in exactly one shard (by hash),
+   so concurrent what-if calls contend only 1/N of the time. All shard
+   state — table, LRU list, counters — is touched exclusively under
+   [s_lock]. *)
+type shard = {
+  s_lock : Mutex.t;
+  s_tbl : (key, node) Hashtbl.t;
+  s_capacity : int;
+  mutable s_mru : node option;
+  mutable s_lru : node option;
+  mutable s_query_costs : int;
+  mutable s_opt_calls : int;
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_evictions : int;
+  mutable s_invalidated : int;
+}
+
 type t = {
   db : Database.t;
   capacity : int;
   update_cost : (Config.t -> inserts:(string * int) list -> float) option;
-  tbl : (key, node) Hashtbl.t;
-  mutable mru : node option;
-  mutable lru : node option;
-  mutable cost_evals : int;
-  mutable query_costs : int;
-  mutable opt_calls : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
-  mutable invalidated : int;
+  shards : shard array;  (* length is a power of two *)
+  shard_mask : int;
+  cost_evals : int Atomic.t;  (* workload-level; callers may be parallel *)
 }
 
-let create ?(capacity = 8192) ?update_cost db =
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+let create ?(capacity = 8192) ?(shards = 1) ?update_cost db =
   if capacity < 1 then invalid_arg "Service.create: capacity < 1";
+  if shards < 1 then invalid_arg "Service.create: shards < 1";
+  let nshards = pow2_at_least (min shards 256) 1 in
+  (* Ceiling split so the total live-entry bound never drops below the
+     requested capacity. With the default single shard this is exactly
+     the historical LRU. *)
+  let per_shard = (capacity + nshards - 1) / nshards in
   {
     db;
     capacity;
     update_cost;
-    tbl = Hashtbl.create 256;
-    mru = None;
-    lru = None;
-    cost_evals = 0;
-    query_costs = 0;
-    opt_calls = 0;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
-    invalidated = 0;
+    shards =
+      Array.init nshards (fun _ ->
+          {
+            s_lock = Mutex.create ();
+            s_tbl = Hashtbl.create 256;
+            s_capacity = per_shard;
+            s_mru = None;
+            s_lru = None;
+            s_query_costs = 0;
+            s_opt_calls = 0;
+            s_hits = 0;
+            s_misses = 0;
+            s_evictions = 0;
+            s_invalidated = 0;
+          });
+    shard_mask = nshards - 1;
+    cost_evals = Atomic.make 0;
   }
 
 let database t = t.db
-let size t = Hashtbl.length t.tbl
 let capacity t = t.capacity
+let shard_count t = Array.length t.shards
+
+(* Fold [f] over every shard with its lock held. *)
+let fold_shards t init f =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.s_lock;
+      let acc = f acc s in
+      Mutex.unlock s.s_lock;
+      acc)
+    init t.shards
+
+let size t = fold_shards t 0 (fun acc s -> acc + Hashtbl.length s.s_tbl)
 
 let counters t =
-  {
-    c_cost_evals = t.cost_evals;
-    c_query_costs = t.query_costs;
-    c_opt_calls = t.opt_calls;
-    c_hits = t.hits;
-    c_misses = t.misses;
-    c_evictions = t.evictions;
-    c_invalidated = t.invalidated;
-  }
+  let z =
+    {
+      c_cost_evals = Atomic.get t.cost_evals;
+      c_query_costs = 0;
+      c_opt_calls = 0;
+      c_hits = 0;
+      c_misses = 0;
+      c_evictions = 0;
+      c_invalidated = 0;
+    }
+  in
+  fold_shards t z (fun c s ->
+      {
+        c with
+        c_query_costs = c.c_query_costs + s.s_query_costs;
+        c_opt_calls = c.c_opt_calls + s.s_opt_calls;
+        c_hits = c.c_hits + s.s_hits;
+        c_misses = c.c_misses + s.s_misses;
+        c_evictions = c.c_evictions + s.s_evictions;
+        c_invalidated = c.c_invalidated + s.s_invalidated;
+      })
 
-let cost_evals t = t.cost_evals
-let opt_calls t = t.opt_calls
-let hits t = t.hits
-let misses t = t.misses
-let evictions t = t.evictions
+let cost_evals t = Atomic.get t.cost_evals
+let opt_calls t = fold_shards t 0 (fun acc s -> acc + s.s_opt_calls)
+let hits t = fold_shards t 0 (fun acc s -> acc + s.s_hits)
+let misses t = fold_shards t 0 (fun acc s -> acc + s.s_misses)
+let evictions t = fold_shards t 0 (fun acc s -> acc + s.s_evictions)
 
-(* ---- Intrusive LRU list ---- *)
+(* ---- Intrusive LRU list (per shard, under its lock) ---- *)
 
-let unlink t n =
+let unlink s n =
   (match n.n_prev with
    | Some p -> p.n_next <- n.n_next
-   | None -> t.mru <- n.n_next);
+   | None -> s.s_mru <- n.n_next);
   (match n.n_next with
-   | Some s -> s.n_prev <- n.n_prev
-   | None -> t.lru <- n.n_prev);
+   | Some x -> x.n_prev <- n.n_prev
+   | None -> s.s_lru <- n.n_prev);
   n.n_prev <- None;
   n.n_next <- None
 
-let push_mru t n =
+let push_mru s n =
   n.n_prev <- None;
-  n.n_next <- t.mru;
-  (match t.mru with
+  n.n_next <- s.s_mru;
+  (match s.s_mru with
    | Some m -> m.n_prev <- Some n
-   | None -> t.lru <- Some n);
-  t.mru <- Some n
+   | None -> s.s_lru <- Some n);
+  s.s_mru <- Some n
 
-let touch t n =
-  match t.mru with
+let touch s n =
+  match s.s_mru with
   | Some m when m == n -> ()
   | _ ->
-    unlink t n;
-    push_mru t n
+    unlink s n;
+    push_mru s n
 
-let evict_lru t =
-  match t.lru with
+let evict_lru s =
+  match s.s_lru with
   | None -> ()
   | Some n ->
-    unlink t n;
-    Hashtbl.remove t.tbl n.n_key;
-    t.evictions <- t.evictions + 1;
+    unlink s n;
+    Hashtbl.remove s.s_tbl n.n_key;
+    s.s_evictions <- s.s_evictions + 1;
     Metrics.Counter.incr m_evictions
 
 (* ---- Keys ---- *)
@@ -152,49 +203,80 @@ let key_of q config =
   let arr = Array.of_list (List.sort_uniq Int.compare ids) in
   { k_query = Query.intern q; k_relevant = arr }
 
+let shard_of t key = t.shards.(Hashtbl.hash key land t.shard_mask)
+
 (* ---- Costing ---- *)
 
 let query_cost t config q =
-  t.query_costs <- t.query_costs + 1;
   let t0 = Stopwatch.now_ns () in
   let key = key_of q config in
-  match Hashtbl.find_opt t.tbl key with
-  | Some n ->
-    t.hits <- t.hits + 1;
-    touch t n;
-    Metrics.Counter.incr m_hits;
-    Metrics.Histogram.observe m_lookup_hit (Stopwatch.elapsed_since_ns t0);
-    n.n_cost
-  | None ->
-    t.misses <- t.misses + 1;
-    t.opt_calls <- t.opt_calls + 1;
-    let c =
-      Im_optimizer.Plan.cost (Im_optimizer.Optimizer.optimize t.db config q)
-    in
-    if Hashtbl.length t.tbl >= t.capacity then evict_lru t;
-    let n =
-      {
-        n_key = key;
-        n_cost = c;
-        n_tables = q.Query.q_tables;
-        n_prev = None;
-        n_next = None;
-      }
-    in
-    Hashtbl.add t.tbl key n;
-    push_mru t n;
-    Metrics.Counter.incr m_misses;
-    Metrics.Histogram.observe m_lookup_miss (Stopwatch.elapsed_since_ns t0);
-    c
+  let s = shard_of t key in
+  Mutex.lock s.s_lock;
+  (* The optimizer call on a miss runs under the shard lock on
+     purpose: two domains missing on the same key serialize, and the
+     second finds the entry — so hit/miss/opt-call totals are exactly
+     those of a sequential run, and no optimizer work is duplicated.
+     Cross-key contention within a shard is the price; callers that
+     fan out size [?shards] accordingly. *)
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock s.s_lock)
+    (fun () ->
+      s.s_query_costs <- s.s_query_costs + 1;
+      match Hashtbl.find_opt s.s_tbl key with
+      | Some n ->
+        s.s_hits <- s.s_hits + 1;
+        touch s n;
+        Metrics.Counter.incr m_hits;
+        Metrics.Histogram.observe m_lookup_hit (Stopwatch.elapsed_since_ns t0);
+        n.n_cost
+      | None ->
+        s.s_misses <- s.s_misses + 1;
+        s.s_opt_calls <- s.s_opt_calls + 1;
+        let c =
+          Im_optimizer.Plan.cost
+            (Im_optimizer.Optimizer.optimize t.db config q)
+        in
+        if Hashtbl.length s.s_tbl >= s.s_capacity then evict_lru s;
+        let n =
+          {
+            n_key = key;
+            n_cost = c;
+            n_tables = q.Query.q_tables;
+            n_prev = None;
+            n_next = None;
+          }
+        in
+        Hashtbl.add s.s_tbl key n;
+        push_mru s n;
+        Metrics.Counter.incr m_misses;
+        Metrics.Histogram.observe m_lookup_miss
+          (Stopwatch.elapsed_since_ns t0);
+        c)
 
-let workload_cost ?query_cost:override t config w =
-  t.cost_evals <- t.cost_evals + 1;
+let workload_cost ?query_cost:override ?pool t config w =
+  Atomic.incr t.cost_evals;
   let per_query =
     match override with
     | Some f -> f config
     | None -> query_cost t config
   in
-  let queries = Workload.weighted_cost ~cost:per_query w in
+  let queries =
+    match pool with
+    | Some p when Im_par.Pool.domain_count p > 0 ->
+      (* Per-query costs in parallel, then the exact left-to-right
+         weighted fold of [Workload.weighted_cost] — same float
+         operations in the same order, so the sum is bit-identical to
+         the sequential path. *)
+      let costs =
+        Im_par.Pool.parallel_map p
+          (fun e -> per_query e.Workload.query)
+          w.Workload.entries
+      in
+      List.fold_left2
+        (fun acc e c -> acc +. (e.Workload.freq *. c))
+        0. w.Workload.entries costs
+    | Some _ | None -> Workload.weighted_cost ~cost:per_query w
+  in
   let updates =
     match w.Workload.updates with
     | [] -> 0.
@@ -211,18 +293,25 @@ let workload_cost ?query_cost:override t config w =
 (* ---- Invalidation ---- *)
 
 let remove_if t pred =
-  let doomed =
-    Hashtbl.fold (fun _ n acc -> if pred n then n :: acc else acc) t.tbl []
-  in
-  List.iter
-    (fun n ->
-      Hashtbl.remove t.tbl n.n_key;
-      unlink t n)
-    doomed;
-  let k = List.length doomed in
-  t.invalidated <- t.invalidated + k;
-  Metrics.Counter.add m_invalidated k;
-  k
+  fold_shards t 0 (fun acc s ->
+      let doomed =
+        Hashtbl.fold
+          (fun _ n acc -> if pred n then n :: acc else acc)
+          s.s_tbl []
+      in
+      (* Single pass: count while removing (the old shape walked the
+         doomed list twice and then List.length'd it). *)
+      let k =
+        List.fold_left
+          (fun k n ->
+            Hashtbl.remove s.s_tbl n.n_key;
+            unlink s n;
+            k + 1)
+          0 doomed
+      in
+      s.s_invalidated <- s.s_invalidated + k;
+      Metrics.Counter.add m_invalidated k;
+      acc + k)
 
 let invalidate_index t ix =
   let id = Index.intern ix in

@@ -24,6 +24,16 @@
     cumulative per service and reported by the CLI [merge] report and
     the daemon's STATS line.
 
+    Domain safety: the cache is lock-striped into [?shards] independent
+    LRU shards keyed by hash of the entry key, so concurrent what-if
+    calls from an [Im_par] pool contend only when two keys land in the
+    same shard. The optimizer call on a miss runs under the shard lock:
+    concurrent misses on one key serialize and the loser scores a hit,
+    which keeps hit/miss/optimizer-call totals exactly equal to a
+    sequential run and never duplicates what-if work. The default is a
+    single shard — byte-for-byte the historical LRU (including exact
+    eviction order); parallel callers opt into more.
+
     Invalidation is the {e owner's} duty: the service never observes
     data changes. Whoever mutates the database (row inserts changing
     statistics) must call {!invalidate_table}; whoever distrusts a
@@ -44,16 +54,21 @@ type counters = {
 
 val create :
   ?capacity:int ->
+  ?shards:int ->
   ?update_cost:(Im_catalog.Config.t -> inserts:(string * int) list -> float) ->
   Im_catalog.Database.t ->
   t
 (** [capacity] (default 8192) bounds live entries; beyond it the
     least-recently-used entry is evicted per insertion, so a stream
-    cannot leak. [update_cost] prices index maintenance for workloads
-    carrying an update profile (pass
-    [Im_merging.Maintenance.config_batch_cost db]); omitting it makes
-    {!workload_cost} raise on such workloads rather than silently
-    under-charge. Raises [Invalid_argument] if [capacity < 1]. *)
+    cannot leak. [shards] (default 1, rounded up to a power of two,
+    capped at 256) lock-stripes the cache for concurrent callers;
+    capacity is split across shards (ceiling division), so eviction
+    order with [shards > 1] is per-shard LRU, not global. [update_cost]
+    prices index maintenance for workloads carrying an update profile
+    (pass [Im_merging.Maintenance.config_batch_cost db]); omitting it
+    makes {!workload_cost} raise on such workloads rather than silently
+    under-charge. Raises [Invalid_argument] if [capacity < 1] or
+    [shards < 1]. *)
 
 val database : t -> Im_catalog.Database.t
 
@@ -63,6 +78,7 @@ val query_cost : t -> Im_catalog.Config.t -> Im_sqlir.Query.t -> float
 
 val workload_cost :
   ?query_cost:(Im_catalog.Config.t -> Im_sqlir.Query.t -> float) ->
+  ?pool:Im_par.Pool.t ->
   t ->
   Im_catalog.Config.t ->
   Im_workload.Workload.t ->
@@ -71,7 +87,10 @@ val workload_cost :
     workload carries updates. [?query_cost] substitutes an external
     (non-optimizer) per-query model while still counting the evaluation
     at the one choke point; such costs bypass the cache (they are cheap
-    and would pollute what-if entries). *)
+    and would pollute what-if entries). [?pool] costs the queries in
+    parallel on the pool's domains, then combines them with the exact
+    sequential fold — the result is bit-identical to the sequential
+    path for any domain count. *)
 
 val invalidate_index : t -> Im_catalog.Index.t -> int
 (** Drop every cached cost whose relevant sub-configuration contains
@@ -95,3 +114,6 @@ val size : t -> int
 (** Live entries (for memory-cap assertions). *)
 
 val capacity : t -> int
+
+val shard_count : t -> int
+(** Number of lock stripes (1 unless [?shards] was passed). *)

@@ -41,29 +41,37 @@ let normalize_labels labels =
 
 (* ---- Individual metrics ---- *)
 
-module Counter = struct
-  type t = { mutable v : int }
+(* All metric cells are [Atomic]s: instrumented code runs on every
+   domain of the im_par pool, and plain mutable fields would lose
+   updates (and are data races under the OCaml 5 memory model). *)
 
-  let make () = { v = 0 }
-  let incr c = c.v <- c.v + 1
+module Counter = struct
+  type t = int Atomic.t
+
+  let make () = Atomic.make 0
+  let incr c = Atomic.incr c
 
   let add c n =
     if n < 0 then invalid_arg "Metrics.Counter.add: negative increment";
-    c.v <- c.v + n
+    ignore (Atomic.fetch_and_add c n)
 
-  let value c = c.v
-  let reset c = c.v <- 0
+  let value c = Atomic.get c
+  let reset c = Atomic.set c 0
 end
 
 module Gauge = struct
-  type t = { mutable v : float }
+  type t = float Atomic.t
 
-  let make () = { v = 0. }
-  let set g v = g.v <- v
-  let set_int g n = g.v <- float_of_int n
-  let add g d = g.v <- g.v +. d
-  let value g = g.v
-  let reset g = g.v <- 0.
+  let make () = Atomic.make 0.
+  let set g v = Atomic.set g v
+  let set_int g n = Atomic.set g (float_of_int n)
+
+  let rec add g d =
+    let cur = Atomic.get g in
+    if not (Atomic.compare_and_set g cur (cur +. d)) then add g d
+
+  let value g = Atomic.get g
+  let reset g = Atomic.set g 0.
 end
 
 module Histogram = struct
@@ -76,12 +84,17 @@ module Histogram = struct
   let ns = 1e-9
 
   type t = {
-    counts : int array;
-    mutable count : int;
-    mutable sum : float;  (* seconds *)
+    counts : int Atomic.t array;
+    count : int Atomic.t;
+    sum : float Atomic.t;  (* seconds *)
   }
 
-  let make () = { counts = Array.make buckets 0; count = 0; sum = 0. }
+  let make () =
+    {
+      counts = Array.init buckets (fun _ -> Atomic.make 0);
+      count = Atomic.make 0;
+      sum = Atomic.make 0.;
+    }
 
   let bucket_of v =
     if not (v > ns) then 0
@@ -95,28 +108,33 @@ module Histogram = struct
   let bucket_upper i =
     if i >= buckets - 1 then infinity else Float.ldexp ns i
 
+  let rec add_float cell d =
+    let cur = Atomic.get cell in
+    if not (Atomic.compare_and_set cell cur (cur +. d)) then add_float cell d
+
   let observe h v =
     let v = if Float.is_nan v || v < 0. then 0. else v in
-    h.counts.(bucket_of v) <- h.counts.(bucket_of v) + 1;
-    h.count <- h.count + 1;
-    h.sum <- h.sum +. v
+    Atomic.incr h.counts.(bucket_of v);
+    Atomic.incr h.count;
+    add_float h.sum v
 
-  let count h = h.count
-  let sum h = h.sum
+  let count h = Atomic.get h.count
+  let sum h = Atomic.get h.sum
 
   (* Upper bound of the bucket containing the p-quantile observation:
      within a factor of 2 of the true value, deterministic, and
      monotone in p. *)
   let percentile h p =
-    if h.count = 0 then 0.
+    let total = Atomic.get h.count in
+    if total = 0 then 0.
     else begin
       let p = Float.min 1. (Float.max 0. p) in
-      let rank = int_of_float (ceil (p *. float_of_int h.count)) in
+      let rank = int_of_float (ceil (p *. float_of_int total)) in
       let rank = max 1 rank in
       let rec find i cum =
         if i >= buckets then infinity
         else begin
-          let cum = cum + h.counts.(i) in
+          let cum = cum + Atomic.get h.counts.(i) in
           if cum >= rank then bucket_upper i else find (i + 1) cum
         end
       in
@@ -124,9 +142,9 @@ module Histogram = struct
     end
 
   let reset h =
-    Array.fill h.counts 0 buckets 0;
-    h.count <- 0;
-    h.sum <- 0.
+    Array.iter (fun c -> Atomic.set c 0) h.counts;
+    Atomic.set h.count 0;
+    Atomic.set h.sum 0.
 end
 
 (* ---- Registry ---- *)
@@ -138,9 +156,12 @@ type metric =
 
 type key = { k_name : string; k_labels : labels }
 
-type registry = { tbl : (key, metric) Hashtbl.t }
+(* The lock guards [tbl] (registration is rare but may race with a
+   renderer); the metric cells themselves are atomics and are read and
+   updated without it. *)
+type registry = { tbl : (key, metric) Hashtbl.t; reg_lock : Mutex.t }
 
-let create_registry () = { tbl = Hashtbl.create 64 }
+let create_registry () = { tbl = Hashtbl.create 64; reg_lock = Mutex.create () }
 let default = create_registry ()
 
 let kind_name = function
@@ -151,18 +172,23 @@ let kind_name = function
 let register ~registry ~labels name make unwrap =
   check_name name;
   let key = { k_name = name; k_labels = normalize_labels labels } in
-  match Hashtbl.find_opt registry.tbl key with
-  | Some m ->
-    (match unwrap m with
-     | Some v -> v
-     | None ->
-       invalid_arg
-         (Printf.sprintf "Metrics: %s already registered as a %s" name
-            (kind_name m)))
-  | None ->
-    let v, m = make () in
-    Hashtbl.add registry.tbl key m;
-    v
+  Mutex.lock registry.reg_lock;
+  let result =
+    match Hashtbl.find_opt registry.tbl key with
+    | Some m ->
+      (match unwrap m with
+       | Some v -> Ok v
+       | None ->
+         Error
+           (Printf.sprintf "Metrics: %s already registered as a %s" name
+              (kind_name m)))
+    | None ->
+      let v, m = make () in
+      Hashtbl.add registry.tbl key m;
+      Ok v
+  in
+  Mutex.unlock registry.reg_lock;
+  match result with Ok v -> v | Error msg -> invalid_arg msg
 
 let counter ?(registry = default) ?(labels = []) name =
   register ~registry ~labels name
@@ -180,13 +206,15 @@ let histogram ?(registry = default) ?(labels = []) name =
     (function M_histogram h -> Some h | M_counter _ | M_gauge _ -> None)
 
 let reset ?(registry = default) () =
+  Mutex.lock registry.reg_lock;
   Hashtbl.iter
     (fun _ m ->
       match m with
       | M_counter c -> Counter.reset c
       | M_gauge g -> Gauge.reset g
       | M_histogram h -> Histogram.reset h)
-    registry.tbl
+    registry.tbl;
+  Mutex.unlock registry.reg_lock
 
 (* ---- Spans ---- *)
 
@@ -221,7 +249,10 @@ let labels_repr = function
     ^ "}"
 
 let sorted_metrics registry =
-  Hashtbl.fold (fun k m acc -> (k, m) :: acc) registry.tbl []
+  Mutex.lock registry.reg_lock;
+  let entries = Hashtbl.fold (fun k m acc -> (k, m) :: acc) registry.tbl [] in
+  Mutex.unlock registry.reg_lock;
+  entries
   |> List.sort (fun (a, _) (b, _) ->
          match String.compare a.k_name b.k_name with
          | 0 -> compare a.k_labels b.k_labels
@@ -276,7 +307,8 @@ let exposition ?(registry = default) () =
       | M_histogram h ->
         let cum = ref 0 in
         Array.iteri
-          (fun i n ->
+          (fun i cell ->
+            let n = Atomic.get cell in
             if n > 0 || i = Histogram.buckets - 1 then begin
               cum := !cum + n;
               let le =
@@ -360,7 +392,10 @@ let to_json ?(registry = default) () =
 
 let find_value ?(registry = default) ?(labels = []) name =
   let key = { k_name = name; k_labels = normalize_labels labels } in
-  match Hashtbl.find_opt registry.tbl key with
+  Mutex.lock registry.reg_lock;
+  let m = Hashtbl.find_opt registry.tbl key in
+  Mutex.unlock registry.reg_lock;
+  match m with
   | Some (M_counter c) -> Some (float_of_int (Counter.value c))
   | Some (M_gauge g) -> Some (Gauge.value g)
   | Some (M_histogram _) | None -> None

@@ -55,7 +55,7 @@ type outcome = {
   e_elapsed_s : float;
 }
 
-let run service ~trigger ~live ~window ~budget_pages ~max_clusters =
+let run ?pool service ~trigger ~live ~window ~budget_pages ~max_clusters =
   if Workload.size window = 0 then invalid_arg "Epoch.run: empty window";
   let db = Im_costsvc.Service.database service in
   let calls_before = Im_costsvc.Service.opt_calls service in
@@ -75,10 +75,14 @@ let run service ~trigger ~live ~window ~budget_pages ~max_clusters =
         let new_config = Im_advisor.Advisor.final_config outcome in
         (* Both costings run over the *full* window, through the warm
            service, so the benefit reflects all live traffic, not just
-           the tuned clusters. *)
-        let old_cost = Im_costsvc.Service.workload_cost service live window in
+           the tuned clusters. These are the epoch's widest fan-outs —
+           one independent what-if per window entry — so they take the
+           pool. *)
+        let old_cost =
+          Im_costsvc.Service.workload_cost ?pool service live window
+        in
         let new_cost =
-          Im_costsvc.Service.workload_cost service new_config window
+          Im_costsvc.Service.workload_cost ?pool service new_config window
         in
         (new_config, Workload.size tuning, old_cost, new_cost))
   in

@@ -44,6 +44,7 @@ type outcome = {
 }
 
 val run :
+  ?pool:Im_par.Pool.t ->
   Im_costsvc.Service.t ->
   trigger:trigger ->
   live:Im_catalog.Config.t ->
@@ -54,6 +55,8 @@ val run :
 (** Raises [Invalid_argument] on an empty window. The service is the
     warm cost cache carried across epochs; [e_opt_calls] is the per-run
     delta of its optimizer-call counter (advisor phases and window
-    costings included). *)
+    costings included). [?pool] runs the full-window costings' per-query
+    what-ifs on the pool's domains (bit-identical costs — see
+    {!Im_costsvc.Service.workload_cost}). *)
 
 val summary : outcome -> string

@@ -38,6 +38,7 @@ let default_options ~budget_pages =
 type t = {
   db : Database.t;
   opts : options;
+  pool : Im_par.Pool.t option;
   cache : Im_costsvc.Service.t;
   window : Window.t;
   drift : Drift.t;
@@ -50,17 +51,26 @@ type t = {
   mutable epoch_seconds : float;
 }
 
-let create ?options ?(initial = Config.empty) db ~budget_pages =
+let create ?options ?pool ?(initial = Config.empty) db ~budget_pages =
   let opts =
     match options with
     | Some o -> o
     | None -> default_options ~budget_pages
   in
+  (* One lock stripe per evaluating domain (×4 against same-shard
+     collisions) when epochs run on a pool. *)
+  let shards =
+    match pool with
+    | Some p when Im_par.Pool.domain_count p > 0 ->
+      4 * Im_par.Pool.domain_count p
+    | Some _ | None -> 1
+  in
   {
     db;
     opts;
+    pool;
     cache =
-      Im_costsvc.Service.create
+      Im_costsvc.Service.create ~shards
         ~update_cost:(Im_merging.Maintenance.config_batch_cost db)
         db;
     window =
@@ -90,7 +100,7 @@ type event =
 
 let run_epoch t trigger =
   let outcome =
-    Epoch.run t.cache ~trigger ~live:t.live
+    Epoch.run ?pool:t.pool t.cache ~trigger ~live:t.live
       ~window:(Window.to_workload t.window)
       ~budget_pages:t.opts.o_budget_pages
       ~max_clusters:(Budget.current t.budget)

@@ -37,6 +37,7 @@ type t
 
 val create :
   ?options:options ->
+  ?pool:Im_par.Pool.t ->
   ?initial:Im_catalog.Config.t ->
   Im_catalog.Database.t ->
   budget_pages:int ->
@@ -44,7 +45,9 @@ val create :
 (** [?initial] (default empty) is the configuration live before the
     first epoch. [?options] overrides [default_options]; its
     [o_budget_pages] wins over the [~budget_pages] argument when
-    given. *)
+    given. [?pool] hands every epoch's full-window costings to an
+    [Im_par] domain pool (and lock-stripes the warm what-if cache to
+    match); costs are bit-identical to the sequential path. *)
 
 type event =
   | Rejected of string  (** statement did not parse / validate *)

@@ -3,9 +3,12 @@ module Config = Im_catalog.Config
 module Query = Im_sqlir.Query
 module Predicate = Im_sqlir.Predicate
 
-let counter = ref 0
-let invocations () = !counter
-let reset_invocations () = counter := 0
+(* Atomic: the what-if service calls the optimizer from every domain
+   of the im_par pool, and the parallel-vs-sequential equality tests
+   compare exact invocation totals. *)
+let counter = Atomic.make 0
+let invocations () = Atomic.get counter
+let reset_invocations () = Atomic.set counter 0
 
 (* Process-wide metrics: invocations split by the kind of plan the
    call produced (root operator). Handles resolved once; the hot-path
@@ -251,7 +254,7 @@ let add_sort q (node : Plan.node) =
   end
 
 let optimize_plan db config q =
-  incr counter;
+  Atomic.incr counter;
   match q.Query.q_tables with
   | [ tbl ] ->
     (* Single table: access-path choice can also satisfy ORDER BY. *)

@@ -1,0 +1,66 @@
+(** A fixed-size pool of OCaml 5 domains behind a shared work queue —
+    the substrate for parallel candidate evaluation in the merge
+    searches.
+
+    The pool holds [domains] worker domains (0 = no workers: every
+    operation degrades to its sequential equivalent on the calling
+    domain, with no queue or lock traffic). Work is submitted in
+    batches by {!parallel_map}/{!map_chunked}; the submitting domain
+    {e helps}: while its batch is outstanding it pops and runs queued
+    tasks instead of blocking, so nested parallel calls cannot
+    deadlock and the caller's core is never idle.
+
+    Determinism: {!parallel_map} returns results in input order, and a
+    task is pure modulo domain-safe caches (the cost service, interned
+    ids, page memos) — so callers that fix their own combination order
+    get bit-identical results at any pool size. The searches rely on
+    this (see DESIGN.md §2e).
+
+    Metrics ([im_obs], process-wide across all pools):
+    [par_tasks_total], [par_queue_depth] (gauge), [par_task_seconds]
+    (latency histogram). *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ?domains ()] spawns a pool of [domains] workers (clamped
+    to [0, 64]). Default: {!default_domains}[ ()]. *)
+
+val default_domains : unit -> int
+(** The pool size used when [?domains] is omitted: [IM_DOMAINS] from
+    the environment if it parses as a non-negative integer, otherwise
+    [Domain.recommended_domain_count () - 1] (the calling domain
+    counts as one worker's worth of help). *)
+
+val set_default_domains : int -> unit
+(** Override the size of the shared default pool (the CLI's
+    [--domains] flag). If the default pool already exists at another
+    size it is shut down and recreated lazily at the new size. *)
+
+val default : unit -> t
+(** The process-wide shared pool, created lazily at
+    {!default_domains} (or {!set_default_domains}) size and shut down
+    at exit. [Search.run], the online epoch runner and the CLI all
+    draw from it unless handed an explicit pool. *)
+
+val domain_count : t -> int
+(** Number of worker domains (0 = sequential fallback). *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [parallel_map t f xs] maps [f] over [xs] with one task per
+    element, returning results in input order. With no workers (or a
+    singleton list) it is [List.map]. If any task raises, the first
+    exception (in task-completion order) is re-raised on the caller
+    after every task of the batch has settled.
+
+    Raises [Invalid_argument] after {!shutdown}. *)
+
+val map_chunked : t -> chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!parallel_map} with [chunk] consecutive elements per task —
+    fan-out for work items too small to pay the queue round-trip
+    individually. Same ordering, exception and shutdown behaviour.
+    Raises [Invalid_argument] if [chunk < 1]. *)
+
+val shutdown : t -> unit
+(** Drain queued tasks, stop and join every worker. Idempotent; after
+    it returns, submitting work raises [Invalid_argument]. *)

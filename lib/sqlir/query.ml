@@ -232,15 +232,33 @@ let canonical_string q = to_sql q
    statements with different [q_id] but identical text share one id, so
    caches keyed by it stay warm across a stream of arriving statements
    (each of which gets a fresh id). *)
-let intern_tbl : (string, int) Hashtbl.t = Hashtbl.create 256
+(* Domain safety: same pattern as [Im_catalog.Index.intern] — the
+   mapping is an immutable map published through an [Atomic], giving a
+   lock-free read on the hit path; misses take the mutex and re-check
+   before assigning the next dense id. *)
+module Intern_map = Map.Make (String)
+
+let intern_lock = Mutex.create ()
+let intern_map : int Intern_map.t Atomic.t = Atomic.make Intern_map.empty
+let intern_count = Atomic.make 0
 
 let intern q =
   let key = canonical_string q in
-  match Hashtbl.find_opt intern_tbl key with
+  match Intern_map.find_opt key (Atomic.get intern_map) with
   | Some id -> id
   | None ->
-    let id = Hashtbl.length intern_tbl in
-    Hashtbl.add intern_tbl key id;
+    Mutex.lock intern_lock;
+    let m = Atomic.get intern_map in
+    let id =
+      match Intern_map.find_opt key m with
+      | Some id -> id
+      | None ->
+        let id = Atomic.get intern_count in
+        Atomic.set intern_map (Intern_map.add key id m);
+        Atomic.incr intern_count;
+        id
+    in
+    Mutex.unlock intern_lock;
     id
 
-let interned_queries () = Hashtbl.length intern_tbl
+let interned_queries () = Atomic.get intern_count

@@ -1,10 +1,11 @@
 #!/bin/sh
 # Developer pre-push check: full build with warnings promoted to
-# errors, the whole test suite (unit, property, integration, and the
-# `serve` daemon smoke test), the cost-service accounting benchmark
-# (emits BENCH_costsvc.json), and formatting when ocamlformat is
-# installed (skipped gracefully when not — the CI container does not
-# ship it).
+# errors, the whole test suite twice (sequential and on a 4-domain
+# pool — results must not depend on IM_DOMAINS), the cost-service
+# accounting benchmark (emits BENCH_costsvc.json), a parallel-merge
+# determinism smoke (the CLI must produce the same configuration at
+# --domains 0 and 4), and formatting when ocamlformat is installed
+# (skipped gracefully when not — the CI container does not ship it).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,8 +16,11 @@ cd "$(dirname "$0")/.."
 echo "== dune build @all (warnings as errors) =="
 OCAMLPARAM="_,warn-error=+a" dune build @all
 
-echo "== dune runtest =="
-dune runtest
+echo "== dune runtest (IM_DOMAINS=0, sequential) =="
+IM_DOMAINS=0 dune runtest --force
+
+echo "== dune runtest (IM_DOMAINS=4, domain pool) =="
+IM_DOMAINS=4 dune runtest --force
 
 # The daemon fault paths are the regressions this repo has actually
 # hit (EPIPE unwinding the serve loop); run them explicitly even
@@ -29,6 +33,31 @@ dune exec bin/index_merge_cli.exe -- merge -d synthetic1 -q 6 --metrics \
   | grep -q 'optimizer_calls_total{kind="access"}' \
   || { echo "metrics smoke FAILED: optimizer_calls_total missing"; exit 1; }
 echo "metrics smoke OK"
+
+echo "== parallel merge determinism (--domains 0 vs 4) =="
+# Compare from the result section on: the report header carries wall
+# times and cache-counter latencies that legitimately differ run to
+# run; the merged configuration must not.
+merge_out() {
+  dune exec bin/index_merge_cli.exe -- merge --domains "$1" -d synthetic1 -q 6 \
+    | sed -n '/merged configuration:/,$p'
+}
+par_smoke=$(merge_out 4)
+printf '%s\n' "$par_smoke" | grep -q 'merged configuration:' \
+  || { echo "parallel smoke FAILED: no merge result at --domains 4"; exit 1; }
+dune exec bin/index_merge_cli.exe -- merge --domains 4 -d synthetic1 -q 6 --metrics \
+  | grep -q 'par_tasks_total' \
+  || { echo "parallel smoke FAILED: par_tasks_total missing"; exit 1; }
+if [ "$(merge_out 0)" = "$par_smoke" ]; then
+  echo "parallel merge determinism OK"
+else
+  echo "parallel merge determinism FAILED: --domains 0 and 4 disagree"
+  exit 1
+fi
+
+echo "== bench: parallel search identity + speedups (BENCH_par.json) =="
+IM_BENCH_OUT=BENCH_par.json dune exec bench/main.exe -- par
+echo "wrote BENCH_par.json"
 
 echo "== bench: costsvc accounting (BENCH_costsvc.json) =="
 IM_BENCH_OUT="${IM_BENCH_OUT:-BENCH_costsvc.json}" dune exec bench/main.exe -- costsvc
