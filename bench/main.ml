@@ -3,7 +3,7 @@
 
    Usage: dune exec bench/main.exe [-- experiment ...]
    where experiment is one of e0a e0b fig5 fig6 fig7 fig8 ablate costval
-   micro online costsvc par
+   micro online costsvc par derive
    (default: everything). *)
 
 let experiments =
@@ -20,6 +20,7 @@ let experiments =
     ("online", Exp_online.run);
     ("costsvc", Exp_costsvc.run);
     ("par", Exp_par.run);
+    ("derive", Exp_derive.run);
   ]
 
 let () =

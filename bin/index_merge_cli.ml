@@ -130,6 +130,15 @@ let domains_arg =
   in
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
 
+let no_derive_arg =
+  let doc =
+    "Disable atomic cost derivation: answer every what-if cache miss by \
+     running the full optimizer instead of assembling cached access-path \
+     atoms. Results are bit-identical either way; this is the escape hatch \
+     (and the baseline for the derive benchmark)."
+  in
+  Arg.(value & flag & info [ "no-derive" ] ~doc)
+
 let apply_domains = function
   | None -> ()
   | Some n when n >= 0 -> Im_par.Pool.set_default_domains n
@@ -230,15 +239,26 @@ let info_cmd =
 (* ---- tune ---- *)
 
 let run_tune db_name sf seed wl_kind n_queries file schema_file data_dir
-    domains metrics =
+    domains no_derive metrics =
   apply_domains domains;
   let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
   let workload = or_die (build_workload ?file db wl_kind n_queries seed) in
+  (* One deriving what-if service answers every greedy probe across all
+     queries (lock-striped to match the pool); costs are bit-identical
+     to the direct optimizer calls of --no-derive. *)
+  let pool = Im_par.Pool.default () in
+  let shards = max 1 (4 * Im_par.Pool.domain_count pool) in
+  let svc =
+    Im_costsvc.Service.create ~shards ~derive:(not no_derive) db
+  in
   (* Tune every query on the pool, then print in workload order. *)
   let tuned =
-    Im_par.Pool.parallel_map
-      (Im_par.Pool.default ())
-      (fun q -> (q, Im_tuning.Wizard.tune_query db q))
+    Im_par.Pool.parallel_map pool
+      (fun q ->
+        ( q,
+          Im_tuning.Wizard.tune_query
+            ~query_cost:(Im_costsvc.Service.query_cost svc)
+            db q ))
       (Workload.queries workload)
   in
   List.iter
@@ -259,12 +279,14 @@ let tune_cmd =
     (Cmd.info "tune" ~doc:"Per-query index recommendations.")
     Term.(
       const run_tune $ db_arg $ sf_arg $ seed_arg $ workload_arg $ queries_arg
-      $ workload_file_arg $ schema_arg $ data_arg $ domains_arg $ metrics_arg)
+      $ workload_file_arg $ schema_arg $ data_arg $ domains_arg
+      $ no_derive_arg $ metrics_arg)
 
 (* ---- merge ---- *)
 
 let run_merge db_name sf seed wl_kind n_queries n_initial constraint_ cost_model
-    merge_pair strategy file updates schema_file data_dir domains metrics =
+    merge_pair strategy file updates schema_file data_dir domains no_derive
+    metrics =
   apply_domains domains;
   let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
   let workload = or_die (build_workload ?file db wl_kind n_queries seed) in
@@ -282,8 +304,8 @@ let run_merge db_name sf seed wl_kind n_queries n_initial constraint_ cost_model
     (Database.config_storage_pages db initial);
   List.iter (fun ix -> Printf.printf "  %s\n" (Index.to_string ix)) initial;
   let outcome =
-    Search.run ~merge_pair ~cost_model ~cost_constraint:constraint_ db workload
-      ~initial strategy
+    Search.run ~merge_pair ~cost_model ~cost_constraint:constraint_
+      ~derive:(not no_derive) db workload ~initial strategy
   in
   print_newline ();
   print_endline (Im_merging.Report.summary outcome);
@@ -301,7 +323,7 @@ let merge_cmd =
       const run_merge $ db_arg $ sf_arg $ seed_arg $ workload_arg $ queries_arg
       $ initial_arg $ constraint_arg $ cost_model_arg $ merge_pair_arg
       $ strategy_arg $ workload_file_arg $ updates_arg $ schema_arg $ data_arg
-      $ domains_arg $ metrics_arg)
+      $ domains_arg $ no_derive_arg $ metrics_arg)
 
 (* ---- explain ---- *)
 
@@ -334,11 +356,14 @@ let budget_arg =
   Arg.(required & opt (some int) None & info [ "b"; "budget" ] ~docv:"PAGES" ~doc)
 
 let run_advise db_name sf seed wl_kind n_queries file budget schema_file
-    data_dir domains metrics =
+    data_dir domains no_derive metrics =
   apply_domains domains;
   let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
   let workload = or_die (build_workload ?file db wl_kind n_queries seed) in
-  let outcome = Im_advisor.Advisor.advise db workload ~budget_pages:budget in
+  let outcome =
+    Im_advisor.Advisor.advise ~derive:(not no_derive) db workload
+      ~budget_pages:budget
+  in
   print_endline (Im_advisor.Advisor.summary outcome);
   print_endline "recommended configuration:";
   List.iter
@@ -358,7 +383,7 @@ let advise_cmd =
     Term.(
       const run_advise $ db_arg $ sf_arg $ seed_arg $ workload_arg
       $ queries_arg $ workload_file_arg $ budget_arg $ schema_arg $ data_arg
-      $ domains_arg $ metrics_arg)
+      $ domains_arg $ no_derive_arg $ metrics_arg)
 
 (* ---- serve ---- *)
 
@@ -398,7 +423,8 @@ let read_timeout_arg =
   Arg.(value & opt float 30.0 & info [ "read-timeout" ] ~docv:"SECONDS" ~doc)
 
 let run_serve db_name sf seed schema_file data_dir port budget window decay
-    check_every drift_threshold cost_threshold read_timeout domains metrics =
+    check_every drift_threshold cost_threshold read_timeout domains no_derive
+    metrics =
   apply_domains domains;
   let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
   let budget_pages =
@@ -417,7 +443,7 @@ let run_serve db_name sf seed schema_file data_dir port budget window decay
   let service =
     Im_online.Service.create ~options
       ~pool:(Im_par.Pool.default ())
-      db ~budget_pages
+      ~derive:(not no_derive) db ~budget_pages
   in
   let server =
     try Im_online.Server.create ~port ~read_timeout:read_timeout service
@@ -450,7 +476,7 @@ let serve_cmd =
       const run_serve $ db_arg $ sf_arg $ seed_arg $ schema_arg $ data_arg
       $ port_arg $ serve_budget_arg $ window_arg $ decay_arg $ check_every_arg
       $ drift_threshold_arg $ cost_threshold_arg $ read_timeout_arg
-      $ domains_arg $ metrics_arg)
+      $ domains_arg $ no_derive_arg $ metrics_arg)
 
 (* ---- generate ---- *)
 

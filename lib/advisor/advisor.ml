@@ -22,15 +22,17 @@ type outcome = {
   a_optimizer_calls : int;
 }
 
-let advise ?service ?(relax = 2.0) db workload ~budget_pages =
+let advise ?service ?(relax = 2.0) ?(derive = true) db workload ~budget_pages =
   (* One memoizing cost service spans all three phases: configurations
      costed during relaxed selection are cache hits for the dual merge
-     and the plain selection. *)
+     and the plain selection. With [derive] (the default) its misses
+     are answered from cached access-path atoms — same costs, no
+     optimizer run. *)
   let svc =
     match service with
     | Some s -> s
     | None ->
-        Im_costsvc.Service.create
+        Im_costsvc.Service.create ~derive
           ~update_cost:(Im_merging.Maintenance.config_batch_cost db)
           db
   in

@@ -47,6 +47,7 @@ type outcome = {
 val advise :
   ?service:Im_costsvc.Service.t ->
   ?relax:float ->
+  ?derive:bool ->
   Im_catalog.Database.t ->
   Im_workload.Workload.t ->
   budget_pages:int ->
@@ -54,7 +55,9 @@ val advise :
 (** [advise db w ~budget_pages] with relaxation factor [?relax]
     (default 2.0) for the selection phase. All three phases share one
     memoizing cost service — [?service] to supply it (the online layer
-    carries one across epochs), otherwise a fresh one is created. *)
+    carries one across epochs), otherwise a fresh one is created with
+    atomic cost derivation per [?derive] (default on; ignored when
+    [?service] is given — bit-identical results either way). *)
 
 val final_config : outcome -> Im_catalog.Config.t
 

@@ -20,12 +20,12 @@ type t = {
   svc : Service.t;
 }
 
-let create ?service ?shards model db workload =
+let create ?service ?shards ?derive model db workload =
   let svc =
     match service with
     | Some s -> s
     | None ->
-      Service.create ?shards
+      Service.create ?shards ?derive
         ~update_cost:(Maintenance.config_batch_cost db)
         db
   in

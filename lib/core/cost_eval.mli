@@ -30,6 +30,7 @@ type t
 val create :
   ?service:Im_costsvc.Service.t ->
   ?shards:int ->
+  ?derive:bool ->
   model ->
   Im_catalog.Database.t ->
   Im_workload.Workload.t ->
@@ -39,8 +40,9 @@ val create :
     (cross-strategy and cross-phase reuse); otherwise a private service
     is created, wired with {!Maintenance.config_batch_cost} for update
     profiles, lock-striped into [?shards] shards (default 1) for
-    parallel callers. [?shards] is ignored when [?service] is given —
-    the shared service's own striping applies. *)
+    parallel callers. [?shards] and [?derive] (atomic cost derivation,
+    see {!Im_costsvc.Service.create}) are ignored when [?service] is
+    given — the shared service's own striping and derivation apply. *)
 
 val model : t -> model
 

@@ -37,7 +37,12 @@ let run ?service ?(merge_pair = Merge_pair.Cost_based)
   in
   let (items, iterations), elapsed =
     Im_util.Stopwatch.time (fun () ->
-        let seek = Seek_cost.analyze db initial workload in
+        (* Through the service: a deriving service answers the usage
+           analysis from cached atoms (bit-identical plans). *)
+        let seek =
+          Seek_cost.analyze ~plan:(Service.query_plan svc initial) db initial
+            workload
+        in
         let merge_indexes current i1 i2 =
           Merge_pair.merge merge_pair ~db ~workload ~seek ~service:svc
             ~current i1 i2

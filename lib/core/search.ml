@@ -31,6 +31,8 @@ type outcome = {
   o_optimizer_calls : int;
   o_cache_hits : int;
   o_cache_misses : int;
+  o_derived_costs : int;
+  o_derive_fallbacks : int;
   o_elapsed_s : float;
   o_truncated : bool;
 }
@@ -300,8 +302,8 @@ let exhaustive ~pool ~procedure ~evaluator ~service ~seek ~bound ~config_limit
 (* ---- Entry point ---- *)
 
 let run ?service ?pool ?(merge_pair = Merge_pair.Cost_based)
-    ?(cost_model = Cost_eval.Optimizer_estimated) ?(cost_constraint = 0.10) db
-    workload ~initial strategy =
+    ?(cost_model = Cost_eval.Optimizer_estimated) ?(cost_constraint = 0.10)
+    ?(derive = true) db workload ~initial strategy =
   let pool = match pool with Some p -> p | None -> Pool.default () in
   (* A private service gets one lock stripe per evaluating domain (×4
      so same-shard collisions are rare); a shared service keeps its own
@@ -309,7 +311,9 @@ let run ?service ?pool ?(merge_pair = Merge_pair.Cost_based)
   let shards =
     match Pool.domain_count pool with 0 -> 1 | n -> 4 * n
   in
-  let evaluator = Cost_eval.create ?service ~shards cost_model db workload in
+  let evaluator =
+    Cost_eval.create ?service ~shards ~derive cost_model db workload
+  in
   let svc = Cost_eval.service evaluator in
   let numeric = Cost_eval.is_numeric evaluator in
   (* The Merge_pair Exhaustive procedure scores candidate column orders
@@ -319,7 +323,12 @@ let run ?service ?pool ?(merge_pair = Merge_pair.Cost_based)
   let counters_before = Service.counters svc in
   let (items, iterations, truncated), elapsed =
     Im_util.Stopwatch.time (fun () ->
-        let seek = Seek_cost.analyze db initial workload in
+        (* Plans come through the service so a deriving service answers
+           the usage analysis from atoms too (bit-identical plans). *)
+        let seek =
+          Seek_cost.analyze ~plan:(Service.query_plan svc initial) db initial
+            workload
+        in
         let initial_cost =
           if numeric then
             Some (Cost_eval.workload_cost ~pool evaluator initial)
@@ -374,6 +383,8 @@ let run ?service ?pool ?(merge_pair = Merge_pair.Cost_based)
     o_optimizer_calls = d.Service.c_opt_calls - b.Service.c_opt_calls;
     o_cache_hits = d.Service.c_hits - b.Service.c_hits;
     o_cache_misses = d.Service.c_misses - b.Service.c_misses;
+    o_derived_costs = d.Service.c_derived - b.Service.c_derived;
+    o_derive_fallbacks = d.Service.c_fallbacks - b.Service.c_fallbacks;
     o_elapsed_s = elapsed;
     o_truncated = truncated;
   }

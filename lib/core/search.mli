@@ -34,6 +34,10 @@ type outcome = {
   o_optimizer_calls : int;  (** service what-if calls (misses), this run *)
   o_cache_hits : int;  (** service cache hits, this run *)
   o_cache_misses : int;  (** service cache misses, this run *)
+  o_derived_costs : int;
+      (** misses answered from cached access-path atoms, this run *)
+  o_derive_fallbacks : int;
+      (** misses the deriver routed to a full optimization, this run *)
   o_elapsed_s : float;
   o_truncated : bool;  (** exhaustive enumeration hit [config_limit] *)
 }
@@ -57,6 +61,7 @@ val run :
   ?merge_pair:Merge_pair.procedure ->
   ?cost_model:Cost_eval.model ->
   ?cost_constraint:float ->
+  ?derive:bool ->
   Im_catalog.Database.t ->
   Im_workload.Workload.t ->
   initial:Im_catalog.Config.t ->
@@ -80,4 +85,12 @@ val run :
     configuration, page counts, costs, iteration and examined counts
     are bit-identical to the sequential run for any domain count —
     only elapsed time and cache-counter deltas (speculation may cost
-    extra configurations) vary. *)
+    extra configurations) vary.
+
+    [?derive] (default true; ignored when [?service] supplies the
+    service) attaches atomic cost derivation to the private service:
+    cache misses — and the seek/scan usage analysis — are answered by
+    re-assembling cached per-index access-path atoms instead of running
+    the optimizer. Results are bit-identical with derivation on or off;
+    only [Im_optimizer.Optimizer.invocations] (and wall time) drop.
+    The CLI exposes [--no-derive] to turn it off. *)

@@ -20,13 +20,18 @@ type t = {
 
 let key ix = (ix.Index.idx_table, ix.Index.idx_columns)
 
-let analyze db config workload =
+let analyze ?plan db config workload =
+  let plan_of =
+    match plan with
+    | Some f -> f
+    | None -> fun q -> Optimizer.optimize db config q
+  in
   let by_index = Hashtbl.create 16 in
   let by_query = Hashtbl.create 64 in
   let total = ref 0. in
   List.iter
     (fun { Workload.query = q; freq } ->
-      let plan = Optimizer.optimize db config q in
+      let plan = plan_of q in
       let weighted = freq *. Plan.cost plan in
       total := !total +. weighted;
       Hashtbl.replace by_query q.Im_sqlir.Query.q_id weighted;

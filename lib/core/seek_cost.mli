@@ -9,10 +9,17 @@
 type t
 
 val analyze :
+  ?plan:(Im_sqlir.Query.t -> Im_optimizer.Plan.t) ->
   Im_catalog.Database.t ->
   Im_catalog.Config.t ->
   Im_workload.Workload.t ->
   t
+(** [?plan] substitutes how each query's plan under the configuration
+    is obtained (the search layers pass
+    [Im_costsvc.Service.query_plan svc config], which derives plans
+    from cached access-path atoms when the service derives — the plans,
+    and hence the analysis, are bit-identical). Default: a full
+    optimization per query. *)
 
 val seek_cost : t -> Im_catalog.Index.t -> float
 (** 0. for indexes never used for a seek. *)

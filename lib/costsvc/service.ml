@@ -30,6 +30,8 @@ type counters = {
   c_misses : int;
   c_evictions : int;
   c_invalidated : int;
+  c_derived : int;
+  c_fallbacks : int;
 }
 
 type key = { k_query : int; k_relevant : int array }
@@ -59,12 +61,17 @@ type shard = {
   mutable s_misses : int;
   mutable s_evictions : int;
   mutable s_invalidated : int;
+  mutable s_derived : int;
+  mutable s_fallbacks : int;
 }
 
 type t = {
   db : Database.t;
   capacity : int;
   update_cost : (Config.t -> inserts:(string * int) list -> float) option;
+  deriver : Im_derive.Derive.t option;
+      (* resolves cache misses from cached access-path atoms instead of
+         full optimizations; [None] = historical behavior *)
   shards : shard array;  (* length is a power of two *)
   shard_mask : int;
   cost_evals : int Atomic.t;  (* workload-level; callers may be parallel *)
@@ -72,7 +79,7 @@ type t = {
 
 let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
 
-let create ?(capacity = 8192) ?(shards = 1) ?update_cost db =
+let create ?(capacity = 8192) ?(shards = 1) ?update_cost ?(derive = false) db =
   if capacity < 1 then invalid_arg "Service.create: capacity < 1";
   if shards < 1 then invalid_arg "Service.create: shards < 1";
   let nshards = pow2_at_least (min shards 256) 1 in
@@ -84,6 +91,9 @@ let create ?(capacity = 8192) ?(shards = 1) ?update_cost db =
     db;
     capacity;
     update_cost;
+    deriver =
+      (if derive then Some (Im_derive.Derive.create ~shards:nshards db)
+       else None);
     shards =
       Array.init nshards (fun _ ->
           {
@@ -98,6 +108,8 @@ let create ?(capacity = 8192) ?(shards = 1) ?update_cost db =
             s_misses = 0;
             s_evictions = 0;
             s_invalidated = 0;
+            s_derived = 0;
+            s_fallbacks = 0;
           });
     shard_mask = nshards - 1;
     cost_evals = Atomic.make 0;
@@ -129,6 +141,8 @@ let counters t =
       c_misses = 0;
       c_evictions = 0;
       c_invalidated = 0;
+      c_derived = 0;
+      c_fallbacks = 0;
     }
   in
   fold_shards t z (fun c s ->
@@ -140,6 +154,8 @@ let counters t =
         c_misses = c.c_misses + s.s_misses;
         c_evictions = c.c_evictions + s.s_evictions;
         c_invalidated = c.c_invalidated + s.s_invalidated;
+        c_derived = c.c_derived + s.s_derived;
+        c_fallbacks = c.c_fallbacks + s.s_fallbacks;
       })
 
 let cost_evals t = Atomic.get t.cost_evals
@@ -147,6 +163,9 @@ let opt_calls t = fold_shards t 0 (fun acc s -> acc + s.s_opt_calls)
 let hits t = fold_shards t 0 (fun acc s -> acc + s.s_hits)
 let misses t = fold_shards t 0 (fun acc s -> acc + s.s_misses)
 let evictions t = fold_shards t 0 (fun acc s -> acc + s.s_evictions)
+let derived t = fold_shards t 0 (fun acc s -> acc + s.s_derived)
+let fallbacks t = fold_shards t 0 (fun acc s -> acc + s.s_fallbacks)
+let deriver t = t.deriver
 
 (* ---- Intrusive LRU list (per shard, under its lock) ---- *)
 
@@ -231,10 +250,22 @@ let query_cost t config q =
         n.n_cost
       | None ->
         s.s_misses <- s.s_misses + 1;
+        (* [s_opt_calls] keeps meaning "what-if resolutions the cache
+           could not answer" whether the resolution ran the optimizer
+           or was derived from atoms; [Optimizer.invocations] counts
+           the actual optimizer runs. *)
         s.s_opt_calls <- s.s_opt_calls + 1;
         let c =
-          Im_optimizer.Plan.cost
-            (Im_optimizer.Optimizer.optimize t.db config q)
+          match t.deriver with
+          | None ->
+            Im_optimizer.Plan.cost
+              (Im_optimizer.Optimizer.optimize t.db config q)
+          | Some d ->
+            let cost, fb = Im_derive.Derive.query_cost d config q in
+            (match fb with
+             | None -> s.s_derived <- s.s_derived + 1
+             | Some _ -> s.s_fallbacks <- s.s_fallbacks + 1);
+            cost
         in
         if Hashtbl.length s.s_tbl >= s.s_capacity then evict_lru s;
         let n =
@@ -313,10 +344,29 @@ let remove_if t pred =
       Metrics.Counter.add m_invalidated k;
       acc + k)
 
+(* Uncached by design: plans are bulky and the derived path already
+   makes producing one cheap. Used by the search layers for seek/scan
+   usage analysis, where the service decides how a plan is obtained. *)
+let query_plan t config q =
+  match t.deriver with
+  | Some d -> Im_derive.Derive.query_plan d config q
+  | None -> Im_optimizer.Optimizer.optimize t.db config q
+
 let invalidate_index t ix =
+  (match t.deriver with
+   | Some d -> ignore (Im_derive.Derive.invalidate_index d ix)
+   | None -> ());
   let id = Index.intern ix in
   remove_if t (fun n -> Array.exists (Int.equal id) n.n_key.k_relevant)
 
-let invalidate_table t tbl = remove_if t (fun n -> List.mem tbl n.n_tables)
+let invalidate_table t tbl =
+  (match t.deriver with
+   | Some d -> ignore (Im_derive.Derive.invalidate_table d tbl)
+   | None -> ());
+  remove_if t (fun n -> List.mem tbl n.n_tables)
 
-let clear t = ignore (remove_if t (fun _ -> true))
+let clear t =
+  (match t.deriver with
+   | Some d -> Im_derive.Derive.clear d
+   | None -> ());
+  ignore (remove_if t (fun _ -> true))

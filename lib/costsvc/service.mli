@@ -45,17 +45,20 @@ type t
 type counters = {
   c_cost_evals : int;  (** workload-level evaluations *)
   c_query_costs : int;  (** per-query costings, hits included *)
-  c_opt_calls : int;  (** what-if optimizations actually run *)
+  c_opt_calls : int;  (** what-if resolutions (misses), however resolved *)
   c_hits : int;
   c_misses : int;
   c_evictions : int;  (** capacity evictions (LRU order) *)
   c_invalidated : int;  (** entries dropped by explicit invalidation *)
+  c_derived : int;  (** misses answered from cached atoms (no optimizer) *)
+  c_fallbacks : int;  (** misses the deriver routed to the optimizer *)
 }
 
 val create :
   ?capacity:int ->
   ?shards:int ->
   ?update_cost:(Im_catalog.Config.t -> inserts:(string * int) list -> float) ->
+  ?derive:bool ->
   Im_catalog.Database.t ->
   t
 (** [capacity] (default 8192) bounds live entries; beyond it the
@@ -67,8 +70,13 @@ val create :
     prices index maintenance for workloads carrying an update profile
     (pass [Im_merging.Maintenance.config_batch_cost db]); omitting it
     makes {!workload_cost} raise on such workloads rather than silently
-    under-charge. Raises [Invalid_argument] if [capacity < 1] or
-    [shards < 1]. *)
+    under-charge. [derive] (default false) attaches an
+    {!Im_derive.Derive} atom cache (striped like the LRU) that answers
+    cache misses by re-assembling cached per-index access-path atoms
+    instead of running the optimizer — bit-identical costs, counted in
+    [c_derived]/[c_fallbacks]; [c_opt_calls] keeps meaning "misses
+    resolved", so existing counter relationships are unchanged. Raises
+    [Invalid_argument] if [capacity < 1] or [shards < 1]. *)
 
 val database : t -> Im_catalog.Database.t
 
@@ -92,13 +100,25 @@ val workload_cost :
     sequential fold — the result is bit-identical to the sequential
     path for any domain count. *)
 
+val query_plan :
+  t -> Im_catalog.Config.t -> Im_sqlir.Query.t -> Im_optimizer.Plan.t
+(** The query's full plan (for seek/scan usage analysis) — derived from
+    cached atoms when the service was created with [~derive:true], a
+    real optimization otherwise. Bit-identical either way. Plans are
+    not cached and this touches no hit/miss counters. *)
+
+val deriver : t -> Im_derive.Derive.t option
+(** The attached atom cache, when [~derive:true]. *)
+
 val invalidate_index : t -> Im_catalog.Index.t -> int
 (** Drop every cached cost whose relevant sub-configuration contains
-    the definition. Returns the number of entries dropped. *)
+    the definition (and its atoms, when deriving). Returns the number
+    of cost entries dropped. *)
 
 val invalidate_table : t -> string -> int
 (** Drop every cached cost of a query referencing the table (use after
-    data/statistics changes on it). Returns the number dropped. *)
+    data/statistics changes on it), and its atoms when deriving.
+    Returns the number of cost entries dropped. *)
 
 val clear : t -> unit
 
@@ -109,6 +129,12 @@ val opt_calls : t -> int
 val hits : t -> int
 val misses : t -> int
 val evictions : t -> int
+
+val derived : t -> int
+(** Misses resolved from cached atoms — zero optimizer invocations. *)
+
+val fallbacks : t -> int
+(** Misses the deriver routed to a full optimization. *)
 
 val size : t -> int
 (** Live entries (for memory-cap assertions). *)

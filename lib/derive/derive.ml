@@ -1,0 +1,302 @@
+module Database = Im_catalog.Database
+module Config = Im_catalog.Config
+module Index = Im_catalog.Index
+module Query = Im_sqlir.Query
+module Access_path = Im_optimizer.Access_path
+module Optimizer = Im_optimizer.Optimizer
+module Plan = Im_optimizer.Plan
+module Metrics = Im_obs.Metrics
+
+(* Process-wide metrics, aggregated across every deriver instance. The
+   entries gauge tracks live atoms net of invalidation; instances that
+   are dropped without [clear] keep their contribution (same contract
+   as every other per-instance gauge in the registry). *)
+let m_derived = Metrics.counter "derive_hits_total"
+
+let m_fallback_order_sort =
+  Metrics.counter ~labels:[ ("reason", "order_sort") ] "derive_fallback_total"
+
+let m_atom_hits = Metrics.counter "derive_atom_hits_total"
+let m_atom_misses = Metrics.counter "derive_atom_misses_total"
+let m_atom_entries = Metrics.gauge "derive_atom_entries"
+let m_validations = Metrics.counter "derive_validations_total"
+
+exception Mismatch of string
+
+type fallback = Order_sort
+
+let fallback_to_string = function Order_sort -> "order_sort"
+
+type answer = {
+  a_plan : Plan.t;
+  a_fallback : fallback option;
+}
+
+(* ---- Keys ----
+
+   Atoms are keyed by interned ids plus the probe column: for a fixed
+   database, (query id, table, probe column) uniquely determines the
+   [Access_path.input] the planner will ask about — selections and
+   required columns are functions of the query, the per-probe
+   selectivity is the probe column's density — so a cached atom is the
+   atom for every configuration containing that index. *)
+
+type atom_key = {
+  ak_query : int;
+  ak_table : string;
+  ak_probe : string option;
+  ak_index : int;
+}
+
+type heap_key = {
+  hk_query : int;
+  hk_table : string;
+  hk_probe : string option;
+}
+
+(* Lock-striped like the costsvc LRU shards: a key lives in exactly one
+   shard, all shard state is touched under its lock, so the pool's
+   domains contend only 1/N of the time. *)
+type shard = {
+  s_lock : Mutex.t;
+  s_atoms : (atom_key, Access_path.atom) Hashtbl.t;
+  s_heaps : (heap_key, Access_path.choice) Hashtbl.t;
+  mutable s_atom_hits : int;
+  mutable s_atom_misses : int;
+}
+
+type t = {
+  db : Database.t;
+  validate : bool;
+  shards : shard array;  (* length is a power of two *)
+  shard_mask : int;
+  derived : int Atomic.t;
+  fallbacks : int Atomic.t;
+  validations : int Atomic.t;
+}
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+let env_validate () =
+  match Sys.getenv_opt "IM_VALIDATE_DERIVE" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let create ?(shards = 1) ?validate db =
+  if shards < 1 then invalid_arg "Derive.create: shards < 1";
+  let nshards = pow2_at_least (min shards 256) 1 in
+  {
+    db;
+    validate = (match validate with Some v -> v | None -> env_validate ());
+    shards =
+      Array.init nshards (fun _ ->
+          {
+            s_lock = Mutex.create ();
+            s_atoms = Hashtbl.create 256;
+            s_heaps = Hashtbl.create 64;
+            s_atom_hits = 0;
+            s_atom_misses = 0;
+          });
+    shard_mask = nshards - 1;
+    derived = Atomic.make 0;
+    fallbacks = Atomic.make 0;
+    validations = Atomic.make 0;
+  }
+
+let database t = t.db
+let validating t = t.validate
+let derived t = Atomic.get t.derived
+let fallbacks t = Atomic.get t.fallbacks
+let validations t = Atomic.get t.validations
+
+let fold_shards t init f =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.s_lock;
+      let acc = f acc s in
+      Mutex.unlock s.s_lock;
+      acc)
+    init t.shards
+
+let atom_hits t = fold_shards t 0 (fun acc s -> acc + s.s_atom_hits)
+let atom_misses t = fold_shards t 0 (fun acc s -> acc + s.s_atom_misses)
+
+let atom_entries t =
+  fold_shards t 0 (fun acc s ->
+      acc + Hashtbl.length s.s_atoms + Hashtbl.length s.s_heaps)
+
+(* ---- Classification ----
+
+   The only plan shape whose cost is not assembled purely from the
+   per-table best/candidates the provider serves is the single-table
+   ORDER BY without aggregation: [plan_with] re-examines the {e full}
+   candidate list against the sort, and order-providing accesses
+   interact with which candidate wins overall. The provider serves that
+   list exactly too, so derivation would still be exact — but the class
+   is the designated fallback seam (the taxonomy DESIGN.md §2f
+   documents), kept on the real optimizer so any future order-aware
+   planning change cannot silently break derivation exactness. *)
+let classify q =
+  match q.Query.q_tables with
+  | [ _ ]
+    when q.Query.q_order_by <> []
+         && (not (Query.has_aggregates q))
+         && q.Query.q_group_by = [] ->
+    Some Order_sort
+  | _ -> None
+
+(* ---- Atom cache ---- *)
+
+let shard_of t key = t.shards.(Hashtbl.hash key land t.shard_mask)
+
+let probe_of (input : Access_path.input) =
+  match input.Access_path.ap_param_eq with
+  | [] -> Some None
+  | [ (col, _) ] -> Some (Some col)
+  | _ :: _ :: _ -> None (* not a shape the planner produces; bypass *)
+
+let cached_atom t ~qid ~probe (input : Access_path.input) ix =
+  let key =
+    {
+      ak_query = qid;
+      ak_table = input.Access_path.ap_table;
+      ak_probe = probe;
+      ak_index = Index.intern ix;
+    }
+  in
+  let s = shard_of t key in
+  Mutex.lock s.s_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock s.s_lock)
+    (fun () ->
+      match Hashtbl.find_opt s.s_atoms key with
+      | Some a ->
+        s.s_atom_hits <- s.s_atom_hits + 1;
+        Metrics.Counter.incr m_atom_hits;
+        a
+      | None ->
+        (* Computed under the shard lock: concurrent misses on one key
+           serialize and the loser scores a hit, so hit/miss totals
+           equal a sequential run's (same discipline as the costsvc
+           miss path). *)
+        let a = Access_path.atom t.db input ix in
+        s.s_atom_misses <- s.s_atom_misses + 1;
+        Metrics.Counter.incr m_atom_misses;
+        Hashtbl.add s.s_atoms key a;
+        Metrics.Gauge.add m_atom_entries 1.0;
+        a)
+
+let cached_heap t ~qid ~probe (input : Access_path.input) =
+  let key =
+    { hk_query = qid; hk_table = input.Access_path.ap_table; hk_probe = probe }
+  in
+  let s = shard_of t key in
+  Mutex.lock s.s_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock s.s_lock)
+    (fun () ->
+      match Hashtbl.find_opt s.s_heaps key with
+      | Some h -> h
+      | None ->
+        let h = Access_path.heap_choice t.db input in
+        Hashtbl.add s.s_heaps key h;
+        Metrics.Gauge.add m_atom_entries 1.0;
+        h)
+
+(* ---- The derived provider ---- *)
+
+let provider t config q =
+  let qid = Query.intern q in
+  let assemble input =
+    match probe_of input with
+    | None ->
+      (* Multi-binding parameterization: no cache key shape for it, so
+         compute directly — still exact, just uncached. *)
+      Access_path.candidates t.db config input
+    | Some probe ->
+      let heap = cached_heap t ~qid ~probe input in
+      let atoms =
+        List.map
+          (fun ix -> cached_atom t ~qid ~probe input ix)
+          (Config.on_table config input.Access_path.ap_table)
+      in
+      Access_path.assemble t.db input ~heap atoms
+  in
+  {
+    Optimizer.pa_best = (fun input -> Access_path.best_of (assemble input));
+    pa_candidates = assemble;
+  }
+
+(* ---- Answering ---- *)
+
+let full_plan t config q = Optimizer.optimize t.db config q
+
+let validate_against_full t config q derived_plan =
+  let full = full_plan t config q in
+  if not (derived_plan = full) then
+    raise
+      (Mismatch
+         (Printf.sprintf
+            "derived plan diverges from the optimizer for %s (derived cost \
+             %.17g, optimizer cost %.17g)"
+            (Query.to_sql q) (Plan.cost derived_plan) (Plan.cost full)));
+  Atomic.incr t.validations;
+  Metrics.Counter.incr m_validations
+
+let plan t config q =
+  match classify q with
+  | Some reason ->
+    Atomic.incr t.fallbacks;
+    (match reason with
+     | Order_sort -> Metrics.Counter.incr m_fallback_order_sort);
+    { a_plan = full_plan t config q; a_fallback = Some reason }
+  | None ->
+    let p = Optimizer.plan_with ~provider:(provider t config q) t.db q in
+    if t.validate then validate_against_full t config q p;
+    Atomic.incr t.derived;
+    Metrics.Counter.incr m_derived;
+    { a_plan = p; a_fallback = None }
+
+let query_plan t config q = (plan t config q).a_plan
+
+let query_cost t config q =
+  let a = plan t config q in
+  (Plan.cost a.a_plan, a.a_fallback)
+
+(* ---- Invalidation ---- *)
+
+let remove_where t ~atom_doomed ~heap_doomed =
+  fold_shards t 0 (fun acc s ->
+      let doomed_atoms =
+        Hashtbl.fold
+          (fun k _ acc -> if atom_doomed k then k :: acc else acc)
+          s.s_atoms []
+      in
+      let doomed_heaps =
+        Hashtbl.fold
+          (fun k _ acc -> if heap_doomed k then k :: acc else acc)
+          s.s_heaps []
+      in
+      List.iter (Hashtbl.remove s.s_atoms) doomed_atoms;
+      List.iter (Hashtbl.remove s.s_heaps) doomed_heaps;
+      let k = List.length doomed_atoms + List.length doomed_heaps in
+      Metrics.Gauge.add m_atom_entries (-.float_of_int k);
+      acc + k)
+
+(* Every number in an atom derives from the keyed table's statistics
+   (selections, densities, row counts, page counts are all of that
+   table), so table-keyed invalidation is sound. *)
+let invalidate_table t tbl =
+  remove_where t
+    ~atom_doomed:(fun k -> k.ak_table = tbl)
+    ~heap_doomed:(fun k -> k.hk_table = tbl)
+
+let invalidate_index t ix =
+  let id = Index.intern ix in
+  remove_where t
+    ~atom_doomed:(fun k -> k.ak_index = id)
+    ~heap_doomed:(fun _ -> false)
+
+let clear t =
+  ignore
+    (remove_where t ~atom_doomed:(fun _ -> true) ~heap_doomed:(fun _ -> true))

@@ -51,7 +51,8 @@ type t = {
   mutable epoch_seconds : float;
 }
 
-let create ?options ?pool ?(initial = Config.empty) db ~budget_pages =
+let create ?options ?pool ?(initial = Config.empty) ?(derive = true) db
+    ~budget_pages =
   let opts =
     match options with
     | Some o -> o
@@ -70,7 +71,7 @@ let create ?options ?pool ?(initial = Config.empty) db ~budget_pages =
     opts;
     pool;
     cache =
-      Im_costsvc.Service.create ~shards
+      Im_costsvc.Service.create ~shards ~derive
         ~update_cost:(Im_merging.Maintenance.config_batch_cost db)
         db;
     window =

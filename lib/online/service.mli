@@ -39,6 +39,7 @@ val create :
   ?options:options ->
   ?pool:Im_par.Pool.t ->
   ?initial:Im_catalog.Config.t ->
+  ?derive:bool ->
   Im_catalog.Database.t ->
   budget_pages:int ->
   t
@@ -47,7 +48,11 @@ val create :
     [o_budget_pages] wins over the [~budget_pages] argument when
     given. [?pool] hands every epoch's full-window costings to an
     [Im_par] domain pool (and lock-stripes the warm what-if cache to
-    match); costs are bit-identical to the sequential path. *)
+    match); costs are bit-identical to the sequential path. [?derive]
+    (default true) attaches atomic cost derivation to the epoch-warm
+    what-if cache, so drift checks and tuning epochs answer misses
+    from cached access-path atoms — same costs, fewer optimizer runs
+    ([--no-derive] on [serve] turns it off). *)
 
 type event =
   | Rejected of string  (** statement did not parse / validate *)

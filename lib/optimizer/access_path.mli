@@ -30,6 +30,28 @@ type choice = {
   cost : float;  (** cost (per probe if [ap_param_eq] ≠ []) *)
 }
 
+type seek_stat = {
+  ss_index : Im_catalog.Index.t;
+  ss_prefix : string list;
+  ss_sel : float;
+  ss_matching : float;
+  ss_base : float;
+}
+(** Per-index half of the index-intersection arithmetic; [None]-able
+    (no usable prefix, or a parameterized probe). *)
+
+type atom = {
+  at_choices : choice list;
+      (** seek and/or covering scan of this one index *)
+  at_seek : seek_stat option;
+      (** intersection building block, when standalone-seekable *)
+}
+(** Everything one index contributes to [candidates] — pure in
+    [(db, input, index)], independent of the rest of the configuration.
+    This per-index atomicity is what makes cross-configuration cost
+    derivation (im_derive) exact: [assemble] over cached atoms rebuilds
+    the candidate list of any configuration bit-for-bit. *)
+
 val seek_prefix :
   Im_catalog.Index.t ->
   eq_cols:string list ->
@@ -38,8 +60,26 @@ val seek_prefix :
 (** The longest usable seek prefix of the index: equality columns may
     continue it, the first range-only column ends it. Exposed for tests. *)
 
+val atom : Im_catalog.Database.t -> input -> Im_catalog.Index.t -> atom
+(** The index's atomic contribution under [input]. *)
+
+val heap_choice : Im_catalog.Database.t -> input -> choice
+(** The heap-scan baseline (configuration-independent). *)
+
+val assemble :
+  Im_catalog.Database.t -> input -> heap:choice -> atom list -> choice list
+(** Rebuild the full candidate list from the heap baseline and the
+    atoms of the configuration's indexes on [input]'s table, {e in
+    configuration order}. Identical — including list order, and hence
+    first-minimum tie-breaking — to {!candidates} on that
+    configuration. *)
+
 val candidates : Im_catalog.Database.t -> Im_catalog.Config.t -> input -> choice list
 (** Every considered access path (heap scan always included). *)
+
+val best_of : choice list -> choice
+(** First minimum-cost element (ties break to the earliest candidate,
+    like {!best}). Raises [Invalid_argument] on an empty list. *)
 
 val best : Im_catalog.Database.t -> Im_catalog.Config.t -> input -> choice
 (** Minimum-cost candidate. *)

@@ -11,28 +11,38 @@ let invocations () = Atomic.get counter
 let reset_invocations () = Atomic.set counter 0
 
 (* Process-wide metrics: invocations split by the kind of plan the
-   call produced (root operator). Handles resolved once; the hot-path
-   cost is one list lookup and a field increment. *)
-let m_calls_by_kind =
-  List.map
-    (fun kind ->
-      ( kind,
-        Im_obs.Metrics.counter ~labels:[ ("kind", kind) ]
-          "optimizer_calls_total" ))
-    [ "access"; "hash_join"; "index_nlj"; "sort"; "hash_aggregate" ]
+   call produced (root operator). One handle per kind, bound directly:
+   the hot path is a single match and an atomic increment — no
+   list lookup per invocation. *)
+let m_calls_access =
+  Im_obs.Metrics.counter ~labels:[ ("kind", "access") ] "optimizer_calls_total"
+
+let m_calls_hash_join =
+  Im_obs.Metrics.counter
+    ~labels:[ ("kind", "hash_join") ]
+    "optimizer_calls_total"
+
+let m_calls_index_nlj =
+  Im_obs.Metrics.counter
+    ~labels:[ ("kind", "index_nlj") ]
+    "optimizer_calls_total"
+
+let m_calls_sort =
+  Im_obs.Metrics.counter ~labels:[ ("kind", "sort") ] "optimizer_calls_total"
+
+let m_calls_hash_aggregate =
+  Im_obs.Metrics.counter
+    ~labels:[ ("kind", "hash_aggregate") ]
+    "optimizer_calls_total"
 
 let count_call (plan : Plan.t) =
-  let kind =
-    match plan.Plan.root.Plan.op with
-    | Plan.Access _ -> "access"
-    | Plan.Hash_join _ -> "hash_join"
-    | Plan.Index_nlj _ -> "index_nlj"
-    | Plan.Sort _ -> "sort"
-    | Plan.Hash_aggregate _ -> "hash_aggregate"
-  in
-  match List.assoc_opt kind m_calls_by_kind with
-  | Some c -> Im_obs.Metrics.Counter.incr c
-  | None -> ()
+  Im_obs.Metrics.Counter.incr
+    (match plan.Plan.root.Plan.op with
+     | Plan.Access _ -> m_calls_access
+     | Plan.Hash_join _ -> m_calls_hash_join
+     | Plan.Index_nlj _ -> m_calls_index_nlj
+     | Plan.Sort _ -> m_calls_sort
+     | Plan.Hash_aggregate _ -> m_calls_hash_aggregate)
 
 let join_order_limit = 5
 
@@ -51,6 +61,72 @@ let node_of_choice (c : Access_path.choice) =
     Plan.op = Plan.Access (c.access, c.residual);
     est_rows = c.out_rows;
     est_cost = c.cost;
+  }
+
+(* ---- Access providers ---- *)
+
+type access_provider = {
+  pa_best : Access_path.input -> Access_path.choice;
+  pa_candidates : Access_path.input -> Access_path.choice list;
+}
+
+let direct_provider db config =
+  {
+    pa_best = (fun input -> Access_path.best db config input);
+    pa_candidates = (fun input -> Access_path.candidates db config input);
+  }
+
+(* Per-optimization memo over the provider (derivation level 1): join
+   planning re-asks for the same table's access path inside every join
+   step of every permutation — up to 5! orders — yet within one call
+   the answer is pure in (table, probe column). [Access_path.best] is
+   deterministic (first minimum), so memoizing changes nothing but the
+   amount of arithmetic. *)
+type accessors = {
+  ac_plain : string -> Access_path.choice;
+  ac_probe : string -> Predicate.colref -> Access_path.choice;
+  ac_candidates : string -> Access_path.choice list;
+}
+
+let memoized_accessors provider db q =
+  let plain : (string, Access_path.choice) Hashtbl.t = Hashtbl.create 8 in
+  let probed : (string * string, Access_path.choice) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let ac_plain tbl =
+    match Hashtbl.find_opt plain tbl with
+    | Some c -> c
+    | None ->
+      let c = provider.pa_best (access_input q tbl) in
+      Hashtbl.add plain tbl c;
+      c
+  in
+  (* The probe input is determined by (query, table, probe column):
+     the per-probe selectivity is the column's density, pure in the
+     database statistics. *)
+  let ac_probe tbl (inner_col : Predicate.colref) =
+    let key = (tbl, inner_col.Predicate.cr_column) in
+    match Hashtbl.find_opt probed key with
+    | Some c -> c
+    | None ->
+      let probe_input =
+        {
+          (access_input q tbl) with
+          Access_path.ap_param_eq =
+            [
+              ( inner_col.Predicate.cr_column,
+                Cardinality.density db inner_col );
+            ];
+        }
+      in
+      let c = provider.pa_best probe_input in
+      Hashtbl.add probed key c;
+      c
+  in
+  {
+    ac_plain;
+    ac_probe;
+    ac_candidates = (fun tbl -> provider.pa_candidates (access_input q tbl));
   }
 
 (* ---- Join planning ---- *)
@@ -73,11 +149,11 @@ let join_pred_between q joined tbl =
 (* Cost of joining [inter] with base table [tbl]. Considers a hash join
    (building on the table's own best access path) and an index
    nested-loop join (parameterized seek into [tbl]). *)
-let join_step db config q inter tbl =
+let join_step db acc q inter tbl =
   match join_pred_between q inter.tables tbl with
   | None ->
     (* Cartesian fallback: hash join with selectivity 1 and no key. *)
-    let inner = Access_path.best db config (access_input q tbl) in
+    let inner = acc.ac_plain tbl in
     let inner_node = node_of_choice inner in
     let rows = inter.node.Plan.est_rows *. inner.out_rows in
     let cost =
@@ -103,7 +179,7 @@ let join_step db config q inter tbl =
   | Some (Predicate.Join (a, b) as p) ->
     let inner_col = if a.Predicate.cr_table = tbl then a else b in
     let join_sel = Cardinality.join_selectivity db p in
-    let inner_plain = Access_path.best db config (access_input q tbl) in
+    let inner_plain = acc.ac_plain tbl in
     let rows =
       inter.node.Plan.est_rows *. inner_plain.Access_path.out_rows *. join_sel
     in
@@ -122,14 +198,7 @@ let join_step db config q inter tbl =
       }
     in
     (* Index nested loop: probe tbl once per outer row. *)
-    let probe_input =
-      {
-        (access_input q tbl) with
-        Access_path.ap_param_eq =
-          [ (inner_col.Predicate.cr_column, Cardinality.density db inner_col) ];
-      }
-    in
-    let probe = Access_path.best db config probe_input in
+    let probe = acc.ac_probe tbl inner_col in
     let is_seek =
       match probe.Access_path.access with
       | Plan.Index_seek _ -> true
@@ -158,27 +227,24 @@ let join_step db config q inter tbl =
   | Some (Predicate.Cmp _ | Predicate.Between _ | Predicate.In_list _) ->
     assert false (* join_pred_between only returns Join *)
 
-let plan_join db config q order =
+let plan_join db acc q order =
   match order with
   | [] -> invalid_arg "Optimizer.plan_join: no tables"
   | first :: rest ->
     let start =
-      {
-        tables = [ first ];
-        node = node_of_choice (Access_path.best db config (access_input q first));
-      }
+      { tables = [ first ]; node = node_of_choice (acc.ac_plain first) }
     in
     let final =
-      List.fold_left (fun inter tbl -> join_step db config q inter tbl) start rest
+      List.fold_left (fun inter tbl -> join_step db acc q inter tbl) start rest
     in
     final.node
 
-let best_join db config q =
+let best_join db acc q =
   let tables = q.Query.q_tables in
-  if List.length tables <= 1 then plan_join db config q tables
+  if List.length tables <= 1 then plan_join db acc q tables
   else if List.length tables <= join_order_limit then begin
     let orders = Im_util.Combin.permutations tables in
-    let planned = List.map (plan_join db config q) orders in
+    let planned = List.map (plan_join db acc q) orders in
     match
       Im_util.List_ext.min_by (fun (n : Plan.node) -> n.Plan.est_cost) planned
     with
@@ -188,9 +254,7 @@ let best_join db config q =
   else begin
     (* Greedy: start from the most selective base table, then repeatedly
        add the join partner yielding the cheapest intermediate. *)
-    let base_rows tbl =
-      (Access_path.best db config (access_input q tbl)).Access_path.out_rows
-    in
+    let base_rows tbl = (acc.ac_plain tbl).Access_path.out_rows in
     let first =
       match Im_util.List_ext.min_by base_rows tables with
       | Some t -> t
@@ -201,7 +265,7 @@ let best_join db config q =
       | [] -> inter.node
       | _ ->
         let extended =
-          List.map (fun tbl -> (tbl, join_step db config q inter tbl)) remaining
+          List.map (fun tbl -> (tbl, join_step db acc q inter tbl)) remaining
         in
         (match
            Im_util.List_ext.min_by
@@ -213,10 +277,7 @@ let best_join db config q =
          | None -> assert false)
     in
     let start =
-      {
-        tables = [ first ];
-        node = node_of_choice (Access_path.best db config (access_input q first));
-      }
+      { tables = [ first ]; node = node_of_choice (acc.ac_plain first) }
     in
     grow start (List.filter (fun t -> t <> first) tables)
   end
@@ -253,12 +314,12 @@ let add_sort q (node : Plan.node) =
     }
   end
 
-let optimize_plan db config q =
-  Atomic.incr counter;
+let plan_with ~provider db q =
+  let acc = memoized_accessors provider db q in
   match q.Query.q_tables with
   | [ tbl ] ->
     (* Single table: access-path choice can also satisfy ORDER BY. *)
-    let choice = Access_path.best db config (access_input q tbl) in
+    let choice = acc.ac_plain tbl in
     let base = node_of_choice choice in
     (match add_aggregate db q base with
      | Some agg ->
@@ -274,9 +335,7 @@ let optimize_plan db config q =
        let root =
          if sorted_for_free || q.Query.q_order_by = [] then root
          else begin
-           let alternatives =
-             Access_path.candidates db config (access_input q tbl)
-           in
+           let alternatives = acc.ac_candidates tbl in
            let with_sort_cost (c : Access_path.choice) =
              let n = node_of_choice c in
              if Access_path.provides_order db c q.Query.q_order_by then n
@@ -293,7 +352,7 @@ let optimize_plan db config q =
        in
        { Plan.root; query_id = q.Query.q_id; usages = Plan.collect_usages root })
   | _ ->
-    let joined = best_join db config q in
+    let joined = best_join db acc q in
     let root =
       match add_aggregate db q joined with
       | Some agg -> add_sort q agg
@@ -302,6 +361,7 @@ let optimize_plan db config q =
     { Plan.root; query_id = q.Query.q_id; usages = Plan.collect_usages root }
 
 let optimize db config q =
-  let plan = optimize_plan db config q in
+  Atomic.incr counter;
+  let plan = plan_with ~provider:(direct_provider db config) db q in
   count_call plan;
   plan

@@ -6,7 +6,10 @@ module Plan = Im_optimizer.Plan
 
 let query_cost db config q = Plan.cost (Optimizer.optimize db config q)
 
-let tune_query ?(max_indexes = 3) ?(min_gain = 0.005) db q =
+let tune_query ?(max_indexes = 3) ?(min_gain = 0.005) ?query_cost:qc db q =
+  let cost =
+    match qc with Some f -> f | None -> fun config q -> query_cost db config q
+  in
   let candidates = Candidates.for_query (Database.schema db) q in
   let rec grow chosen cost_now =
     if List.length chosen >= max_indexes then List.rev chosen
@@ -15,9 +18,7 @@ let tune_query ?(max_indexes = 3) ?(min_gain = 0.005) db q =
         List.filter (fun ix -> not (Config.mem ix chosen)) candidates
       in
       let scored =
-        List.map
-          (fun ix -> (ix, query_cost db (Config.add ix chosen) q))
-          remaining
+        List.map (fun ix -> (ix, cost (Config.add ix chosen) q)) remaining
       in
       match Im_util.List_ext.min_by (fun (_, c) -> c) scored with
       | Some (best, cost_best) when cost_best < cost_now *. (1. -. min_gain) ->
@@ -25,4 +26,4 @@ let tune_query ?(max_indexes = 3) ?(min_gain = 0.005) db q =
       | Some _ | None -> List.rev chosen
     end
   in
-  grow [] (query_cost db Config.empty q)
+  grow [] (cost Config.empty q)

@@ -11,11 +11,17 @@
 val tune_query :
   ?max_indexes:int ->
   ?min_gain:float ->
+  ?query_cost:(Im_catalog.Config.t -> Im_sqlir.Query.t -> float) ->
   Im_catalog.Database.t ->
   Im_sqlir.Query.t ->
   Im_catalog.Index.t list
 (** Recommended indexes for the query (defaults: at most 3 indexes,
-    0.5 % minimum relative gain per added index). *)
+    0.5 % minimum relative gain per added index). [?query_cost]
+    replaces the direct optimizer call for every scored configuration
+    (including the empty base) — pass
+    [Im_costsvc.Service.query_cost svc] to answer the greedy probes
+    from a memoizing / deriving what-if service with bit-identical
+    costs. *)
 
 val query_cost :
   Im_catalog.Database.t -> Im_catalog.Config.t -> Im_sqlir.Query.t -> float

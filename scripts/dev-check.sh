@@ -1,11 +1,14 @@
 #!/bin/sh
 # Developer pre-push check: full build with warnings promoted to
-# errors, the whole test suite twice (sequential and on a 4-domain
-# pool — results must not depend on IM_DOMAINS), the cost-service
-# accounting benchmark (emits BENCH_costsvc.json), a parallel-merge
-# determinism smoke (the CLI must produce the same configuration at
-# --domains 0 and 4), and formatting when ocamlformat is installed
-# (skipped gracefully when not — the CI container does not ship it).
+# errors, the whole test suite three times (sequential, on a 4-domain
+# pool, and with every derived cost cross-checked against a full
+# optimization — results must depend on neither IM_DOMAINS nor
+# derivation), the derive and cost-service benchmarks (emit
+# BENCH_derive.json / BENCH_costsvc.json), parallel-merge and derive
+# determinism smokes (the CLI must produce the same configuration at
+# --domains 0 and 4 and with and without --no-derive), and formatting
+# when ocamlformat is installed (skipped gracefully when not — the CI
+# container does not ship it).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,6 +24,11 @@ IM_DOMAINS=0 dune runtest --force
 
 echo "== dune runtest (IM_DOMAINS=4, domain pool) =="
 IM_DOMAINS=4 dune runtest --force
+
+# Every derived cost cross-checked against a full optimization: any
+# divergence raises Derive.Mismatch and fails the suite.
+echo "== dune runtest (IM_VALIDATE_DERIVE=1, derivation cross-checked) =="
+IM_VALIDATE_DERIVE=1 dune runtest --force
 
 # The daemon fault paths are the regressions this repo has actually
 # hit (EPIPE unwinding the serve loop); run them explicitly even
@@ -54,6 +62,24 @@ else
   echo "parallel merge determinism FAILED: --domains 0 and 4 disagree"
   exit 1
 fi
+
+echo "== derive identity (--no-derive vs default) =="
+# Same filter as the parallel smoke: timings differ, the merged
+# configuration must not.
+derive_out() {
+  dune exec bin/index_merge_cli.exe -- merge $1 -d synthetic1 -q 6 \
+    | sed -n '/merged configuration:/,$p'
+}
+if [ "$(derive_out --no-derive)" = "$(derive_out '')" ]; then
+  echo "derive identity OK"
+else
+  echo "derive identity FAILED: --no-derive changes the merged configuration"
+  exit 1
+fi
+
+echo "== bench: derive identity + optimizer-call reduction (BENCH_derive.json) =="
+IM_BENCH_OUT=BENCH_derive.json dune exec bench/main.exe -- derive
+echo "wrote BENCH_derive.json"
 
 echo "== bench: parallel search identity + speedups (BENCH_par.json) =="
 IM_BENCH_OUT=BENCH_par.json dune exec bench/main.exe -- par
