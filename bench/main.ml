@@ -3,7 +3,7 @@
 
    Usage: dune exec bench/main.exe [-- experiment ...]
    where experiment is one of e0a e0b fig5 fig6 fig7 fig8 ablate costval
-   micro online costsvc par derive
+   micro online costsvc par derive scale
    (default: everything). *)
 
 let experiments =
@@ -21,6 +21,7 @@ let experiments =
     ("costsvc", Exp_costsvc.run);
     ("par", Exp_par.run);
     ("derive", Exp_derive.run);
+    ("scale", Exp_scale.run);
   ]
 
 let () =

@@ -139,6 +139,17 @@ let no_derive_arg =
   in
   Arg.(value & flag & info [ "no-derive" ] ~doc)
 
+let compress_arg =
+  let doc =
+    "Compress the workload before tuning: statements bucket by \
+     physical-design signature under deviation budget $(docv) (a \
+     fraction; 0 folds only canonically identical statements and \
+     keeps results bit-identical on duplicate-free workloads). \
+     Reported costs refer to the compressed workload, within the \
+     printed bound."
+  in
+  Arg.(value & opt (some float) None & info [ "compress" ] ~docv:"EPS" ~doc)
+
 let apply_domains = function
   | None -> ()
   | Some n when n >= 0 -> Im_par.Pool.set_default_domains n
@@ -238,8 +249,8 @@ let info_cmd =
 
 (* ---- tune ---- *)
 
-let run_tune db_name sf seed wl_kind n_queries file schema_file data_dir
-    domains no_derive metrics =
+let run_tune db_name sf seed wl_kind n_queries file compress schema_file
+    data_dir domains no_derive metrics =
   apply_domains domains;
   let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
   let workload = or_die (build_workload ?file db wl_kind n_queries seed) in
@@ -250,6 +261,18 @@ let run_tune db_name sf seed wl_kind n_queries file schema_file data_dir
   let shards = max 1 (4 * Im_par.Pool.domain_count pool) in
   let svc =
     Im_costsvc.Service.create ~shards ~derive:(not no_derive) db
+  in
+  let workload =
+    match compress with
+    | None -> workload
+    | Some eps ->
+      let w, st = Im_scale.Scale.compress_workload ~eps svc workload in
+      Printf.printf
+        "compressed %d -> %d statements (%.1fx, bound eps %.4g of budget %g)\n"
+        st.Im_scale.Scale.st_statements st.Im_scale.Scale.st_buckets
+        (Im_scale.Scale.fold_ratio st)
+        st.Im_scale.Scale.st_eps_bound st.Im_scale.Scale.st_eps_budget;
+      w
   in
   (* Tune every query on the pool, then print in workload order. *)
   let tuned =
@@ -279,14 +302,14 @@ let tune_cmd =
     (Cmd.info "tune" ~doc:"Per-query index recommendations.")
     Term.(
       const run_tune $ db_arg $ sf_arg $ seed_arg $ workload_arg $ queries_arg
-      $ workload_file_arg $ schema_arg $ data_arg $ domains_arg
+      $ workload_file_arg $ compress_arg $ schema_arg $ data_arg $ domains_arg
       $ no_derive_arg $ metrics_arg)
 
 (* ---- merge ---- *)
 
 let run_merge db_name sf seed wl_kind n_queries n_initial constraint_ cost_model
-    merge_pair strategy file updates schema_file data_dir domains no_derive
-    metrics =
+    merge_pair strategy file updates compress schema_file data_dir domains
+    no_derive metrics =
   apply_domains domains;
   let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
   let workload = or_die (build_workload ?file db wl_kind n_queries seed) in
@@ -305,7 +328,7 @@ let run_merge db_name sf seed wl_kind n_queries n_initial constraint_ cost_model
   List.iter (fun ix -> Printf.printf "  %s\n" (Index.to_string ix)) initial;
   let outcome =
     Search.run ~merge_pair ~cost_model ~cost_constraint:constraint_
-      ~derive:(not no_derive) db workload ~initial strategy
+      ~derive:(not no_derive) ?compress db workload ~initial strategy
   in
   print_newline ();
   print_endline (Im_merging.Report.summary outcome);
@@ -322,8 +345,8 @@ let merge_cmd =
     Term.(
       const run_merge $ db_arg $ sf_arg $ seed_arg $ workload_arg $ queries_arg
       $ initial_arg $ constraint_arg $ cost_model_arg $ merge_pair_arg
-      $ strategy_arg $ workload_file_arg $ updates_arg $ schema_arg $ data_arg
-      $ domains_arg $ no_derive_arg $ metrics_arg)
+      $ strategy_arg $ workload_file_arg $ updates_arg $ compress_arg
+      $ schema_arg $ data_arg $ domains_arg $ no_derive_arg $ metrics_arg)
 
 (* ---- explain ---- *)
 
@@ -355,13 +378,13 @@ let budget_arg =
   let doc = "Storage budget for the recommendation, in pages." in
   Arg.(required & opt (some int) None & info [ "b"; "budget" ] ~docv:"PAGES" ~doc)
 
-let run_advise db_name sf seed wl_kind n_queries file budget schema_file
-    data_dir domains no_derive metrics =
+let run_advise db_name sf seed wl_kind n_queries file compress budget
+    schema_file data_dir domains no_derive metrics =
   apply_domains domains;
   let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
   let workload = or_die (build_workload ?file db wl_kind n_queries seed) in
   let outcome =
-    Im_advisor.Advisor.advise ~derive:(not no_derive) db workload
+    Im_advisor.Advisor.advise ~derive:(not no_derive) ?compress db workload
       ~budget_pages:budget
   in
   print_endline (Im_advisor.Advisor.summary outcome);
@@ -382,8 +405,8 @@ let advise_cmd =
           (selection with an integrated merging phase).")
     Term.(
       const run_advise $ db_arg $ sf_arg $ seed_arg $ workload_arg
-      $ queries_arg $ workload_file_arg $ budget_arg $ schema_arg $ data_arg
-      $ domains_arg $ no_derive_arg $ metrics_arg)
+      $ queries_arg $ workload_file_arg $ compress_arg $ budget_arg
+      $ schema_arg $ data_arg $ domains_arg $ no_derive_arg $ metrics_arg)
 
 (* ---- serve ---- *)
 
@@ -423,8 +446,8 @@ let read_timeout_arg =
   Arg.(value & opt float 30.0 & info [ "read-timeout" ] ~docv:"SECONDS" ~doc)
 
 let run_serve db_name sf seed schema_file data_dir port budget window decay
-    check_every drift_threshold cost_threshold read_timeout domains no_derive
-    metrics =
+    check_every drift_threshold cost_threshold compress read_timeout domains
+    no_derive metrics =
   apply_domains domains;
   let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
   let budget_pages =
@@ -438,6 +461,7 @@ let run_serve db_name sf seed schema_file data_dir port budget window decay
       o_check_every = check_every;
       o_div_threshold = drift_threshold;
       o_cost_threshold = cost_threshold;
+      o_compress = compress;
     }
   in
   let service =
@@ -475,8 +499,8 @@ let serve_cmd =
     Term.(
       const run_serve $ db_arg $ sf_arg $ seed_arg $ schema_arg $ data_arg
       $ port_arg $ serve_budget_arg $ window_arg $ decay_arg $ check_every_arg
-      $ drift_threshold_arg $ cost_threshold_arg $ read_timeout_arg
-      $ domains_arg $ no_derive_arg $ metrics_arg)
+      $ drift_threshold_arg $ cost_threshold_arg $ compress_arg
+      $ read_timeout_arg $ domains_arg $ no_derive_arg $ metrics_arg)
 
 (* ---- generate ---- *)
 

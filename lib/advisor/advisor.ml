@@ -20,9 +20,11 @@ type outcome = {
   a_plain_cost : float;
   a_final_cost : float;
   a_optimizer_calls : int;
+  a_compression : Im_scale.Scale.stats option;
 }
 
-let advise ?service ?(relax = 2.0) ?(derive = true) db workload ~budget_pages =
+let advise ?service ?(relax = 2.0) ?(derive = true) ?compress db workload
+    ~budget_pages =
   (* One memoizing cost service spans all three phases: configurations
      costed during relaxed selection are cache hits for the dual merge
      and the plain selection. With [derive] (the default) its misses
@@ -37,6 +39,16 @@ let advise ?service ?(relax = 2.0) ?(derive = true) db workload ~budget_pages =
           db
   in
   let calls_before = Im_costsvc.Service.opt_calls svc in
+  (* With [?compress], every phase tunes and costs the compressed
+     workload — one compaction shared by selection, merging and the
+     plain-selection comparison. *)
+  let workload, compression =
+    match compress with
+    | None -> (workload, None)
+    | Some eps ->
+      let w, st = Im_scale.Scale.compress_workload ~eps svc workload in
+      (w, Some st)
+  in
   let relaxed = int_of_float (relax *. float_of_int budget_pages) in
   let selection =
     Selection.select ~service:svc db workload ~budget_pages:relaxed
@@ -79,6 +91,7 @@ let advise ?service ?(relax = 2.0) ?(derive = true) db workload ~budget_pages =
     a_plain_cost = plain.Selection.s_final_cost;
     a_final_cost = final_cost;
     a_optimizer_calls = Im_costsvc.Service.opt_calls svc - calls_before;
+    a_compression = compression;
   }
 
 let final_config o = Merge.config_of_items o.a_final
@@ -87,7 +100,7 @@ let summary o =
   Printf.sprintf
     "budget %d pages: relaxed selection %d indexes (%d pages, cost %.1f vs \
      %.1f baseline); merged-to-budget cost %.1f%s, plain-at-budget cost %.1f; \
-     recommending %s: %d indexes, %d pages, cost %.1f%s"
+     recommending %s: %d indexes, %d pages, cost %.1f%s%s"
     o.a_budget_pages
     (List.length o.a_selected)
     o.a_selected_pages o.a_selected_cost o.a_base_cost o.a_merged_cost
@@ -98,3 +111,9 @@ let summary o =
      | Plain_selection -> "plain selection")
     (List.length o.a_final) o.a_final_pages o.a_final_cost
     (if o.a_fits then "" else " [over budget]")
+    (match o.a_compression with
+     | None -> ""
+     | Some st ->
+       Printf.sprintf "; compressed %d -> %d statements (bound eps %.4g)"
+         st.Im_scale.Scale.st_statements st.Im_scale.Scale.st_buckets
+         st.Im_scale.Scale.st_eps_bound)

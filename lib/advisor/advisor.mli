@@ -42,12 +42,15 @@ type outcome = {
           the shared service's counter: phases re-costing a
           configuration another phase already saw are cache hits and
           do not count. *)
+  a_compression : Im_scale.Scale.stats option;
+      (** workload-compression stats when [?compress] was given *)
 }
 
 val advise :
   ?service:Im_costsvc.Service.t ->
   ?relax:float ->
   ?derive:bool ->
+  ?compress:float ->
   Im_catalog.Database.t ->
   Im_workload.Workload.t ->
   budget_pages:int ->
@@ -57,7 +60,14 @@ val advise :
     memoizing cost service — [?service] to supply it (the online layer
     carries one across epochs), otherwise a fresh one is created with
     atomic cost derivation per [?derive] (default on; ignored when
-    [?service] is given — bit-identical results either way). *)
+    [?service] is given — bit-identical results either way).
+
+    [?compress] (off by default; the CLI's [--compress EPS]) streams
+    the workload through the {!Im_scale.Scale} compactor once and all
+    three phases tune and cost the compressed workload. Reported costs
+    refer to it, within the bound carried in [a_compression]; at
+    [EPS = 0] only canonically identical statements fold, so the
+    recommendation is bit-identical on duplicate-free workloads. *)
 
 val final_config : outcome -> Im_catalog.Config.t
 

@@ -35,6 +35,7 @@ type outcome = {
   o_derive_fallbacks : int;
   o_elapsed_s : float;
   o_truncated : bool;
+  o_compression : Im_scale.Scale.stats option;
 }
 
 let storage_reduction o =
@@ -303,7 +304,7 @@ let exhaustive ~pool ~procedure ~evaluator ~service ~seek ~bound ~config_limit
 
 let run ?service ?pool ?(merge_pair = Merge_pair.Cost_based)
     ?(cost_model = Cost_eval.Optimizer_estimated) ?(cost_constraint = 0.10)
-    ?(derive = true) db workload ~initial strategy =
+    ?(derive = true) ?compress db workload ~initial strategy =
   let pool = match pool with Some p -> p | None -> Pool.default () in
   (* A private service gets one lock stripe per evaluating domain (×4
      so same-shard collisions are rare); a shared service keeps its own
@@ -315,6 +316,23 @@ let run ?service ?pool ?(merge_pair = Merge_pair.Cost_based)
     Cost_eval.create ?service ~shards ~derive cost_model db workload
   in
   let svc = Cost_eval.service evaluator in
+  (* Workload compression runs before the search proper: the compactor
+     streams the statements into signature buckets (probe sampling
+     flows through the service's deriver) and the search costs the
+     compressed workload from here on. At ε = 0 only canonically
+     identical statements fold. *)
+  let workload, compression =
+    match compress with
+    | None -> (workload, None)
+    | Some eps ->
+      let w, st = Im_scale.Scale.compress_workload ~eps svc workload in
+      (w, Some st)
+  in
+  let evaluator =
+    match compression with
+    | None -> evaluator
+    | Some _ -> Cost_eval.create ~service:svc cost_model db workload
+  in
   let numeric = Cost_eval.is_numeric evaluator in
   (* The Merge_pair Exhaustive procedure scores candidate column orders
      through the service; non-numeric models never score, matching the
@@ -387,4 +405,5 @@ let run ?service ?pool ?(merge_pair = Merge_pair.Cost_based)
     o_derive_fallbacks = d.Service.c_fallbacks - b.Service.c_fallbacks;
     o_elapsed_s = elapsed;
     o_truncated = truncated;
+    o_compression = compression;
   }

@@ -40,6 +40,8 @@ type outcome = {
       (** misses the deriver routed to a full optimization, this run *)
   o_elapsed_s : float;
   o_truncated : bool;  (** exhaustive enumeration hit [config_limit] *)
+  o_compression : Im_scale.Scale.stats option;
+      (** workload-compression stats when [?compress] was given *)
 }
 
 val storage_reduction : outcome -> float
@@ -62,6 +64,7 @@ val run :
   ?cost_model:Cost_eval.model ->
   ?cost_constraint:float ->
   ?derive:bool ->
+  ?compress:float ->
   Im_catalog.Database.t ->
   Im_workload.Workload.t ->
   initial:Im_catalog.Config.t ->
@@ -93,4 +96,14 @@ val run :
     re-assembling cached per-index access-path atoms instead of running
     the optimizer. Results are bit-identical with derivation on or off;
     only [Im_optimizer.Optimizer.invocations] (and wall time) drop.
-    The CLI exposes [--no-derive] to turn it off. *)
+    The CLI exposes [--no-derive] to turn it off.
+
+    [?compress] (off by default; the CLI's [--compress EPS]) streams
+    the workload through the {!Im_scale.Scale} compactor before
+    searching: statements bucket by physical-design signature under
+    the deviation budget [EPS] and the search costs the compressed
+    workload — [o_initial_cost]/[o_final_cost]/[o_bound] then refer to
+    it, within the reported bound ([o_compression]) of the uncompressed
+    figures. At [EPS = 0] only canonically identical statements fold,
+    so the merged configuration is bit-identical to the uncompressed
+    search on duplicate-free workloads. *)

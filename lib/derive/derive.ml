@@ -263,6 +263,103 @@ let query_cost t config q =
   let a = plan t config q in
   (Plan.cost a.a_plan, a.a_fallback)
 
+(* ---- Batched recombination ----
+
+   A batch pins one query and answers its cost under many
+   configurations in one traversal of the atom cache: the first
+   costing pulls each (table, probe, index) atom and (table, probe)
+   heap baseline through the striped cache into a private, lock-free
+   memo; every further configuration re-assembles candidate lists from
+   the memo and re-runs only the planner arithmetic. Values are pure
+   in their keys, so the memo returns exactly what the striped cache
+   would — answers are bit-identical to [plan]/[query_cost], and the
+   derived/fallback counters advance the same way. Only the atom
+   hit/miss counters differ: repeats hit the private memo instead of
+   the shared cache. A batch is not domain-safe; share the deriver,
+   not the batch. *)
+module Batch = struct
+  type batch_key = {
+    bk_table : string;
+    bk_probe : string option;
+    bk_index : int;
+  }
+
+  type nonrec t = {
+    b_d : t;
+    b_q : Query.t;
+    b_qid : int;
+    b_class : fallback option;
+    b_atoms : (batch_key, Access_path.atom) Hashtbl.t;
+    b_heaps : (string * string option, Access_path.choice) Hashtbl.t;
+  }
+
+  let create d q =
+    {
+      b_d = d;
+      b_q = q;
+      b_qid = Query.intern q;
+      b_class = classify q;
+      b_atoms = Hashtbl.create 16;
+      b_heaps = Hashtbl.create 4;
+    }
+
+  let query b = b.b_q
+  let is_fallback b = b.b_class <> None
+
+  let provider b config =
+    let d = b.b_d in
+    let assemble input =
+      match probe_of input with
+      | None -> Access_path.candidates d.db config input
+      | Some probe ->
+        let tbl = input.Access_path.ap_table in
+        let heap =
+          match Hashtbl.find_opt b.b_heaps (tbl, probe) with
+          | Some h -> h
+          | None ->
+            let h = cached_heap d ~qid:b.b_qid ~probe input in
+            Hashtbl.add b.b_heaps (tbl, probe) h;
+            h
+        in
+        let atoms =
+          List.map
+            (fun ix ->
+              let key =
+                { bk_table = tbl; bk_probe = probe; bk_index = Index.intern ix }
+              in
+              match Hashtbl.find_opt b.b_atoms key with
+              | Some a -> a
+              | None ->
+                let a = cached_atom d ~qid:b.b_qid ~probe input ix in
+                Hashtbl.add b.b_atoms key a;
+                a)
+            (Config.on_table config input.Access_path.ap_table)
+        in
+        Access_path.assemble d.db input ~heap atoms
+    in
+    {
+      Optimizer.pa_best = (fun input -> Access_path.best_of (assemble input));
+      pa_candidates = assemble;
+    }
+
+  let plan b config =
+    let d = b.b_d in
+    match b.b_class with
+    | Some reason ->
+      Atomic.incr d.fallbacks;
+      (match reason with
+       | Order_sort -> Metrics.Counter.incr m_fallback_order_sort);
+      { a_plan = full_plan d config b.b_q; a_fallback = Some reason }
+    | None ->
+      let p = Optimizer.plan_with ~provider:(provider b config) d.db b.b_q in
+      if d.validate then validate_against_full d config b.b_q p;
+      Atomic.incr d.derived;
+      Metrics.Counter.incr m_derived;
+      { a_plan = p; a_fallback = None }
+
+  let cost b config = Plan.cost (plan b config).a_plan
+end
+
 (* ---- Invalidation ---- *)
 
 let remove_where t ~atom_doomed ~heap_doomed =

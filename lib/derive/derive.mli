@@ -70,6 +70,35 @@ val query_cost :
   t -> Im_catalog.Config.t -> Im_sqlir.Query.t -> float * fallback option
 (** The plan's cost plus how it was obtained. *)
 
+(** Batched recombination: pin one query, answer its cost under many
+    configurations in one traversal of the atom cache. The first
+    costing pulls the query's heap baselines and per-index atoms
+    through the striped cache into a private lock-free memo; each
+    further configuration re-assembles candidate lists from the memo
+    and re-runs only the planner arithmetic. Answers are bit-identical
+    to {!plan}/{!query_cost} (fallback shapes still run the full
+    optimizer per configuration), and the derived/fallback counters
+    advance identically; only atom hit/miss counters differ, since
+    repeats hit the private memo. A batch is not domain-safe — share
+    the deriver across domains, not a batch. *)
+module Batch : sig
+  type deriver := t
+
+  type t
+
+  val create : deriver -> Im_sqlir.Query.t -> t
+
+  val query : t -> Im_sqlir.Query.t
+
+  val is_fallback : t -> bool
+  (** The pinned query is in the fallback taxonomy: every [cost] runs
+      the full optimizer. *)
+
+  val cost : t -> Im_catalog.Config.t -> float
+  (** [Plan.cost] of the pinned query's plan under the configuration —
+      bit-identical to {!query_cost}. *)
+end
+
 val invalidate_table : t -> string -> int
 (** Drop every atom of the table (after data/statistics changes).
     Returns the number of cache entries dropped. *)

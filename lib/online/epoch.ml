@@ -53,38 +53,68 @@ type outcome = {
   e_new_pages : int;
   e_opt_calls : int;
   e_elapsed_s : float;
+  e_scale : Im_scale.Scale.stats option;
 }
 
-let run ?pool service ~trigger ~live ~window ~budget_pages ~max_clusters =
+let run ?pool ?compress service ~trigger ~live ~window ~budget_pages
+    ~max_clusters =
   if Workload.size window = 0 then invalid_arg "Epoch.run: empty window";
   let db = Im_costsvc.Service.database service in
   let calls_before = Im_costsvc.Service.opt_calls service in
-  let (new_config, tuned, old_cost, new_cost), elapsed =
+  let (new_config, tuned, old_cost, new_cost, scale), elapsed =
     Im_util.Stopwatch.time (fun () ->
-        (* Exact-signature dedup, then spend the cluster budget on the
-           entries costing most under the live configuration. *)
-        let compressed = Compress.compress window in
-        let tuning =
-          Workload.top_k_by_cost
-            ~cost:(Im_costsvc.Service.query_cost service live)
-            ~k:max_clusters compressed
-        in
-        let outcome =
-          Im_advisor.Advisor.advise ~service db tuning ~budget_pages
-        in
-        let new_config = Im_advisor.Advisor.final_config outcome in
-        (* Both costings run over the *full* window, through the warm
-           service, so the benefit reflects all live traffic, not just
-           the tuned clusters. These are the epoch's widest fan-outs —
-           one independent what-if per window entry — so they take the
-           pool. *)
-        let old_cost =
-          Im_costsvc.Service.workload_cost ?pool service live window
-        in
-        let new_cost =
-          Im_costsvc.Service.workload_cost ?pool service new_config window
-        in
-        (new_config, Workload.size tuning, old_cost, new_cost))
+        match compress with
+        | Some eps ->
+          (* Scale path: stream the window snapshot through the
+             compactor once; tuning and both costings run over the
+             compressed window, the costings answered from cached
+             access-path atoms in a single batched traversal.
+             Sequential by design — [Derive.Batch] is not domain-safe,
+             and at ≥100k-statement windows the compactor, not the
+             costing, is the scaling lever. *)
+          let compactor = Im_scale.Scale.create ~eps service in
+          Im_scale.Scale.observe_workload compactor window;
+          let compressed = Im_scale.Scale.snapshot compactor in
+          let tuning =
+            Workload.top_k_by_cost
+              ~cost:(Im_costsvc.Service.query_cost service live)
+              ~k:max_clusters compressed
+          in
+          let outcome =
+            Im_advisor.Advisor.advise ~service db tuning ~budget_pages
+          in
+          let new_config = Im_advisor.Advisor.final_config outcome in
+          let costs = Im_scale.Scale.score compactor [ live; new_config ] in
+          ( new_config,
+            Workload.size tuning,
+            costs.(0),
+            costs.(1),
+            Some (Im_scale.Scale.stats compactor) )
+        | None ->
+          (* Exact-signature dedup, then spend the cluster budget on the
+             entries costing most under the live configuration. *)
+          let compressed = Compress.compress window in
+          let tuning =
+            Workload.top_k_by_cost
+              ~cost:(Im_costsvc.Service.query_cost service live)
+              ~k:max_clusters compressed
+          in
+          let outcome =
+            Im_advisor.Advisor.advise ~service db tuning ~budget_pages
+          in
+          let new_config = Im_advisor.Advisor.final_config outcome in
+          (* Both costings run over the *full* window, through the warm
+             service, so the benefit reflects all live traffic, not just
+             the tuned clusters. These are the epoch's widest fan-outs —
+             one independent what-if per window entry — so they take the
+             pool. *)
+          let old_cost =
+            Im_costsvc.Service.workload_cost ?pool service live window
+          in
+          let new_cost =
+            Im_costsvc.Service.workload_cost ?pool service new_config window
+          in
+          (new_config, Workload.size tuning, old_cost, new_cost, None))
   in
   (match List.assoc_opt trigger m_epoch_metrics with
    | Some (c, h) ->
@@ -104,13 +134,20 @@ let run ?pool service ~trigger ~live ~window ~budget_pages ~max_clusters =
     e_new_pages = Database.config_storage_pages db new_config;
     e_opt_calls = Im_costsvc.Service.opt_calls service - calls_before;
     e_elapsed_s = elapsed;
+    e_scale = scale;
   }
 
 let summary o =
   Printf.sprintf
     "epoch[%s]: %d/%d clusters, diff %s, pages %d -> %d, window cost %.1f -> \
-     %.1f (benefit %.1f%%), %d optimizer calls, %.2fs"
+     %.1f (benefit %.1f%%), %d optimizer calls, %.2fs%s"
     (trigger_to_string o.e_trigger)
     o.e_clusters_tuned o.e_budget_clusters (diff_to_string o.e_diff)
     o.e_old_pages o.e_new_pages o.e_old_cost o.e_new_cost
     (100. *. o.e_benefit) o.e_opt_calls o.e_elapsed_s
+    (match o.e_scale with
+     | None -> ""
+     | Some st ->
+       Printf.sprintf ", compressed %d -> %d statements (bound eps %.4g)"
+         st.Im_scale.Scale.st_statements st.Im_scale.Scale.st_buckets
+         st.Im_scale.Scale.st_eps_bound)

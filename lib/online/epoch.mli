@@ -41,10 +41,13 @@ type outcome = {
   e_new_pages : int;
   e_opt_calls : int;  (** optimizer invocations spent by this epoch *)
   e_elapsed_s : float;
+  e_scale : Im_scale.Scale.stats option;
+      (** compactor stats when [?compress] was given *)
 }
 
 val run :
   ?pool:Im_par.Pool.t ->
+  ?compress:float ->
   Im_costsvc.Service.t ->
   trigger:trigger ->
   live:Im_catalog.Config.t ->
@@ -57,6 +60,14 @@ val run :
     delta of its optimizer-call counter (advisor phases and window
     costings included). [?pool] runs the full-window costings' per-query
     what-ifs on the pool's domains (bit-identical costs — see
-    {!Im_costsvc.Service.workload_cost}). *)
+    {!Im_costsvc.Service.workload_cost}).
+
+    [?compress] replaces the exact-signature dedup with the
+    {!Im_scale.Scale} compactor at deviation budget [EPS]: the window
+    snapshot streams through it once, tuning and both window costings
+    run over the compressed window, and the costings are answered from
+    cached access-path atoms in one batched traversal (sequential;
+    [?pool] is unused on this path). [e_old_cost]/[e_new_cost] then
+    refer to the compressed window, within the bound in [e_scale]. *)
 
 val summary : outcome -> string

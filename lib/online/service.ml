@@ -18,6 +18,7 @@ type options = {
   o_min_clusters : int;
   o_max_clusters : int;
   o_initial_clusters : int;
+  o_compress : float option;
 }
 
 let default_options ~budget_pages =
@@ -33,6 +34,7 @@ let default_options ~budget_pages =
     o_min_clusters = 4;
     o_max_clusters = 64;
     o_initial_clusters = 16;
+    o_compress = None;
   }
 
 type t = {
@@ -101,7 +103,8 @@ type event =
 
 let run_epoch t trigger =
   let outcome =
-    Epoch.run ?pool:t.pool t.cache ~trigger ~live:t.live
+    Epoch.run ?pool:t.pool ?compress:t.opts.o_compress t.cache ~trigger
+      ~live:t.live
       ~window:(Window.to_workload t.window)
       ~budget_pages:t.opts.o_budget_pages
       ~max_clusters:(Budget.current t.budget)
@@ -167,6 +170,12 @@ let stats t =
   let i = string_of_int in
   let f2 = Im_util.Ascii_table.f2 in
   let observed = t.seq - t.rejected in
+  (* Compactor figures from the most recent compressed epoch; "-" while
+     compression is off or no epoch has run yet. *)
+  let last_scale =
+    List.find_map (fun (o : Epoch.outcome) -> o.Epoch.e_scale) t.epochs
+  in
+  let scale_row f = match last_scale with None -> "-" | Some st -> f st in
   [
     ("statements", i t.seq);
     ("parse rejects", i t.rejected);
@@ -182,6 +191,14 @@ let stats t =
        (count_trigger t Epoch.Drift)
        (count_trigger t Epoch.Forced));
     ("epoch cluster budget", i (Budget.current t.budget));
+    ( "scale buckets",
+      scale_row (fun st -> i st.Im_scale.Scale.st_buckets) );
+    ( "scale fold ratio",
+      scale_row (fun st -> f2 (Im_scale.Scale.fold_ratio st)) );
+    ( "scale bound eps",
+      scale_row (fun st ->
+          Printf.sprintf "%.4g of %g" st.Im_scale.Scale.st_eps_bound
+            st.Im_scale.Scale.st_eps_budget) );
     ("cost_evals", i (Im_costsvc.Service.cost_evals t.cache));
     ("opt_calls", i (Im_costsvc.Service.opt_calls t.cache));
     ("cache_hits", i (Im_costsvc.Service.hits t.cache));

@@ -26,12 +26,16 @@ type options = {
   o_min_clusters : int;  (** epoch budget floor *)
   o_max_clusters : int;  (** epoch budget ceiling *)
   o_initial_clusters : int;  (** epoch budget start *)
+  o_compress : float option;
+      (** when set, every epoch compresses its window snapshot through
+          the {!Im_scale.Scale} compactor at this deviation budget
+          before tuning ([--compress EPS] on [serve]) *)
 }
 
 val default_options : budget_pages:int -> options
 (** Capacity 48, decay 0.995, cluster threshold 0.25, divergence 0.35,
     cost regression 0.30, check every 32, warmup 24, cluster budget
-    4..64 starting at 16. *)
+    4..64 starting at 16, compression off. *)
 
 type t
 
@@ -82,7 +86,10 @@ val stats : t -> (string * string) list
     occupancy and mass, drift checks/fires, epochs by trigger, the cost
     service's unified counters ([cost_evals], [opt_calls],
     [cache_hits], [cache_misses], [cache_evictions], [cache_entries]),
-    configuration size/pages, intake latency. *)
+    configuration size/pages, intake latency. With [o_compress] set the
+    list also carries the most recent epoch's compactor figures
+    ([scale buckets], [scale fold ratio], [scale bound eps]; ["-"]
+    until a compressed epoch has run). *)
 
 val render_stats : t -> string
 (** {!stats} as an aligned two-column ASCII table. *)

@@ -1,0 +1,334 @@
+module Config = Im_catalog.Config
+module Index = Im_catalog.Index
+module Query = Im_sqlir.Query
+module Workload = Im_workload.Workload
+module Compress = Im_workload.Compress
+module Service = Im_costsvc.Service
+module Derive = Im_derive.Derive
+module Metrics = Im_obs.Metrics
+
+let m_buckets = Metrics.gauge "scale_buckets"
+let m_fold_ratio = Metrics.gauge "scale_fold_ratio"
+let m_bound_eps = Metrics.gauge "scale_bound_eps"
+let m_batch_scores = Metrics.counter "scale_batch_scores_total"
+let m_probe_costs = Metrics.counter "scale_probe_costs_total"
+
+let slack = 2.0
+
+(* Per-bucket probe configurations and the leader's sampled costs over
+   them (parallel arrays). *)
+type probes = {
+  pr_configs : Config.t list;
+  pr_leader : float array;
+}
+
+type bucket = {
+  bu_leader : Query.t;
+  bu_leader_id : int;  (* interned canonical id of the leader *)
+  bu_sig : Compress.signature option;  (* None on the exact-only path *)
+  bu_primary : bool;  (* registered under its signature key *)
+  mutable bu_mass : float;
+  mutable bu_statements : int;
+  mutable bu_residual : float;  (* mass of non-leader-canonical members *)
+  mutable bu_delta : float;  (* Σ f·spread of folded members *)
+  mutable bu_probes : probes option;  (* sampled lazily *)
+}
+
+(* Where a known canonical query folds: its bucket plus its sampled
+   spread (vs the bucket leader) and floor. Spread 0 and floor 0 until
+   the bucket needed sampling. *)
+type member = {
+  mutable mb_bucket : bucket;
+  mutable mb_spread : float;
+  mutable mb_floor : float;
+}
+
+type t = {
+  sc_service : Service.t;
+  sc_deriver : Derive.t;
+  sc_eps : float;
+  sc_jaccard : float;
+  sc_by_sig : (string, bucket) Hashtbl.t;
+  sc_by_query : (int, member) Hashtbl.t;
+  sc_batches : (int, Derive.Batch.t) Hashtbl.t;
+  mutable sc_order : bucket list;  (* reversed creation order *)
+  mutable sc_buckets : int;
+  mutable sc_statements : int;
+  mutable sc_mass : float;
+  mutable sc_exact : int;
+  mutable sc_approx : int;
+  mutable sc_delta : float;  (* Δ: Σ f·spread over folded statements *)
+  mutable sc_floor : float;  (* L: Σ f·floor over sampled statements *)
+  mutable sc_probe_costs : int;
+}
+
+let create ?(eps = 0.05) ?(jaccard = 0.0) service =
+  {
+    sc_service = service;
+    sc_deriver =
+      (match Service.deriver service with
+       | Some d -> d
+       | None -> Derive.create (Service.database service));
+    sc_eps = Float.max 0. eps;
+    sc_jaccard = jaccard;
+    sc_by_sig = Hashtbl.create 256;
+    sc_by_query = Hashtbl.create 1024;
+    sc_batches = Hashtbl.create 256;
+    sc_order = [];
+    sc_buckets = 0;
+    sc_statements = 0;
+    sc_mass = 0.;
+    sc_exact = 0;
+    sc_approx = 0;
+    sc_delta = 0.;
+    sc_floor = 0.;
+    sc_probe_costs = 0;
+  }
+
+let eps t = t.sc_eps
+
+let batch_for t q =
+  let qid = Query.intern q in
+  match Hashtbl.find_opt t.sc_batches qid with
+  | Some b -> b
+  | None ->
+    let b = Derive.Batch.create t.sc_deriver q in
+    Hashtbl.add t.sc_batches qid b;
+    b
+
+(* ---- Probe configurations ----
+
+   The regimes a per-table access path can be in: heap scan (no
+   indexes), index seek (a single-column index per sargable column),
+   covering scan (one index over every referenced column per table),
+   and seek+covering together. Sampled costs over these bracket the
+   cost function's range; [slack] absorbs configurations between the
+   regimes. *)
+let probe_configs q =
+  let uniq = List.sort_uniq compare in
+  let seek =
+    List.concat_map
+      (fun tbl ->
+        List.map
+          (fun col -> Index.make ~table:tbl [ col ])
+          (uniq (Query.sargable_columns q tbl)))
+      q.Query.q_tables
+  in
+  let covering =
+    List.concat_map
+      (fun tbl ->
+        match uniq (Query.referenced_columns q tbl) with
+        | [] -> []
+        | cols -> [ Index.make ~table:tbl cols ])
+      q.Query.q_tables
+  in
+  let full =
+    Im_util.List_ext.dedup_keep_order Index.equal (seek @ covering)
+  in
+  Im_util.List_ext.dedup_keep_order
+    (List.equal Index.equal)
+    [ []; seek; covering; full ]
+
+let array_min a = Array.fold_left Float.min a.(0) a
+
+let sample_costs t probes q =
+  let batch = batch_for t q in
+  let n = List.length probes.pr_configs in
+  t.sc_probe_costs <- t.sc_probe_costs + n;
+  Metrics.Counter.add m_probe_costs n;
+  Array.of_list
+    (List.map (fun config -> Derive.Batch.cost batch config) probes.pr_configs)
+
+let ensure_probes t b =
+  match b.bu_probes with
+  | Some p -> p
+  | None ->
+    let configs = probe_configs b.bu_leader in
+    let probes = { pr_configs = configs; pr_leader = [||] } in
+    let leader = sample_costs t probes b.bu_leader in
+    let probes = { probes with pr_leader = leader } in
+    b.bu_probes <- Some probes;
+    (* The leader's own mass starts strengthening L from here on. *)
+    (match Hashtbl.find_opt t.sc_by_query b.bu_leader_id with
+     | Some m when m.mb_bucket == b -> m.mb_floor <- array_min leader
+     | Some _ | None -> ());
+    probes
+
+(* Admission: would folding [f] mass at [spread] keep the post-state
+   invariant [slack·Δ ≤ ε·L]? Both sides only grow, so checking each
+   admission's post-state keeps the invariant at every step. *)
+let admits t ~spread ~floor ~freq =
+  slack *. (t.sc_delta +. (freq *. spread))
+  <= t.sc_eps *. (t.sc_floor +. (freq *. floor))
+
+let fold_into t b q ~freq ~spread ~floor =
+  t.sc_statements <- t.sc_statements + 1;
+  t.sc_mass <- t.sc_mass +. freq;
+  t.sc_floor <- t.sc_floor +. (freq *. floor);
+  b.bu_mass <- b.bu_mass +. freq;
+  b.bu_statements <- b.bu_statements + 1;
+  if Query.intern q = b.bu_leader_id then t.sc_exact <- t.sc_exact + 1
+  else begin
+    t.sc_approx <- t.sc_approx + 1;
+    t.sc_delta <- t.sc_delta +. (freq *. spread);
+    b.bu_delta <- b.bu_delta +. (freq *. spread);
+    b.bu_residual <- b.bu_residual +. freq
+  end
+
+let create_bucket t ?bucket_sig ~primary q ~freq ~floor =
+  let b =
+    {
+      bu_leader = q;
+      bu_leader_id = Query.intern q;
+      bu_sig = bucket_sig;
+      bu_primary = primary;
+      bu_mass = 0.;
+      bu_statements = 0;
+      bu_residual = 0.;
+      bu_delta = 0.;
+      bu_probes = None;
+    }
+  in
+  t.sc_order <- b :: t.sc_order;
+  t.sc_buckets <- t.sc_buckets + 1;
+  Hashtbl.replace t.sc_by_query b.bu_leader_id
+    { mb_bucket = b; mb_spread = 0.; mb_floor = floor };
+  (* A new leader is a statement of its own bucket, not a fold. *)
+  t.sc_statements <- t.sc_statements + 1;
+  t.sc_mass <- t.sc_mass +. freq;
+  t.sc_floor <- t.sc_floor +. (freq *. floor);
+  b.bu_mass <- freq;
+  b.bu_statements <- 1;
+  b
+
+let try_admit t b q ~freq =
+  let probes = ensure_probes t b in
+  let costs = sample_costs t probes q in
+  let floor = array_min costs in
+  let spread = ref 0. in
+  Array.iteri
+    (fun i c -> spread := Float.max !spread (Float.abs (c -. probes.pr_leader.(i))))
+    costs;
+  let spread = !spread in
+  if admits t ~spread ~floor ~freq then begin
+    Hashtbl.replace t.sc_by_query (Query.intern q)
+      { mb_bucket = b; mb_spread = spread; mb_floor = floor };
+    fold_into t b q ~freq ~spread ~floor
+  end
+  else
+    (* Over budget: own bucket, exact from now on — its sampled floor
+       still strengthens the denominator. *)
+    ignore (create_bucket t ~primary:false q ~freq ~floor)
+
+let find_jaccard t sg =
+  if t.sc_jaccard <= 0. then None
+  else
+    List.find_opt
+      (fun b ->
+        b.bu_primary
+        && (match b.bu_sig with
+            | Some lsg -> Compress.distance sg lsg <= t.sc_jaccard
+            | None -> false))
+      (List.rev t.sc_order)
+
+let observe t ?(freq = 1.0) q =
+  let qid = Query.intern q in
+  match Hashtbl.find_opt t.sc_by_query qid with
+  | Some m ->
+    if m.mb_spread > 0. && not (admits t ~spread:m.mb_spread ~floor:m.mb_floor ~freq)
+    then begin
+      (* This repeat no longer fits the budget next to its leader:
+         demote the query to its own bucket (mass already folded was
+         admitted under the invariant and stays accounted in Δ). *)
+      let b = create_bucket t ~primary:false q ~freq ~floor:m.mb_floor in
+      m.mb_bucket <- b;
+      m.mb_spread <- 0.
+    end
+    else fold_into t m.mb_bucket q ~freq ~spread:m.mb_spread ~floor:m.mb_floor
+  | None ->
+    if t.sc_eps <= 0. then
+      (* ε = 0: only canonically identical statements fold — one bucket
+         per distinct query, no sampling, Δ stays 0. *)
+      ignore (create_bucket t ~primary:true q ~freq ~floor:0.)
+    else begin
+      let sg = Compress.signature q in
+      let key = Compress.signature_key sg in
+      match Hashtbl.find_opt t.sc_by_sig key with
+      | Some b -> try_admit t b q ~freq
+      | None ->
+        (match find_jaccard t sg with
+         | Some b -> try_admit t b q ~freq
+         | None ->
+           let b =
+             create_bucket t ~bucket_sig:sg ~primary:true q ~freq ~floor:0.
+           in
+           Hashtbl.add t.sc_by_sig key b)
+    end
+
+let observe_workload t (w : Workload.t) =
+  List.iter
+    (fun (e : Workload.entry) -> observe t ~freq:e.Workload.freq e.Workload.query)
+    w.Workload.entries
+
+let bound t =
+  if t.sc_delta = 0. then 0.
+  else if t.sc_floor <= 0. then infinity
+  else slack *. t.sc_delta /. t.sc_floor
+
+type stats = {
+  st_statements : int;
+  st_mass : float;
+  st_buckets : int;
+  st_exact_folds : int;
+  st_approx_folds : int;
+  st_residual_mass : float;
+  st_eps_budget : float;
+  st_eps_bound : float;
+  st_probe_costs : int;
+}
+
+let stats t =
+  {
+    st_statements = t.sc_statements;
+    st_mass = t.sc_mass;
+    st_buckets = t.sc_buckets;
+    st_exact_folds = t.sc_exact;
+    st_approx_folds = t.sc_approx;
+    st_residual_mass =
+      Im_util.List_ext.sum_by_f (fun b -> b.bu_residual) t.sc_order;
+    st_eps_budget = t.sc_eps;
+    st_eps_bound = bound t;
+    st_probe_costs = t.sc_probe_costs;
+  }
+
+let fold_ratio st =
+  if st.st_buckets = 0 then 0.
+  else float_of_int st.st_statements /. float_of_int st.st_buckets
+
+let snapshot ?(name = "scale") t =
+  Metrics.Gauge.set_int m_buckets t.sc_buckets;
+  Metrics.Gauge.set m_fold_ratio (fold_ratio (stats t));
+  Metrics.Gauge.set m_bound_eps (bound t);
+  Workload.of_entries ~name
+    (List.rev_map
+       (fun b -> { Workload.query = b.bu_leader; freq = b.bu_mass })
+       t.sc_order)
+
+let score t configs =
+  let w = snapshot t in
+  let query_cost config q = Derive.Batch.cost (batch_for t q) config in
+  Array.of_list
+    (List.map
+       (fun config ->
+         let c = Service.workload_cost ~query_cost t.sc_service config w in
+         Metrics.Counter.incr m_batch_scores;
+         c)
+       configs)
+
+let compress_workload ?eps ?jaccard service (w : Workload.t) =
+  let t = create ?eps ?jaccard service in
+  observe_workload t w;
+  let compressed =
+    Workload.with_updates (snapshot ~name:w.Workload.name t) w.Workload.updates
+  in
+  (compressed, stats t)

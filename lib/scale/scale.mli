@@ -1,0 +1,126 @@
+(** Workload compression with a deviation bound, and batched
+    atom-recombination scoring — the 100k–1M-statement tuning path
+    (CoPhy's "compress the workload, decompose the what-if cost" recipe
+    on top of [Im_derive]).
+
+    {1 The compactor}
+
+    Statements stream in one at a time and are bucketed by the interned
+    physical-design signature key of {!Im_workload.Compress} — a hash
+    lookup, never a linear leader scan. The first query of a bucket is
+    its leader; later statements fold their frequency into the leader.
+    The compressed workload [Ŵ] is the ordered list of leaders with
+    folded frequencies.
+
+    {1 The deviation bound}
+
+    Folding statement [q] onto leader [l] misprices it by
+    [f_q · |cost(q, C) − cost(l, C)|] for whatever configuration [C] a
+    search later evaluates. The compactor brackets that miss by
+    sampling both queries' costs over the bucket's {e probe
+    configurations} — no indexes, single-column indexes on every
+    sargable column, one covering index per table, and their union:
+    the scan / seek / covering regimes an access path can be in —
+    through {!Im_derive.Derive.Batch}, so sampling re-assembles cached
+    atoms instead of running the optimizer (fallback shapes excepted).
+    With [spread_q = max_P |cost(q, P) − cost(l, P)|] and
+    [floor_q = min_P cost(q, P)], the compactor maintains
+
+    {v Δ = Σ_folded f·spread     L = Σ_sampled f·floor v}
+
+    and admits a cross-query fold only while
+    [slack · (Δ + f·spread) ≤ ε · (L + f·floor)] — statements that
+    would break the budget get their own bucket (still strengthening
+    [L]). The reported bound is [ε̂ = slack · Δ / L ≤ ε], and the
+    deviation guarantee [|Cost(W,C) − Cost(Ŵ,C)| ≤ ε̂ · Cost(W,C)]
+    holds whenever per-query costs stay within [slack] of the sampled
+    regime bracket — exact ([ε̂ = 0]) when only canonically identical
+    statements folded, validated across random configurations by the
+    property tests and the scale benchmark. At [ε = 0] the compactor
+    folds {e only} canonically identical statements (equal
+    {!Im_sqlir.Query.canonical_string}), so compressed search results
+    are bit-identical on duplicate-free workloads and no probe is ever
+    sampled. [?jaccard] additionally lets a {e new} signature fold into
+    a near-duplicate bucket (leader signature within the threshold,
+    same admission rule).
+
+    {1 Batched scoring}
+
+    {!score} answers many configurations' [Cost(Ŵ, C)] in one traversal
+    of the derive atom cache: each leader's candidate atoms are pulled
+    once into a per-query {!Im_derive.Derive.Batch} memo and recombined
+    per configuration, and the sums flow through
+    {!Im_costsvc.Service.workload_cost} (maintenance cost and fold
+    order included), so each score is bit-identical to costing [Ŵ]
+    through the service — the optimizer runs only for derive's
+    fallback shapes. *)
+
+type t
+
+val slack : float
+(** Safety margin on the sampled regime bracket (2.0): the admission
+    rule charges [slack ·] the sampled spread and the reported bound is
+    [slack · Δ / L]. *)
+
+val create : ?eps:float -> ?jaccard:float -> Im_costsvc.Service.t -> t
+(** A streaming compactor costing probes through the service's deriver
+    (a private deriver on the same database when the service was built
+    with [~derive:false] — identical costs either way). [eps] (default
+    0.05) is the deviation budget; [eps <= 0.] folds only canonically
+    identical statements. [jaccard] (default 0. = off) merges a new
+    signature into the first bucket whose leader signature is within
+    the threshold, under the same [eps] admission. *)
+
+val eps : t -> float
+
+val observe : t -> ?freq:float -> Im_sqlir.Query.t -> unit
+(** Stream one statement in ([freq] defaults to 1). O(1) hash work for
+    a repeated statement; probe sampling happens at most once per
+    distinct query. *)
+
+val observe_workload : t -> Im_workload.Workload.t -> unit
+(** {!observe} every entry, in order, with its frequency. *)
+
+val snapshot : ?name:string -> t -> Im_workload.Workload.t
+(** The compressed workload: bucket leaders in first-appearance order
+    with folded frequencies (no update profile — see
+    {!compress_workload}). Also publishes the [scale_*] gauges. The
+    compactor keeps streaming afterwards. *)
+
+val score : t -> Im_catalog.Config.t list -> float array
+(** [Cost (Ŵ, C)] for each configuration, recombined from per-leader
+    atom batches — bit-identical to
+    [Service.workload_cost service c (snapshot t)] for each [c].
+    Sequential (batches are not domain-safe). *)
+
+type stats = {
+  st_statements : int;  (** statements streamed in *)
+  st_mass : float;  (** total frequency mass *)
+  st_buckets : int;  (** compressed entries (= size of {!snapshot}) *)
+  st_exact_folds : int;
+      (** statements folded onto a canonically identical entry *)
+  st_approx_folds : int;
+      (** statements folded across distinct queries (charged to Δ) *)
+  st_residual_mass : float;  (** mass represented by a different query *)
+  st_eps_budget : float;  (** the requested ε *)
+  st_eps_bound : float;
+      (** the reported bound ε̂ = slack·Δ/L ≤ ε; 0 when only exact
+          folds happened *)
+  st_probe_costs : int;  (** probe costings spent deriving the bound *)
+}
+
+val stats : t -> stats
+
+val fold_ratio : stats -> float
+(** [statements / buckets] (0 on an empty compactor) — the compression
+    ratio the benchmark gates on. *)
+
+val compress_workload :
+  ?eps:float ->
+  ?jaccard:float ->
+  Im_costsvc.Service.t ->
+  Im_workload.Workload.t ->
+  Im_workload.Workload.t * stats
+(** Batch convenience: stream a workload through a fresh compactor and
+    return the compressed workload (same name, update profile carried
+    over) with the compression stats. *)

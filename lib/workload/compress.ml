@@ -35,6 +35,18 @@ let jaccard_distance a b =
     1. -. (float_of_int inter /. float_of_int union)
   end
 
+(* Canonical string key of a signature: equal keys iff equal component
+   sets iff [distance] 0 (every component weight is positive, and the
+   tables of a query are never empty, so the disjoint-tables guard
+   cannot separate equal signatures). Set elements are joined with
+   control separators no identifier contains, so adversarial column
+   names cannot alias two distinct signatures. *)
+let signature_key sg =
+  let set s = String.concat "\x01" (Sset.elements s) in
+  String.concat "\x02"
+    [ set sg.sg_tables; set sg.sg_referenced; set sg.sg_sargable;
+      set sg.sg_order_group ]
+
 let distance a b =
   if Sset.is_empty (Sset.inter a.sg_tables b.sg_tables) then 1.0
   else begin
@@ -50,22 +62,45 @@ let distance a b =
     Float.min 1.0 d
   end
 
-let compress ?(threshold = 0.0) (w : Workload.t) =
-  let leaders : (signature * Workload.entry ref) list ref = ref [] in
+(* Exact-signature bucketing: distance 0 iff equal signature keys, so a
+   hash lookup replaces the linear leader scan — O(n) over the workload
+   instead of O(n · leaders). First-seen entry stays the leader and
+   bucket order is first-appearance order, exactly like the scan. *)
+let compress_exact (w : Workload.t) =
+  let buckets : (string, Workload.entry ref) Hashtbl.t = Hashtbl.create 64 in
+  let order : Workload.entry ref list ref = ref [] in
   List.iter
     (fun (e : Workload.entry) ->
-      let sg = signature e.Workload.query in
-      match
-        List.find_opt (fun (sg', _) -> distance sg sg' <= threshold) !leaders
-      with
-      | Some (_, leader) ->
-        leader := { !leader with Workload.freq = !leader.Workload.freq +. e.Workload.freq }
-      | None -> leaders := !leaders @ [ (sg, ref e) ])
+      let key = signature_key (signature e.Workload.query) in
+      match Hashtbl.find_opt buckets key with
+      | Some leader ->
+        leader :=
+          { !leader with Workload.freq = !leader.Workload.freq +. e.Workload.freq }
+      | None ->
+        let leader = ref e in
+        Hashtbl.add buckets key leader;
+        order := leader :: !order)
     w.Workload.entries;
-  {
-    w with
-    Workload.entries = List.map (fun (_, e) -> !e) !leaders;
-  }
+  { w with Workload.entries = List.rev_map (fun e -> !e) !order }
+
+let compress ?(threshold = 0.0) (w : Workload.t) =
+  if threshold = 0.0 then compress_exact w
+  else begin
+    let leaders : (signature * Workload.entry ref) list ref = ref [] in
+    List.iter
+      (fun (e : Workload.entry) ->
+        let sg = signature e.Workload.query in
+        match
+          List.find_opt (fun (sg', _) -> distance sg sg' <= threshold) !leaders
+        with
+        | Some (_, leader) ->
+          leader :=
+            { !leader with
+              Workload.freq = !leader.Workload.freq +. e.Workload.freq }
+        | None -> leaders := !leaders @ [ (sg, ref e) ])
+      w.Workload.entries;
+    { w with Workload.entries = List.map (fun (_, e) -> !e) !leaders }
+  end
 
 let compression_ratio ~original ~compressed =
   if Workload.size original = 0 then 0.

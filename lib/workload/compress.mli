@@ -21,13 +21,24 @@ val distance : signature -> signature -> float
 (** Weighted Jaccard distance in [\[0, 1\]] over the signature's
     component sets; 1.0 when the queries touch disjoint tables. *)
 
+val signature_key : signature -> string
+(** Canonical string key: [signature_key a = signature_key b] iff
+    [distance a b = 0.] (iff every component set is equal). Separator
+    characters are control bytes no SQL identifier contains, so
+    adversarial names cannot alias two distinct signatures. This is the
+    hash key the exact-bucketing path (and the streaming compactor of
+    [Im_scale]) uses. *)
+
 val compress :
   ?threshold:float -> Workload.t -> Workload.t
 (** Leader clustering: entries are visited in order; an entry joins the
     first existing leader within [threshold] (its frequency is added to
     the leader's), otherwise it becomes a leader. [threshold] defaults
     to 0.0 — pure signature-duplicate elimination, strictly stronger
-    than {!Workload.compress_identical}. The update profile is kept. *)
+    than {!Workload.compress_identical}; that exact case buckets by
+    {!signature_key} in a hash table (O(n), not O(n·leaders)) and is
+    entry-for-entry identical to the linear leader scan. The update
+    profile is kept. *)
 
 val compression_ratio : original:Workload.t -> compressed:Workload.t -> float
 (** [1 - size compressed / size original]. *)

@@ -28,58 +28,155 @@ let annotation_value line =
     end
   end
 
-(* Extract frequency annotations in order of appearance, and the text
-   with annotation lines removed (other comments are left for the lexer
-   to skip). *)
-let split_annotations text =
-  let lines = String.split_on_char '\n' text in
-  let freqs = ref [] in
-  let kept =
-    List.filter
-      (fun line ->
-        match annotation_value line with
-        | Some v ->
-          freqs := v :: !freqs;
-          false
-        | None -> true)
-      lines
-  in
-  (String.concat "\n" kept, List.rev !freqs)
+let parse_freq raw =
+  match float_of_string_opt raw with
+  | Some v when Float.is_finite v && v > 0. -> Ok v
+  | Some v when Float.is_finite v ->
+    Error (Printf.sprintf "non-positive frequency %s" raw)
+  | Some _ | None -> Error (Printf.sprintf "malformed frequency %S" raw)
 
-let parse ~schema ?(id_prefix = "W") text =
-  let body, freqs = split_annotations text in
-  let ( let* ) r f = Result.bind r f in
-  let* queries = Im_sqlir.Parser.parse_statements ~schema ~id_prefix body in
-  let* freqs =
-    let rec conv acc = function
-      | [] -> Ok (List.rev acc)
-      | f :: rest ->
-        (match float_of_string_opt f with
-         | Some v when Float.is_finite v && v > 0. -> conv (v :: acc) rest
-         | Some v when Float.is_finite v ->
-           Error (Printf.sprintf "non-positive frequency %s" f)
-         | Some _ | None -> Error (Printf.sprintf "malformed frequency %S" f))
-    in
-    conv [] freqs
+exception Fold_error of string
+
+(* The streaming core: lines are consumed one at a time from
+   [next_line] and statements are emitted as soon as their terminating
+   [';'] arrives, so a 100k-statement script never materializes as a
+   list. A whole line that is a frequency annotation queues its value
+   for the next emitted statement (for well-formed all-or-none files
+   this equals the historical zip of annotations against statements);
+   any other line is appended to the statement buffer. [';'] splits
+   only outside single-quoted string literals (the lexer's [''] escape
+   toggles the quote state twice, so naive toggling tracks it
+   correctly) and outside [--] line comments. *)
+let fold_lines ~schema ~id_prefix next_line ~init ~f =
+  let buf = Buffer.create 256 in
+  let pending : float Queue.t = Queue.create () in
+  let annotations = ref 0 in
+  let statements = ref 0 in
+  let acc = ref init in
+  let in_string = ref false in
+  let emit () =
+    let text = Buffer.contents buf in
+    Buffer.clear buf;
+    if String.trim text <> "" then begin
+      incr statements;
+      let id = Printf.sprintf "%s%d" id_prefix !statements in
+      match Im_sqlir.Parser.parse_query ~schema ~id text with
+      | Error msg ->
+        raise (Fold_error (Printf.sprintf "statement %d: %s" !statements msg))
+      | Ok q ->
+        let freq =
+          if Queue.is_empty pending then None else Some (Queue.pop pending)
+        in
+        acc := f !acc q freq
+    end
   in
-  if freqs <> [] && List.length freqs <> List.length queries then
+  let scan_line line =
+    let n = String.length line in
+    let in_comment = ref false in
+    for i = 0 to n - 1 do
+      let c = line.[i] in
+      if not !in_comment then begin
+        if !in_string then begin
+          Buffer.add_char buf c;
+          if c = '\'' then in_string := false
+        end
+        else if c = '\'' then begin
+          Buffer.add_char buf c;
+          in_string := true
+        end
+        else if c = '-' && i + 1 < n && line.[i + 1] = '-' then begin
+          (* Trailing comment: keep it for the lexer to skip, but stop
+             treating [';'] in it as a statement boundary. *)
+          in_comment := true;
+          Buffer.add_char buf c
+        end
+        else if c = ';' then begin
+          Buffer.add_char buf c;
+          emit ()
+        end
+        else Buffer.add_char buf c
+      end
+      else Buffer.add_char buf c
+    done;
+    Buffer.add_char buf '\n'
+  in
+  try
+    let rec loop () =
+      match next_line () with
+      | None -> ()
+      | Some line ->
+        (match if !in_string then None else annotation_value line with
+         | Some raw ->
+           (match parse_freq raw with
+            | Ok v ->
+              Queue.add v pending;
+              incr annotations
+            | Error msg -> raise (Fold_error msg))
+         | None -> scan_line line);
+        loop ()
+    in
+    loop ();
+    emit ();
+    if not (Queue.is_empty pending) then
+      raise
+        (Fold_error
+           (Printf.sprintf
+              "%d frequency annotations for %d statements (annotate all or \
+               none)"
+              !annotations !statements))
+    else Ok !acc
+  with Fold_error msg -> Error msg
+
+let string_lines text =
+  let lines = ref (String.split_on_char '\n' text) in
+  fun () ->
+    match !lines with
+    | [] -> None
+    | l :: rest ->
+      lines := rest;
+      Some l
+
+(* Batch loading on top of the stream: collect entries (frequency 1
+   when unannotated) and enforce the historical all-or-none annotation
+   contract, which the per-statement stream itself does not need. *)
+let workload_of_stream ~schema ~id_prefix next_line =
+  let ( let* ) r f = Result.bind r f in
+  let* rev_entries, annotated, total =
+    fold_lines ~schema ~id_prefix next_line ~init:([], 0, 0)
+      ~f:(fun (entries, annotated, total) q freq ->
+        let e =
+          { Workload.query = q; freq = Option.value freq ~default:1.0 }
+        in
+        (e :: entries, (annotated + if Option.is_some freq then 1 else 0),
+         total + 1))
+  in
+  if annotated <> 0 && annotated <> total then
     Error
       (Printf.sprintf
          "%d frequency annotations for %d statements (annotate all or none)"
-         (List.length freqs) (List.length queries))
-  else begin
-    let entries =
-      match freqs with
-      | [] -> List.map (fun q -> { Workload.query = q; freq = 1.0 }) queries
-      | _ ->
-        List.map2 (fun q freq -> { Workload.query = q; freq }) queries freqs
-    in
-    Ok (Workload.of_entries ~name:"file" entries)
-  end
+         annotated total)
+  else Ok (Workload.of_entries ~name:"file" (List.rev rev_entries))
 
-let load ~schema ?id_prefix path =
-  match In_channel.with_open_text path In_channel.input_all with
-  | text -> parse ~schema ?id_prefix text
+let parse ~schema ?(id_prefix = "W") text =
+  workload_of_stream ~schema ~id_prefix (string_lines text)
+
+let fold ~schema ?(id_prefix = "W") path ~init ~f =
+  match
+    In_channel.with_open_text path (fun ic ->
+        fold_lines ~schema ~id_prefix
+          (fun () -> In_channel.input_line ic)
+          ~init ~f)
+  with
+  | r -> r
+  | exception Sys_error msg -> Error msg
+
+let load ~schema ?(id_prefix = "W") path =
+  match
+    In_channel.with_open_text path (fun ic ->
+        workload_of_stream ~schema ~id_prefix (fun () ->
+            In_channel.input_line ic))
+  with
+  | r -> r
   | exception Sys_error msg -> Error msg
 
 let save workload path =

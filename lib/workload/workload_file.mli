@@ -24,12 +24,31 @@ val parse :
   (Workload.t, string) result
 (** Parse workload text. *)
 
+val fold :
+  schema:Im_sqlir.Schema.t ->
+  ?id_prefix:string ->
+  string ->
+  init:'a ->
+  f:('a -> Im_sqlir.Query.t -> float option -> 'a) ->
+  ('a, string) result
+(** [fold ~schema path ~init ~f] streams the script line at a time and
+    calls [f acc query freq] once per statement, in file order, as soon
+    as each statement's terminating [';'] is read — a 100k-statement
+    replay never materializes as a list. [freq] is [Some v] when a
+    frequency annotation preceded the statement, [None] otherwise (the
+    all-or-none contract is {!load}'s, not the stream's). Statement ids
+    are [<id_prefix>1], [<id_prefix>2], ... (default prefix ["W"]),
+    numbered like the batch loader. A parse error, a malformed or
+    non-positive frequency, or an annotation not followed by a
+    statement stops the fold with [Error]. *)
+
 val load :
   schema:Im_sqlir.Schema.t ->
   ?id_prefix:string ->
   string ->
   (Workload.t, string) result
-(** Read and {!parse} a file. *)
+(** Read and parse a file — {!fold} with entries collected and the
+    all-or-none annotation rule enforced. *)
 
 val save : Workload.t -> string -> unit
 (** Write a workload back out in the loadable format. *)

@@ -77,6 +77,30 @@ else
   exit 1
 fi
 
+echo "== compression identity (--compress 0 vs plain) =="
+# eps = 0 folds only canonically identical statements, so on the
+# duplicate-free generated workload the merged configuration must be
+# byte-identical to the uncompressed run. Same filter as above: the
+# summary line carries timings (and the compression note), the
+# configuration must not move.
+compress_out() {
+  dune exec bin/index_merge_cli.exe -- merge $1 -d synthetic1 -q 6 \
+    | sed -n '/merged configuration:/,$p'
+}
+if [ "$(compress_out '--compress 0')" = "$(compress_out '')" ]; then
+  echo "compression identity OK"
+else
+  echo "compression identity FAILED: --compress 0 changes the merged configuration"
+  exit 1
+fi
+
+echo "== bench: scale compression smoke, 1k statements (BENCH_scale_smoke.json) =="
+# exp_scale hard-asserts the measured deviation is within the reported
+# bound, the bound is within the eps budget, optimizer invocations stay
+# sublinear, and --compress 0 reproduces the fig5/6 searches exactly.
+IM_SCALE_N=1000 IM_BENCH_OUT=BENCH_scale_smoke.json dune exec bench/main.exe -- scale
+echo "wrote BENCH_scale_smoke.json"
+
 echo "== bench: derive identity + optimizer-call reduction (BENCH_derive.json) =="
 IM_BENCH_OUT=BENCH_derive.json dune exec bench/main.exe -- derive
 echo "wrote BENCH_derive.json"

@@ -1,0 +1,266 @@
+(* Tests for the scale subsystem: the streaming workload compactor
+   (bucketing determinism, ε = 0 exactness and idempotence, mass
+   preservation, the deviation bound) and batched configuration scoring
+   (bit-identical to the plain cost service). *)
+
+module Scale = Im_scale.Scale
+module Service = Im_costsvc.Service
+module Database = Im_catalog.Database
+module Config = Im_catalog.Config
+module Index = Im_catalog.Index
+module Query = Im_sqlir.Query
+module Workload = Im_workload.Workload
+module Search = Im_merging.Search
+module Merge = Im_merging.Merge
+
+let tc = Alcotest.test_case
+let bits = Int64.bits_of_float
+
+let sdb =
+  lazy (Im_workload.Synthetic.database ~seed:11 Im_workload.Synthetic.synthetic1)
+
+let rags ?(seed = 3) n db =
+  Im_workload.Ragsgen.generate db ~rng:(Im_util.Rng.create seed) ~n
+
+(* Replicate a workload's entries [times] over with varying frequencies:
+   duplicated statements for the compactor to fold exactly, weighted so
+   frequency accounting is exercised too. *)
+let replicate ~times (w : Workload.t) =
+  Workload.of_entries ~name:"replicated"
+    (List.concat
+       (List.init times (fun k ->
+            List.mapi
+              (fun i (e : Workload.entry) ->
+                { e with Workload.freq = 1. +. float_of_int ((i + k) mod 3) })
+              w.Workload.entries)))
+
+let leaders_and_freqs (w : Workload.t) =
+  List.map
+    (fun (e : Workload.entry) ->
+      (Query.canonical_string e.Workload.query, e.Workload.freq))
+    w.Workload.entries
+
+let sorted_leaders w = List.sort compare (leaders_and_freqs w)
+
+(* ---- ε = 0: exactness ---- *)
+
+let test_eps0_matches_identical () =
+  let db = Lazy.force sdb in
+  let w = replicate ~times:3 (rags 10 db) in
+  let svc = Service.create ~derive:true db in
+  let c, st = Scale.compress_workload ~eps:0.0 svc w in
+  let reference = Workload.compress_identical w in
+  Alcotest.(check int) "same bucket count" (Workload.size reference)
+    (Workload.size c);
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "same leaders and folded frequencies" (sorted_leaders reference)
+    (sorted_leaders c);
+  Alcotest.(check (float 1e-9)) "mass preserved" (Workload.total_freq w)
+    (Workload.total_freq c);
+  Alcotest.(check (float 0.)) "bound is exactly 0" 0. st.Scale.st_eps_bound;
+  Alcotest.(check int) "no approximate folds" 0 st.Scale.st_approx_folds;
+  Alcotest.(check int) "no probe costs spent" 0 st.Scale.st_probe_costs;
+  Alcotest.(check int) "statement count" (Workload.size w)
+    st.Scale.st_statements
+
+let test_eps0_idempotent () =
+  let db = Lazy.force sdb in
+  let w = replicate ~times:2 (rags 8 db) in
+  let svc = Service.create ~derive:true db in
+  let once, _ = Scale.compress_workload ~eps:0.0 svc w in
+  let twice, _ = Scale.compress_workload ~eps:0.0 svc once in
+  Alcotest.(check int) "size stable" (Workload.size once) (Workload.size twice);
+  Alcotest.(check (list (pair string (float 1e-9)))) "entries stable"
+    (leaders_and_freqs once) (leaders_and_freqs twice)
+
+(* ---- Determinism ---- *)
+
+let test_bucketing_deterministic () =
+  let db = Lazy.force sdb in
+  List.iter
+    (fun eps ->
+      let run () =
+        let w = replicate ~times:2 (rags ~seed:21 20 db) in
+        let svc = Service.create ~derive:true db in
+        Scale.compress_workload ~eps svc w
+      in
+      let c1, st1 = run () in
+      let c2, st2 = run () in
+      Alcotest.(check (list (pair string (float 1e-9))))
+        (Printf.sprintf "eps %g: identical buckets (leaders, order, mass)" eps)
+        (leaders_and_freqs c1) (leaders_and_freqs c2);
+      Alcotest.(check int) "identical bucket count" st1.Scale.st_buckets
+        st2.Scale.st_buckets;
+      Alcotest.(check int) "identical fold split"
+        st1.Scale.st_approx_folds st2.Scale.st_approx_folds;
+      Alcotest.(check int64) "identical bound (bitwise)"
+        (bits st1.Scale.st_eps_bound) (bits st2.Scale.st_eps_bound))
+    [ 0.0; 0.1; 0.5 ]
+
+(* ---- Streaming = batch: observe one at a time ---- *)
+
+let test_streaming_matches_batch () =
+  let db = Lazy.force sdb in
+  let w = replicate ~times:2 (rags ~seed:31 15 db) in
+  let svc = Service.create ~derive:true db in
+  let batch = Scale.create ~eps:0.1 svc in
+  Scale.observe_workload batch w;
+  let streamed = Scale.create ~eps:0.1 svc in
+  List.iter
+    (fun (e : Workload.entry) ->
+      Scale.observe streamed ~freq:e.Workload.freq e.Workload.query)
+    w.Workload.entries;
+  Alcotest.(check (list (pair string (float 1e-9)))) "identical snapshots"
+    (leaders_and_freqs (Scale.snapshot batch))
+    (leaders_and_freqs (Scale.snapshot streamed))
+
+(* ---- Accounting on heavy duplication ---- *)
+
+let test_fold_accounting () =
+  let db = Lazy.force sdb in
+  let base = rags ~seed:41 6 db in
+  let distinct =
+    List.length
+      (List.sort_uniq compare
+         (List.map Query.canonical_string (Workload.queries base)))
+  in
+  let w = replicate ~times:5 base in
+  let svc = Service.create ~derive:true db in
+  let _, st = Scale.compress_workload ~eps:0.0 svc w in
+  Alcotest.(check int) "one bucket per distinct statement" distinct
+    st.Scale.st_buckets;
+  Alcotest.(check int) "every statement observed" (Workload.size w)
+    st.Scale.st_statements;
+  Alcotest.(check (float 1e-9)) "fold ratio"
+    (float_of_int st.Scale.st_statements /. float_of_int st.Scale.st_buckets)
+    (Scale.fold_ratio st);
+  (* Snapshot publishes the gauges. *)
+  let t = Scale.create ~eps:0.0 svc in
+  Scale.observe_workload t w;
+  ignore (Scale.snapshot t);
+  Alcotest.(check (option (float 1e-9))) "scale_buckets gauge"
+    (Some (float_of_int distinct))
+    (Im_obs.Metrics.find_value "scale_buckets")
+
+(* ---- Batched scoring: bit-identical to the plain service ---- *)
+
+let test_score_matches_service () =
+  let db = Lazy.force sdb in
+  let w = replicate ~times:2 (rags ~seed:51 12 db) in
+  let svc = Service.create ~derive:true db in
+  let t = Scale.create ~eps:0.1 svc in
+  Scale.observe_workload t w;
+  let snap = Scale.snapshot t in
+  let configs =
+    [
+      Config.empty;
+      Im_tuning.Initial_config.build db w ~rng:(Im_util.Rng.create 7) ~n:5;
+      Im_tuning.Initial_config.per_query_union db w;
+    ]
+  in
+  let scores = Scale.score t configs in
+  List.iteri
+    (fun i config ->
+      Alcotest.(check int64)
+        (Printf.sprintf "config %d bit-identical" i)
+        (bits (Service.workload_cost svc config snap))
+        (bits scores.(i)))
+    configs
+
+(* ---- The deviation bound ---- *)
+
+let deviation_configs db w seed =
+  [
+    Config.empty;
+    Im_tuning.Initial_config.build db w
+      ~rng:(Im_util.Rng.create ((seed * 3) + 1))
+      ~n:6;
+    Im_tuning.Initial_config.per_query_union db w;
+  ]
+
+let check_bound db svc eps w seed =
+  let c, st = Scale.compress_workload ~eps svc w in
+  let budget_ok = st.Scale.st_eps_bound <= eps +. 1e-12 in
+  let mass_ok =
+    Float.abs (Workload.total_freq w -. Workload.total_freq c) <= 1e-6
+  in
+  let deviation_ok =
+    List.for_all
+      (fun config ->
+        let exact = Service.workload_cost svc config w in
+        let approx = Service.workload_cost svc config c in
+        Float.abs (approx -. exact)
+        <= (st.Scale.st_eps_bound *. exact) +. 1e-6)
+      (deviation_configs db w seed)
+  in
+  budget_ok && mass_ok && deviation_ok
+
+let test_bound_property () =
+  let db = Lazy.force sdb in
+  let svc = Service.create ~derive:true db in
+  let gen = QCheck.(pair (int_bound 1000) (int_bound 2)) in
+  let prop (seed, ei) =
+    let eps = [| 0.05; 0.15; 0.5 |].(ei) in
+    let w = replicate ~times:2 (rags ~seed:(seed + 1) 20 db) in
+    check_bound db svc eps w seed
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:12
+       ~name:"measured deviation within reported bound, bound within budget"
+       gen prop)
+
+(* ---- ε = 0 search identity ---- *)
+
+let fingerprint items =
+  String.concat "; "
+    (List.map
+       (fun (it : Merge.item) ->
+         Printf.sprintf "%s<-[%s]"
+           (Index.to_string it.Merge.it_index)
+           (String.concat ", " (List.map Index.to_string it.Merge.it_parents)))
+       items)
+
+let test_search_eps0_identity () =
+  let db = Lazy.force sdb in
+  (* Ragsgen workloads are duplicate-free, so ε = 0 compression is the
+     identity on them and the merged configuration must not move. *)
+  let w = rags ~seed:61 12 db in
+  let initial =
+    Im_tuning.Initial_config.build db w ~rng:(Im_util.Rng.create 13) ~n:5
+  in
+  let run compress =
+    Search.run ?compress ~cost_constraint:0.10 db w ~initial Search.Greedy
+  in
+  let plain = run None in
+  let compressed = run (Some 0.0) in
+  Alcotest.(check string) "identical merged configuration"
+    (fingerprint plain.Search.o_items)
+    (fingerprint compressed.Search.o_items);
+  Alcotest.(check int) "identical pages" plain.Search.o_final_pages
+    compressed.Search.o_final_pages;
+  Alcotest.(check (option (float 0.))) "identical cost (exact)"
+    plain.Search.o_final_cost compressed.Search.o_final_cost;
+  match compressed.Search.o_compression with
+  | None -> Alcotest.fail "compression stats missing"
+  | Some st ->
+    Alcotest.(check (float 0.)) "exact bound" 0. st.Scale.st_eps_bound
+
+let () =
+  Alcotest.run "im_scale"
+    [
+      ( "exactness",
+        [
+          tc "eps 0 = compress_identical" `Quick test_eps0_matches_identical;
+          tc "eps 0 idempotent" `Quick test_eps0_idempotent;
+        ] );
+      ( "determinism",
+        [
+          tc "bucketing deterministic" `Quick test_bucketing_deterministic;
+          tc "streaming = batch" `Quick test_streaming_matches_batch;
+        ] );
+      ("accounting", [ tc "fold accounting" `Quick test_fold_accounting ]);
+      ( "scoring",
+        [ tc "score = service (bitwise)" `Quick test_score_matches_service ] );
+      ("bound", [ tc "deviation property" `Quick test_bound_property ]);
+      ("search", [ tc "eps 0 identity" `Quick test_search_eps0_identity ]);
+    ]

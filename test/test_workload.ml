@@ -424,6 +424,45 @@ let test_compress_preserves_mass () =
         (Workload.total_freq c))
     [ 0.0; 0.1; 0.3; 0.7; 1.0 ]
 
+let test_compress_hashed_equals_linear () =
+  (* threshold 0 takes the O(n) hashed path; an infinitesimal positive
+     threshold takes the linear leader scan but can only merge
+     distance-0 (identical-signature) pairs — the two must agree
+     exactly, leaders, order and frequencies included. *)
+  let db = Lazy.force syn_db in
+  let w0 = Ragsgen.generate db ~rng:(Rng.create 94) ~n:40 in
+  let w =
+    Workload.of_entries ~name:"dup"
+      (w0.Workload.entries @ w0.Workload.entries)
+  in
+  let hashed = Compress.compress ~threshold:0.0 w in
+  let linear = Compress.compress ~threshold:1e-12 w in
+  Alcotest.(check int) "same size" (Workload.size linear) (Workload.size hashed);
+  Alcotest.(check (list string)) "same leaders in same order"
+    (List.map Query.canonical_string (Workload.queries linear))
+    (List.map Query.canonical_string (Workload.queries hashed));
+  Alcotest.(check (list (float 1e-9))) "same frequencies"
+    (List.map (fun e -> e.Workload.freq) linear.Workload.entries)
+    (List.map (fun e -> e.Workload.freq) hashed.Workload.entries)
+
+let test_signature_key () =
+  let db = Lazy.force syn_db in
+  let w = Ragsgen.generate db ~rng:(Rng.create 95) ~n:20 in
+  let qs = Workload.queries w in
+  (* Key equality coincides with distance 0 on every pair. *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let sa = Compress.signature a and sb = Compress.signature b in
+          Alcotest.(check bool)
+            (a.Query.q_id ^ " vs " ^ b.Query.q_id)
+            (Compress.distance sa sb = 0.)
+            (String.equal (Compress.signature_key sa)
+               (Compress.signature_key sb)))
+        qs)
+    qs
+
 let test_compress_preserves_updates () =
   let q = Query.make ~id:"u" [ "t0" ] in
   let w = Workload.with_updates (Workload.make [ q ]) [ ("t0", 10) ] in
@@ -540,6 +579,82 @@ let test_workload_file_bad_frequencies () =
   reject "-- freq:" "malformed";
   reject "-- freq: fast" "malformed"
 
+let test_workload_file_fold_streaming () =
+  (* fold sees exactly the statements load sees, one at a time, without
+     materializing the workload. *)
+  let db = Lazy.force syn_db in
+  let schema = Database.schema db in
+  let w = Ragsgen.generate db ~rng:(Rng.create 78) ~n:15 in
+  let path = Filename.temp_file "im_workload" ".sql" in
+  Im_workload.Workload_file.save w path;
+  (match
+     Im_workload.Workload_file.fold ~schema path ~init:[]
+       ~f:(fun acc q freq -> (Query.canonical_string q, freq) :: acc)
+   with
+   | Error m -> Alcotest.fail m
+   | Ok acc ->
+     let streamed = List.rev acc in
+     Alcotest.(check int) "same count" (Workload.size w) (List.length streamed);
+     List.iter2
+       (fun q (canon, _) ->
+         Alcotest.(check string) "same canonical query"
+           (Query.canonical_string q) canon)
+       (Workload.queries w) streamed);
+  Sys.remove path
+
+let test_workload_file_fold_freqs () =
+  let db = Lazy.force syn_db in
+  let schema = Database.schema db in
+  let text =
+    "-- freq: 3\nSELECT t0_c0 FROM t0;\n-- freq: 1.5\nSELECT t0_c1 FROM t0;"
+  in
+  let path = Filename.temp_file "im_workload" ".sql" in
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text);
+  (match
+     Im_workload.Workload_file.fold ~schema path ~init:[]
+       ~f:(fun acc _ freq -> freq :: acc)
+   with
+   | Error m -> Alcotest.fail m
+   | Ok freqs ->
+     Alcotest.(check (list (option (float 1e-9)))) "annotations stream through"
+       [ Some 3.; Some 1.5 ] (List.rev freqs));
+  Sys.remove path;
+  (* Unannotated statements stream as None. *)
+  let path = Filename.temp_file "im_workload" ".sql" in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc "SELECT t0_c0 FROM t0;");
+  (match
+     Im_workload.Workload_file.fold ~schema path ~init:[]
+       ~f:(fun acc _ freq -> freq :: acc)
+   with
+   | Error m -> Alcotest.fail m
+   | Ok freqs ->
+     Alcotest.(check (list (option (float 1e-9)))) "no annotation -> None"
+       [ None ] freqs);
+  Sys.remove path
+
+let test_workload_file_fold_errors () =
+  let db = Lazy.force syn_db in
+  let schema = Database.schema db in
+  (match
+     Im_workload.Workload_file.fold ~schema "/nonexistent/file.sql" ~init:0
+       ~f:(fun n _ _ -> n + 1)
+   with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "missing file accepted");
+  let path = Filename.temp_file "im_workload" ".sql" in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc "SELECT nope FROM t0;");
+  (match
+     Im_workload.Workload_file.fold ~schema path ~init:0
+       ~f:(fun n _ _ -> n + 1)
+   with
+   | Error m ->
+     Alcotest.(check bool) "statement number in message" true
+       (Astring_contains.contains m "statement 1")
+   | Ok _ -> Alcotest.fail "bad column accepted");
+  Sys.remove path
+
 let test_workload_updates_field () =
   let w = Workload.make [ Query.make ~id:"u" [ "t0" ] ] in
   Alcotest.(check bool) "no updates by default" false (Workload.has_updates w);
@@ -584,6 +699,8 @@ let () =
           tc "deterministic" `Quick test_compress_deterministic;
           tc "idempotent" `Quick test_compress_idempotent;
           tc "preserves mass" `Quick test_compress_preserves_mass;
+          tc "hashed path = linear path" `Quick test_compress_hashed_equals_linear;
+          tc "signature key" `Quick test_signature_key;
           tc "preserves updates" `Quick test_compress_preserves_updates;
         ] );
       ( "files",
@@ -593,6 +710,9 @@ let () =
           tc "errors" `Quick test_workload_file_errors;
           tc "annotation whitespace" `Quick test_workload_file_annotation_whitespace;
           tc "bad frequencies" `Quick test_workload_file_bad_frequencies;
+          tc "fold streams statements" `Quick test_workload_file_fold_streaming;
+          tc "fold streams frequencies" `Quick test_workload_file_fold_freqs;
+          tc "fold errors" `Quick test_workload_file_fold_errors;
           tc "updates field" `Quick test_workload_updates_field;
         ] );
       ( "generators",
