@@ -89,6 +89,9 @@ let run () =
     "EXP-PAR parallel search: result identity + speedup (fig5/6 setup)";
   Printf.printf "recommended_domain_count: %d\n%!"
     (Domain.recommended_domain_count ());
+  (* (exhaustive_s at domains=0, at domains=4) per database, for the
+     aggregate speedup gate below. *)
+  let exhaustive_agg = ref [] in
   let rows, json_dbs =
     List.split
       (List.map
@@ -103,6 +106,8 @@ let run () =
              List.map (fun d -> (d, measure ~domains:d db workload)) domain_settings
            in
            let (g0, g0_s), (e0, e0_s) = List.assoc 0 settings in
+           let _, (_, e4_s) = List.assoc 4 settings in
+           exhaustive_agg := (e0_s, e4_s) :: !exhaustive_agg;
            let setting_rows, setting_json =
              List.split
                (List.map
@@ -142,6 +147,65 @@ let run () =
       [ "db"; "domains"; "greedy s"; "greedy x"; "exhaustive s";
         "exhaustive x"; "result" ]
     ~rows:(List.concat rows);
+  (* Batching audit: the task-size distribution every queued chunk
+     recorded into [par_task_seconds], and the chunk sizes the batcher
+     chose.  Both go into the artifact so the heuristic is auditable
+     across runs. *)
+  let task_h = Im_obs.Metrics.histogram "par_task_seconds" in
+  let task_p50_s = Im_obs.Metrics.Histogram.percentile task_h 0.5 in
+  let task_buckets = Im_obs.Metrics.Histogram.nonzero_buckets task_h in
+  let chunk_decisions = Pool.Batcher.decisions () in
+  Printf.printf "\ntask-size histogram (%d tasks, p50 <= %.0f us):\n"
+    (Im_obs.Metrics.Histogram.count task_h) (task_p50_s *. 1e6);
+  List.iter
+    (fun (upper_s, count) ->
+      Printf.printf "  <= %10.1f us : %d\n" (upper_s *. 1e6) count)
+    task_buckets;
+  List.iter
+    (fun site ->
+      let h =
+        Im_obs.Metrics.histogram ~labels:[ ("site", site) ] "par_chunk_seconds"
+      in
+      let c = Im_obs.Metrics.Histogram.count h in
+      if c > 0 then
+        Printf.printf "chunks at %-18s %5d chunks, p50 <= %8.1f us\n" site c
+          (Im_obs.Metrics.Histogram.percentile h 0.5 *. 1e6))
+    [
+      "greedy_score"; "greedy_accept"; "exhaustive_block"; "exhaustive_score";
+      "exhaustive_accept"; "service_workload"; "scale_score";
+    ];
+  Printf.printf "batch chunk sizes chosen (site chunk xtimes):\n";
+  List.iter
+    (fun (site, chunk, times) ->
+      Printf.printf "  %-18s %6d  x%d\n"
+        (if site = "" then "?" else site)
+        chunk times)
+    chunk_decisions;
+  (* Aggregate exhaustive speedup at 4 domains over all databases. *)
+  let sum f = Im_util.List_ext.sum_by_f f !exhaustive_agg in
+  let exhaustive_speedup_4 = speedup (sum fst) (sum snd) in
+  Printf.printf "aggregate exhaustive speedup at 4 domains: %.2fx\n%!"
+    exhaustive_speedup_4;
+  (* Gates.  On a multicore runner the batching must actually pay; on
+     a single-core runner no parallel speedup exists, so assert the
+     granularity invariant instead: the median queued task is at least
+     100 us (was ~4 us before cost-aware batching). *)
+  if Domain.recommended_domain_count () >= 4 then begin
+    if exhaustive_speedup_4 <= 1.5 then
+      failwith
+        (Printf.sprintf
+           "exhaustive speedup at 4 domains is %.2fx on a %d-core runner \
+            (need > 1.5x)"
+           exhaustive_speedup_4
+           (Domain.recommended_domain_count ()))
+  end
+  else if Im_obs.Metrics.Histogram.count task_h > 0 && task_p50_s < 100e-6
+  then
+    failwith
+      (Printf.sprintf
+         "p50 queued-task size is %.1f us (need >= 100 us): batching is \
+          producing confetti tasks again"
+         (task_p50_s *. 1e6));
   let out =
     match Sys.getenv_opt "IM_BENCH_OUT" with
     | Some p when p <> "" -> p
@@ -152,10 +216,26 @@ let run () =
     (Printf.sprintf
        "{\n  \"experiment\": \"par\",\n  \"recommended_domain_count\": %d,\n\
        \  \"domain_settings\": [%s],\n  \"databases\": [\n%s\n  ],\n\
+       \  \"exhaustive_speedup_4\": %.3f,\n  \"task_p50_us\": %.1f,\n\
+       \  \"task_seconds_histogram\": [%s],\n  \"batch_chunks\": [%s],\n\
        \  \"metrics\": %s\n}\n"
        (Domain.recommended_domain_count ())
        (String.concat ", " (List.map string_of_int domain_settings))
        (String.concat ",\n" json_dbs)
+       exhaustive_speedup_4 (task_p50_s *. 1e6)
+       (String.concat ", "
+          (List.map
+             (fun (upper_s, count) ->
+               Printf.sprintf "{\"le_us\": %.3f, \"count\": %d}"
+                 (upper_s *. 1e6) count)
+             task_buckets))
+       (String.concat ", "
+          (List.map
+             (fun (site, chunk, times) ->
+               Printf.sprintf
+                 "{\"site\": \"%s\", \"chunk\": %d, \"times\": %d}" site chunk
+                 times)
+             chunk_decisions))
        (Im_obs.Metrics.to_json ()));
   close_out oc;
   Printf.printf "\nwrote %s\n" out

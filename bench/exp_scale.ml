@@ -368,14 +368,17 @@ let run () =
        \  \"max_rel_deviation\": %.6f,\n  \"exact_folds\": %d,\n\
        \  \"approx_folds\": %d,\n  \"probe_costs\": %d,\n\
        \  \"opt_invocations\": %d,\n  \"opt_invocation_bar\": %d,\n\
-       \  \"stream_s\": %.3f,\n  \"score_s\": %.3f,\n\
+       \  \"stream_s\": %.3f,\n  \"stream_us_per_stmt\": %.2f,\n\
+       \  \"score_s\": %.3f,\n\
        \  \"online\": {\"epochs\": %d, \"tuning_s\": %.3f, \"intake_s\": \
         %.3f, \"buckets\": %d, \"eps_bound\": %.6f},\n\
        \  \"identity\": \"ok\",\n  \"metrics\": %s\n}\n"
        streamed eps st.Scale.st_buckets ratio min_ratio
        st.Scale.st_eps_bound max_dev st.Scale.st_exact_folds
        st.Scale.st_approx_folds st.Scale.st_probe_costs invocations
-       invocation_bar stream_s score_s n_epochs epoch_s feed_s
+       invocation_bar stream_s
+       (stream_s /. float_of_int (max 1 streamed) *. 1e6)
+       score_s n_epochs epoch_s feed_s
        online_scale.Scale.st_buckets online_scale.Scale.st_eps_bound
        (Im_obs.Metrics.to_json ()));
   close_out oc;

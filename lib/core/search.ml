@@ -4,6 +4,7 @@ module Index = Im_catalog.Index
 module Workload = Im_workload.Workload
 module List_ext = Im_util.List_ext
 module Service = Im_costsvc.Service
+module Score_table = Im_costsvc.Score_table
 module Pool = Im_par.Pool
 
 type strategy = Greedy | Exhaustive_search of { config_limit : int }
@@ -57,61 +58,76 @@ let items_pages db items =
    over items equals [Database.config_storage_pages] because a
    configuration's storage is defined as the sum of its indexes'. *)
 let page_memo db =
-  (* The memo is shared by parallel candidate scoring, so the table is
-     mutex-guarded; values are pure in the id, so a lost race costs a
-     duplicate computation at most and both sides agree. *)
-  let memo : (int, int) Hashtbl.t = Hashtbl.create 64 in
-  let lock = Mutex.create () in
+  (* Id-indexed flat int table: the read path is one lock-free array
+     load (the memo is shared by parallel candidate scoring). Values
+     are pure in the id, so a reader racing the store recomputes at
+     most once and both sides agree. *)
+  let memo = Score_table.Ints.create () in
   fun ix ->
     let id = Index.intern ix in
-    Mutex.lock lock;
-    let cached = Hashtbl.find_opt memo id in
-    Mutex.unlock lock;
-    match cached with
-    | Some p -> p
-    | None ->
-      let p = Database.index_pages db ix in
-      Mutex.lock lock;
-      Hashtbl.replace memo id p;
-      Mutex.unlock lock;
-      p
+    Score_table.Ints.find_or_compute memo id (fun () ->
+        Database.index_pages db ix)
 
-(* Speculative ordered scan: find the first element of [xs] (already in
-   its decision order) satisfying [accept], evaluating a wave of
-   domains+1 elements in parallel and discarding verdicts after the
-   first hit. The chosen element — and therefore the search result — is
-   exactly the sequential scan's for any pool size; only the number of
-   evaluations performed (and thus cache/counter tallies) can differ.
-   Returns the element with its 0-based position. *)
-let find_first_ordered pool accept xs =
-  let rec pick i cs fs =
-    match (cs, fs) with
-    | c :: _, true :: _ -> Some (c, i)
-    | _ :: cs, _ :: fs -> pick (i + 1) cs fs
-    | _, _ -> None
+(* Speculative ordered scan: find the first index in [0, n) (already in
+   its decision order) satisfying [accept]. The parallel path evaluates
+   a wave of cost-sized chunks at a time — [batcher] sizes each queued
+   task near its target from the measured per-acceptance cost, and a
+   wave is one such chunk per effective domain — then picks the first
+   acceptable index in order, discarding later verdicts. The chosen
+   index — and therefore the search result — is exactly the sequential
+   scan's for any pool size; only the number of evaluations performed
+   (and thus cache/counter tallies) can differ. Returns the winning
+   index with its 0-based scan position. *)
+let find_first_ordered pool ~batcher accept n =
+  let seq_scan from =
+    let rec go i =
+      if i >= n then None else if accept i then Some (i, i) else go (i + 1)
+    in
+    go from
   in
   match Pool.domain_count pool with
-  | 0 ->
-    (* Sequential: evaluate nothing past the chosen element. *)
-    let rec go i = function
-      | [] -> None
-      | x :: rest -> if accept x then Some (x, i) else go (i + 1) rest
+  | 0 -> seq_scan 0 (* evaluate nothing past the chosen index *)
+  | w ->
+    let workers = w + 1 in
+    let rec scan offset =
+      if offset >= n then None
+      else begin
+        let rem = n - offset in
+        let chunk = Pool.Batcher.chunk_for batcher ~workers ~n:rem in
+        if chunk >= rem then
+          (* Too little remaining work to pay for speculation: finish
+             sequentially with early exit on the calling domain. *)
+          seq_scan offset
+        else begin
+          let wave = min rem (chunk * workers) in
+          let flags =
+            Pool.map_batched pool ~batcher accept
+              (List.init wave (fun k -> offset + k))
+          in
+          let rec pick i = function
+            | [] -> None
+            | true :: _ -> Some (i, i)
+            | false :: fs -> pick (i + 1) fs
+          in
+          match pick offset flags with
+          | Some hit -> Some hit
+          | None -> scan (offset + wave)
+        end
+      end
     in
-    go 0 xs
-  | n ->
-    let wave = n + 1 in
-    let rec scan offset = function
-      | [] -> None
-      | l ->
-        let chunk = List_ext.take wave l in
-        let flags = Pool.parallel_map pool accept chunk in
-        (match pick offset chunk flags with
-         | Some hit -> Some hit
-         | None -> scan (offset + List.length chunk) (List_ext.drop wave l))
-    in
-    scan 0 xs
+    scan 0
 
 (* ---- Greedy (Figure 4) ---- *)
+
+(* One batcher per call site, for the process lifetime: the measured
+   per-element cost is a property of the call site, not of one search
+   invocation, and a fresh batcher starts from a blind seed whose first
+   waves are mis-sized. Persistent batchers mis-size only the very first
+   wave in the process; everything after runs on a converged estimate.
+   (Safe to share across domains and concurrent searches — the estimate
+   is a pair of atomics.) *)
+let greedy_score_batcher = Pool.Batcher.create ~name:"greedy_score" ()
+let greedy_accept_batcher = Pool.Batcher.create ~name:"greedy_accept" ()
 
 let greedy ~pool ~procedure ~evaluator ~service ~seek ~bound db workload
     initial =
@@ -119,6 +135,13 @@ let greedy ~pool ~procedure ~evaluator ~service ~seek ~bound db workload
   let merge_indexes current i1 i2 =
     Merge_pair.merge procedure ~db ~workload ~seek ?service ~current i1 i2
   in
+  (* Flat per-round intermediates, reused across rounds (waves): slot i
+     holds pair i's merged item, successor item list, and — in the
+     score table — its storage reduction. Scoring is a cost-batched
+     fill of disjoint slots. *)
+  let score_batcher = greedy_score_batcher in
+  let accept_batcher = greedy_accept_batcher in
+  let reductions = Score_table.create () in
   let rec loop items iterations =
     let same_table_pairs =
       List.filter
@@ -129,54 +152,69 @@ let greedy ~pool ~procedure ~evaluator ~service ~seek ~bound db workload
     if same_table_pairs = [] then (items, iterations)
     else begin
       let current_config = Merge.config_of_items items in
-      (* Every pair of a round is independent — score them on the pool
-         (order-preserving, so the sort below sees the sequential
-         candidate order). *)
-      let candidates =
-        Pool.parallel_map pool
-          (fun (left, right) ->
-            let merged_index =
-              merge_indexes current_config left.Merge.it_index
-                right.Merge.it_index
-            in
-            let merged_item =
-              {
-                Merge.it_index = merged_index;
-                it_parents = left.Merge.it_parents @ right.Merge.it_parents;
-              }
-            in
-            let new_items =
-              merged_item
-              :: List.filter (fun it -> it != left && it != right) items
-            in
-            (* Replacing {left, right} by merged changes nothing else, so
-               the pair's storage reduction needs only three memoized
-               page counts — not an O(n) rescan of the configuration. *)
-            let reduction =
-              index_pages left.Merge.it_index
-              + index_pages right.Merge.it_index
-              - index_pages merged_index
-            in
-            (left, right, merged_item, new_items, reduction))
-          same_table_pairs
-      in
-      let viable =
-        List.filter (fun (_, _, _, _, r) -> r > 0) candidates
-        |> List.stable_sort (fun (_, _, _, _, r1) (_, _, _, _, r2) ->
-               compare r2 r1)
-      in
+      let pairs = Array.of_list same_table_pairs in
+      let n = Array.length pairs in
+      let merged = Array.make n None in
+      let successors = Array.make n [] in
+      Score_table.ensure reductions ~rows:1 ~cols:n;
+      (* Every pair of a round is independent — fill its slot on the
+         pool (slot order is the sequential candidate order, so the
+         sort below sees exactly the sequential input). *)
+      Pool.fill_batched pool ~batcher:score_batcher ~n (fun i ->
+          let left, right = pairs.(i) in
+          let merged_index =
+            merge_indexes current_config left.Merge.it_index
+              right.Merge.it_index
+          in
+          let merged_item =
+            {
+              Merge.it_index = merged_index;
+              it_parents = left.Merge.it_parents @ right.Merge.it_parents;
+            }
+          in
+          merged.(i) <- Some merged_item;
+          successors.(i) <-
+            merged_item
+            :: List.filter (fun it -> it != left && it != right) items;
+          (* Replacing {left, right} by merged changes nothing else, so
+             the pair's storage reduction needs only three memoized
+             page counts — not an O(n) rescan of the configuration.
+             Page counts are exact in a float cell (integers far below
+             2^53), so float ordering equals int ordering. *)
+          Score_table.set reductions ~row:0 ~col:i
+            (float_of_int
+               (index_pages left.Merge.it_index
+               + index_pages right.Merge.it_index
+               - index_pages merged_index)));
+      (* Decision order stays the sequential one: viable pairs sorted
+         by reduction descending, ties in candidate order (the
+         original-slot tie-break reproduces the stable sort). *)
+      let red i = Score_table.get reductions ~row:0 ~col:i in
+      let viable = ref [] in
+      for i = n - 1 downto 0 do
+        if red i > 0. then viable := i :: !viable
+      done;
+      let order = Array.of_list !viable in
+      Array.sort
+        (fun i j ->
+          let c = compare (red j) (red i) in
+          if c <> 0 then c else compare i j)
+        order;
       let accepted =
-        find_first_ordered pool
-          (fun (left, right, merged_item, new_items, _) ->
-            Cost_eval.accepts evaluator ~items:new_items
+        find_first_ordered pool ~batcher:accept_batcher
+          (fun k ->
+            let i = order.(k) in
+            let left, right = pairs.(i) in
+            let merged_item = Option.get merged.(i) in
+            Cost_eval.accepts evaluator ~items:successors.(i)
               ~merged:merged_item.Merge.it_index
               ~parents:(left.Merge.it_index, right.Merge.it_index)
               ~bound:(Option.value bound ~default:infinity))
-          viable
+          (Array.length order)
       in
       match accepted with
       | None -> (items, iterations + 1)
-      | Some ((_, _, _, new_items, _), _) -> loop new_items (iterations + 1)
+      | Some (k, _) -> loop successors.(order.(k)) (iterations + 1)
     end
   in
   loop (Merge.items_of_config initial) 0
@@ -239,10 +277,19 @@ let cartesian (lists : 'a list list) ~limit =
   let combos = List.fold_left combine [ [] ] lists in
   (List.map List.rev combos, !truncated)
 
+(* Per-call-site batchers, process lifetime (see the greedy note). *)
+let exhaustive_block_batcher = Pool.Batcher.create ~name:"exhaustive_block" ()
+let exhaustive_score_batcher = Pool.Batcher.create ~name:"exhaustive_score" ()
+let exhaustive_accept_batcher =
+  Pool.Batcher.create ~name:"exhaustive_accept" ()
+
 let exhaustive ~pool ~procedure ~evaluator ~service ~seek ~bound ~config_limit
     db workload initial =
   let numeric = Cost_eval.is_numeric evaluator in
   let index_pages = page_memo db in
+  let block_batcher = exhaustive_block_batcher in
+  let score_batcher = exhaustive_score_batcher in
+  let accept_batcher = exhaustive_accept_batcher in
   let by_table = List_ext.group_by (fun ix -> ix.Index.idx_table) initial in
   let truncated_blocks = ref false in
   let per_table_options =
@@ -254,10 +301,11 @@ let exhaustive ~pool ~procedure ~evaluator ~service ~seek ~bound ~config_limit
         (* Each partition yields one option per combination of its
            blocks' candidate merge orders. Partitions are independent
            (merge_block is where the permutation scoring lives), so
-           they fan out on the pool; the truncation flag is folded in
-           afterwards, on the calling domain. *)
+           they fan out on the pool in cost-sized chunks; the
+           truncation flag is folded in afterwards, on the calling
+           domain. *)
         let per_partition =
-          Pool.parallel_map pool
+          Pool.map_batched pool ~batcher:block_batcher
             (fun partition ->
               let block_candidates =
                 List.map
@@ -278,16 +326,32 @@ let exhaustive ~pool ~procedure ~evaluator ~service ~seek ~bound ~config_limit
   in
   let combos, truncated = cartesian per_table_options ~limit:config_limit in
   let truncated = truncated || !truncated_blocks in
-  let configurations = List.map List.concat combos in
-  let scored =
-    List.map
-      (fun items ->
-        ( items,
-          List_ext.sum_by (fun it -> index_pages it.Merge.it_index) items ))
-      configurations
-    |> List.stable_sort (fun (_, a) (_, b) -> compare a b)
-  in
-  let ok items =
+  let configurations = Array.of_list (List.map List.concat combos) in
+  let n = Array.length configurations in
+  (* Flat page-sum score table, one column per enumerated
+     configuration, filled in cost-sized ranges (page sums are exact in
+     a float cell, so float ordering equals int ordering). *)
+  let pages = Score_table.create ~rows:1 ~cols:n () in
+  Pool.fill_batched pool ~batcher:score_batcher ~n (fun i ->
+      Score_table.set pages ~row:0 ~col:i
+        (float_of_int
+           (List_ext.sum_by
+              (fun it -> index_pages it.Merge.it_index)
+              configurations.(i))));
+  (* Decision order stays the sequential one: storage ascending, ties
+     in enumeration order (the original-slot tie-break reproduces the
+     stable sort). *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      let c =
+        compare (Score_table.get pages ~row:0 ~col:i)
+          (Score_table.get pages ~row:0 ~col:j)
+      in
+      if c <> 0 then c else compare i j)
+    order;
+  let ok k =
+    let items = configurations.(order.(k)) in
     List.for_all (Cost_eval.accepts_item evaluator) items
     && ((not numeric)
         || Cost_eval.workload_cost evaluator (Merge.config_of_items items)
@@ -296,9 +360,9 @@ let exhaustive ~pool ~procedure ~evaluator ~service ~seek ~bound ~config_limit
   (* [examined] is derived from the winner's position in the scored
      order, so it reports the same count whether the speculative scan
      evaluated extra configurations or not. *)
-  match find_first_ordered pool (fun (items, _) -> ok items) scored with
-  | Some ((items, _), i) -> (items, i + 1, truncated)
-  | None -> (Merge.items_of_config initial, List.length scored, truncated)
+  match find_first_ordered pool ~batcher:accept_batcher ok n with
+  | Some (k, _) -> (configurations.(order.(k)), k + 1, truncated)
+  | None -> (Merge.items_of_config initial, n, truncated)
 
 (* ---- Entry point ---- *)
 

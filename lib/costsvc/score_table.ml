@@ -1,0 +1,144 @@
+(* Flat score tables over dense interned ids.
+
+   The searches' hot intermediates used to be lists of tuples rebuilt
+   every round: candidate → (left, right, merged, reduction) records,
+   workload → per-entry cost lists. Each cell is one float, but the
+   list spine and tuple boxes cost pointer-chasing and allocation
+   exactly where the domain pool wants cache-friendly disjoint writes.
+   A score table is the flat replacement: one [float array] in
+   query-major (row-major) layout — row = query/candidate slot, column
+   = configuration/pair slot — preallocated once and reused across
+   waves (growing geometrically, never shrinking), so a wave's scoring
+   pass is [Pool.fill_batched] writing disjoint cells of one array.
+
+   OCaml unboxes [float array], so a row is contiguous doubles: a
+   worker filling a column range touches memory linearly.
+
+   A table is owned by one call site and filled by at most one wave at
+   a time; workers write disjoint cells (the [fill_batched] contract)
+   and the pool's batch mutex publishes the writes, so the table needs
+   no locking of its own. *)
+
+type t = {
+  mutable st_data : float array;
+  mutable st_rows : int;
+  mutable st_cols : int;
+}
+
+let create ?(rows = 0) ?(cols = 0) () =
+  if rows < 0 || cols < 0 then invalid_arg "Score_table.create";
+  { st_data = Array.make (max 1 (rows * cols)) 0.; st_rows = rows; st_cols = cols }
+
+let rows t = t.st_rows
+let cols t = t.st_cols
+
+let ensure t ~rows ~cols =
+  if rows < 0 || cols < 0 then invalid_arg "Score_table.ensure";
+  let need = rows * cols in
+  if need > Array.length t.st_data then begin
+    let cap = ref (max 16 (Array.length t.st_data)) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    t.st_data <- Array.make !cap 0.
+  end;
+  t.st_rows <- rows;
+  t.st_cols <- cols
+
+let check t ~row ~col =
+  if row < 0 || row >= t.st_rows || col < 0 || col >= t.st_cols then
+    invalid_arg "Score_table: cell out of bounds"
+
+let set t ~row ~col v =
+  check t ~row ~col;
+  t.st_data.(row * t.st_cols + col) <- v
+
+let get t ~row ~col =
+  check t ~row ~col;
+  t.st_data.(row * t.st_cols + col)
+
+(* ---- Id→slot mapping ---- *)
+
+(* Interned ids are dense ints process-wide, but a wave sees an
+   arbitrary subset (the workload's query ids, a round's candidate
+   ids). [Slots] assigns them the dense 0..n-1 row/column slots of a
+   table, with array-backed O(1) lookup — the id→slot contract of
+   DESIGN §2h. *)
+module Slots = struct
+  type m = { sl_of_id : int array; sl_n : int }
+
+  let of_ids ids =
+    let max_id = Array.fold_left max (-1) ids in
+    let of_id = Array.make (max_id + 1) (-1) in
+    Array.iteri
+      (fun slot id ->
+        if id < 0 then invalid_arg "Score_table.Slots.of_ids: negative id";
+        if of_id.(id) <> -1 then
+          invalid_arg "Score_table.Slots.of_ids: duplicate id";
+        of_id.(id) <- slot)
+      ids;
+    { sl_of_id = of_id; sl_n = Array.length ids }
+
+  let cardinal m = m.sl_n
+
+  let slot m id =
+    if id >= 0 && id < Array.length m.sl_of_id then m.sl_of_id.(id) else -1
+end
+
+(* ---- Id-indexed int table ---- *)
+
+(* Memo table keyed directly by interned id (the page memo's shape):
+   an int array published through an [Atomic], grown copy-on-write.
+   Reads are lock-free — a plain array load; the stored values are
+   pure in the id, so a reader racing a writer sees either the value
+   or [absent] and at worst recomputes (the same benign-race
+   discipline the mutex-free interning snapshots use). Writes
+   serialize on a mutex; growth allocates a fresh array and publishes
+   it via [Atomic.set], so no reader ever sees a torn resize. *)
+module Ints = struct
+  type table = {
+    it_snapshot : int array Atomic.t;
+    it_lock : Mutex.t;
+    it_absent : int;
+  }
+
+  let create ?(absent = min_int) () =
+    { it_snapshot = Atomic.make [||]; it_lock = Mutex.create (); it_absent = absent }
+
+  let find t id =
+    if id < 0 then None
+    else begin
+      let a = Atomic.get t.it_snapshot in
+      if id < Array.length a then
+        let v = Array.unsafe_get a id in
+        if v = t.it_absent then None else Some v
+      else None
+    end
+
+  let store t id v =
+    if id < 0 then invalid_arg "Score_table.Ints.store: negative id";
+    if v = t.it_absent then
+      invalid_arg "Score_table.Ints.store: value equals the absent sentinel";
+    Mutex.lock t.it_lock;
+    let a = Atomic.get t.it_snapshot in
+    if id < Array.length a then a.(id) <- v
+    else begin
+      let cap = ref (max 64 (Array.length a)) in
+      while !cap <= id do
+        cap := !cap * 2
+      done;
+      let b = Array.make !cap t.it_absent in
+      Array.blit a 0 b 0 (Array.length a);
+      b.(id) <- v;
+      Atomic.set t.it_snapshot b
+    end;
+    Mutex.unlock t.it_lock
+
+  let find_or_compute t id f =
+    match find t id with
+    | Some v -> v
+    | None ->
+      let v = f () in
+      store t id v;
+      v
+end

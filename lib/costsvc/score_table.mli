@@ -1,0 +1,74 @@
+(** Flat score tables over dense interned ids — the cache-friendly
+    replacement for the searches' list-of-records intermediates.
+
+    A table is a preallocated [float array] in query-major (row-major)
+    layout: row = query/candidate slot, column = configuration/pair
+    slot, one cell per score. {!ensure} reuses the backing buffer
+    across waves (growing geometrically, never shrinking), so a scoring
+    round allocates nothing in the steady state and a
+    {!Im_par.Pool.fill_batched} wave writes disjoint cells of one
+    contiguous unboxed array.
+
+    Thread discipline: a table is owned by one call site; at most one
+    wave fills it at a time, each worker writing disjoint cells. The
+    pool's batch mutex publishes the writes, so the owner reads the
+    table without further synchronisation and the table itself carries
+    no lock. See DESIGN §2h. *)
+
+type t
+
+val create : ?rows:int -> ?cols:int -> unit -> t
+(** An empty table, optionally pre-sized. Raises [Invalid_argument] on
+    negative dimensions. *)
+
+val ensure : t -> rows:int -> cols:int -> unit
+(** Resize for the next wave, reusing the backing buffer when it is
+    large enough. Cell contents are unspecified afterwards — the wave
+    must write every cell it later reads. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val set : t -> row:int -> col:int -> float -> unit
+val get : t -> row:int -> col:int -> float
+(** Bounds-checked cell access; raises [Invalid_argument] outside
+    [rows × cols]. *)
+
+(** Dense id→slot assignment: interned ids are dense process-wide but
+    a wave sees an arbitrary subset; [Slots.of_ids ids] gives id
+    [ids.(i)] the table slot [i], with array-backed O(1) lookup. *)
+module Slots : sig
+  type m
+
+  val of_ids : int array -> m
+  (** Raises [Invalid_argument] on a negative or duplicate id. *)
+
+  val slot : m -> int -> int
+  (** The slot of an id, [-1] when the id was not in [of_ids]'s
+      array. *)
+
+  val cardinal : m -> int
+end
+
+(** Id-indexed int memo (the page memo's shape): an int array published
+    through an [Atomic], lock-free reads, mutex-serialized writes,
+    copy-on-write growth. Values must be pure in the id — a reader
+    racing a writer may miss a just-stored value and recompute it. *)
+module Ints : sig
+  type table
+
+  val create : ?absent:int -> unit -> table
+  (** [absent] (default [min_int]) is the in-array sentinel for "not
+      stored"; {!store} rejects it as a value. *)
+
+  val find : table -> int -> int option
+
+  val store : table -> int -> int -> unit
+  (** Raises [Invalid_argument] on a negative id or the sentinel
+      value. *)
+
+  val find_or_compute : table -> int -> (unit -> int) -> int
+  (** Memoized read: compute-and-store on a miss. The computation runs
+      outside the table lock; concurrent misses may both compute (pure
+      values agree). *)
+end

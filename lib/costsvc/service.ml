@@ -77,6 +77,13 @@ type t = {
   cost_evals : int Atomic.t;  (* workload-level; callers may be parallel *)
 }
 
+(* Sizes the chunks of pooled workload costing from measured per-query
+   cost. One batcher for the call site, not per service: per-query cost
+   is a property of this code path (what-if eval, usually answered from
+   cached atoms), and a service-lifetime batcher would relearn it from
+   a blind seed on every fresh service — mis-sizing its first fills. *)
+let workload_batcher = Im_par.Pool.Batcher.create ~name:"service_workload" ()
+
 let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
 
 let create ?(capacity = 8192) ?(shards = 1) ?update_cost ?(derive = false) db =
@@ -294,18 +301,27 @@ let workload_cost ?query_cost:override ?pool t config w =
   let queries =
     match pool with
     | Some p when Im_par.Pool.domain_count p > 0 ->
-      (* Per-query costs in parallel, then the exact left-to-right
-         weighted fold of [Workload.weighted_cost] — same float
-         operations in the same order, so the sum is bit-identical to
-         the sequential path. *)
-      let costs =
-        Im_par.Pool.parallel_map p
-          (fun e -> per_query e.Workload.query)
-          w.Workload.entries
-      in
-      List.fold_left2
-        (fun acc e c -> acc +. (e.Workload.freq *. c))
-        0. w.Workload.entries costs
+      (* Per-query costs land in a flat score table (one row, one
+         column per entry): cost-sized contiguous ranges on the pool,
+         each worker writing disjoint cells. The combination is the
+         exact left-to-right weighted fold of
+         [Workload.weighted_cost] — same float operations in the same
+         order, so the sum is bit-identical to the sequential path.
+         The table is per call (callers may cost workloads
+         concurrently on a shared service), the batcher's cost
+         estimate is per service. *)
+      let entries = Array.of_list w.Workload.entries in
+      let n = Array.length entries in
+      let costs = Score_table.create ~rows:1 ~cols:n () in
+      Im_par.Pool.fill_batched p ~batcher:workload_batcher ~n (fun i ->
+          Score_table.set costs ~row:0 ~col:i
+            (per_query entries.(i).Workload.query));
+      let total = ref 0. in
+      for i = 0 to n - 1 do
+        total :=
+          !total +. (entries.(i).Workload.freq *. Score_table.get costs ~row:0 ~col:i)
+      done;
+      !total
     | Some _ | None -> Workload.weighted_cost ~cost:per_query w
   in
   let updates =

@@ -275,8 +275,17 @@ let query_cost t config q =
    would — answers are bit-identical to [plan]/[query_cost], and the
    derived/fallback counters advance the same way. Only the atom
    hit/miss counters differ: repeats hit the private memo instead of
-   the shared cache. A batch is not domain-safe; share the deriver,
-   not the batch. *)
+   the shared cache.
+
+   Domain safety: the private memo is guarded by a per-batch mutex
+   held across the miss path, so two domains costing configurations on
+   one batch and missing on the same key serialize — the loser finds
+   the memo entry, the striped cache is consulted exactly once per
+   key, and the deriver's atom hit/miss counters equal a sequential
+   run's (the costsvc/derive shard discipline, one level up). Lock
+   order is batch → shard and nothing acquires them the other way
+   round. This is what lets [Scale.score] fan a compressed epoch's
+   scoring onto the [Im_par] pool. *)
 module Batch = struct
   type batch_key = {
     bk_table : string;
@@ -289,6 +298,7 @@ module Batch = struct
     b_q : Query.t;
     b_qid : int;
     b_class : fallback option;
+    b_lock : Mutex.t;
     b_atoms : (batch_key, Access_path.atom) Hashtbl.t;
     b_heaps : (string * string option, Access_path.choice) Hashtbl.t;
   }
@@ -299,6 +309,7 @@ module Batch = struct
       b_q = q;
       b_qid = Query.intern q;
       b_class = classify q;
+      b_lock = Mutex.create ();
       b_atoms = Hashtbl.create 16;
       b_heaps = Hashtbl.create 4;
     }
@@ -313,29 +324,37 @@ module Batch = struct
       | None -> Access_path.candidates d.db config input
       | Some probe ->
         let tbl = input.Access_path.ap_table in
-        let heap =
-          match Hashtbl.find_opt b.b_heaps (tbl, probe) with
-          | Some h -> h
-          | None ->
-            let h = cached_heap d ~qid:b.b_qid ~probe input in
-            Hashtbl.add b.b_heaps (tbl, probe) h;
-            h
-        in
-        let atoms =
-          List.map
-            (fun ix ->
-              let key =
-                { bk_table = tbl; bk_probe = probe; bk_index = Index.intern ix }
-              in
-              match Hashtbl.find_opt b.b_atoms key with
-              | Some a -> a
+        Mutex.lock b.b_lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock b.b_lock)
+          (fun () ->
+            let heap =
+              match Hashtbl.find_opt b.b_heaps (tbl, probe) with
+              | Some h -> h
               | None ->
-                let a = cached_atom d ~qid:b.b_qid ~probe input ix in
-                Hashtbl.add b.b_atoms key a;
-                a)
-            (Config.on_table config input.Access_path.ap_table)
-        in
-        Access_path.assemble d.db input ~heap atoms
+                let h = cached_heap d ~qid:b.b_qid ~probe input in
+                Hashtbl.add b.b_heaps (tbl, probe) h;
+                h
+            in
+            let atoms =
+              List.map
+                (fun ix ->
+                  let key =
+                    {
+                      bk_table = tbl;
+                      bk_probe = probe;
+                      bk_index = Index.intern ix;
+                    }
+                  in
+                  match Hashtbl.find_opt b.b_atoms key with
+                  | Some a -> a
+                  | None ->
+                    let a = cached_atom d ~qid:b.b_qid ~probe input ix in
+                    Hashtbl.add b.b_atoms key a;
+                    a)
+                (Config.on_table config input.Access_path.ap_table)
+            in
+            Access_path.assemble d.db input ~heap atoms)
     in
     {
       Optimizer.pa_best = (fun input -> Access_path.best_of (assemble input));

@@ -73,14 +73,20 @@ val query_cost :
 (** Batched recombination: pin one query, answer its cost under many
     configurations in one traversal of the atom cache. The first
     costing pulls the query's heap baselines and per-index atoms
-    through the striped cache into a private lock-free memo; each
-    further configuration re-assembles candidate lists from the memo
-    and re-runs only the planner arithmetic. Answers are bit-identical
-    to {!plan}/{!query_cost} (fallback shapes still run the full
+    through the striped cache into a private memo; each further
+    configuration re-assembles candidate lists from the memo and
+    re-runs only the planner arithmetic. Answers are bit-identical to
+    {!plan}/{!query_cost} (fallback shapes still run the full
     optimizer per configuration), and the derived/fallback counters
     advance identically; only atom hit/miss counters differ, since
-    repeats hit the private memo. A batch is not domain-safe — share
-    the deriver across domains, not a batch. *)
+    repeats hit the private memo.
+
+    A batch is domain-safe: the memo is guarded by a per-batch mutex
+    held across the miss path, so concurrent costings on one batch
+    serialize per memo access, the striped cache is consulted exactly
+    once per key, and the deriver's atom hit/miss counters equal a
+    sequential run's. [Scale.score] relies on this to fan compressed
+    scoring onto the [Im_par] pool. *)
 module Batch : sig
   type deriver := t
 

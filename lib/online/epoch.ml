@@ -68,10 +68,9 @@ let run ?pool ?compress service ~trigger ~live ~window ~budget_pages
           (* Scale path: stream the window snapshot through the
              compactor once; tuning and both costings run over the
              compressed window, the costings answered from cached
-             access-path atoms in a single batched traversal.
-             Sequential by design — [Derive.Batch] is not domain-safe,
-             and at ≥100k-statement windows the compactor, not the
-             costing, is the scaling lever. *)
+             access-path atoms in a single batched traversal —
+             fanned onto the pool ([Derive.Batch] is domain-safe;
+             scores are bit-identical at any domain count). *)
           let compactor = Im_scale.Scale.create ~eps service in
           Im_scale.Scale.observe_workload compactor window;
           let compressed = Im_scale.Scale.snapshot compactor in
@@ -84,7 +83,9 @@ let run ?pool ?compress service ~trigger ~live ~window ~budget_pages
             Im_advisor.Advisor.advise ~service db tuning ~budget_pages
           in
           let new_config = Im_advisor.Advisor.final_config outcome in
-          let costs = Im_scale.Scale.score compactor [ live; new_config ] in
+          let costs =
+            Im_scale.Scale.score ?pool compactor [ live; new_config ]
+          in
           ( new_config,
             Workload.size tuning,
             costs.(0),

@@ -66,8 +66,9 @@ val run :
     {!Im_scale.Scale} compactor at deviation budget [EPS]: the window
     snapshot streams through it once, tuning and both window costings
     run over the compressed window, and the costings are answered from
-    cached access-path atoms in one batched traversal (sequential;
-    [?pool] is unused on this path). [e_old_cost]/[e_new_cost] then
+    cached access-path atoms in one batched traversal — fanned onto
+    [?pool] too ({!Im_scale.Scale.score}'s flat-table fill; scores
+    bit-identical at any domain count). [e_old_cost]/[e_new_cost] then
     refer to the compressed window, within the bound in [e_scale]. *)
 
 val summary : outcome -> string

@@ -61,6 +61,63 @@ val map_chunked : t -> chunk:int -> ('a -> 'b) -> 'a list -> 'b list
     individually. Same ordering, exception and shutdown behaviour.
     Raises [Invalid_argument] if [chunk < 1]. *)
 
+(** Cost-aware chunk sizing for {!map_batched}/{!fill_batched}. A
+    batcher belongs to one call site (one kind of work) and keeps a
+    per-element cost estimate: seeded from the process-wide
+    [par_task_seconds] p50 on first use, then tracked online as an
+    exponential moving average of each chunk's measured wall time (so
+    it forgets a cold-cache first wave within a couple of waves). Chunks are sized so each queued task
+    carries close to [target_ns] of work (default 300 µs, override
+    [IM_BATCH_TARGET_NS] or [?target_ns]) and never less than a third
+    of it — the 100 µs–1 ms granularity where queue overhead is noise
+    but waves still load-balance. Batchers are domain-safe. *)
+module Batcher : sig
+  type b
+
+  val create : ?name:string -> ?target_ns:int -> unit -> b
+  (** [?name] labels the call site in the {!decisions} log.
+      [?target_ns] (clamped to [1_000, 100_000_000]) overrides the
+      [IM_BATCH_TARGET_NS] environment default of 300 000 ns. *)
+
+  val target_ns : b -> int
+
+  val estimated_ns : b -> float
+  (** Current per-element cost estimate in ns (the seed until the
+      first measured chunk lands). *)
+
+  val note : b -> elems:int -> ns:int -> unit
+  (** Feed a measurement back by hand (the batched primitives do this
+      automatically). *)
+
+  val chunk_for : b -> workers:int -> n:int -> int
+  (** The chunk size the batcher would pick for [n] elements on
+      [workers] effective domains. [chunk_for b ~workers ~n >= n]
+      means: run inline, the batch is too small to pay for the queue.
+      Exposed for tests and benches. *)
+
+  val decisions : unit -> (string * int * int) list
+  (** Process-wide (site name, chunk size, times chosen) log across
+      all batchers, sorted — emitted into BENCH_par.json so the
+      heuristic is auditable. *)
+end
+
+val map_batched : t -> batcher:Batcher.b -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map_chunked} with the chunk size chosen by [batcher] from its
+    measured per-element cost. Order-preserving and exception-safe
+    like {!parallel_map}; runs inline on the caller (no queue traffic)
+    when the pool has no workers or the whole batch is under two
+    targets' worth of work. Each chunk's wall time is fed back into
+    the batcher. *)
+
+val fill_batched : t -> batcher:Batcher.b -> n:int -> (int -> unit) -> unit
+(** [fill_batched t ~batcher ~n f] runs [f i] for [i = 0..n-1] in
+    cost-sized contiguous ranges on the pool. [f] must write only
+    slot [i] of the caller's output arrays (disjoint per index); the
+    batch mutex publishes every write before the call returns, so the
+    caller may read the arrays without further synchronisation. This
+    is the fan-out primitive for flat score tables. Raises
+    [Invalid_argument] if [n < 0]. *)
+
 val shutdown : t -> unit
 (** Drain queued tasks, stop and join every worker. Idempotent; after
     it returns, submitting work raises [Invalid_argument]. *)

@@ -4,6 +4,7 @@ module Query = Im_sqlir.Query
 module Workload = Im_workload.Workload
 module Compress = Im_workload.Compress
 module Service = Im_costsvc.Service
+module Score_table = Im_costsvc.Score_table
 module Derive = Im_derive.Derive
 module Metrics = Im_obs.Metrics
 
@@ -14,6 +15,12 @@ let m_batch_scores = Metrics.counter "scale_batch_scores_total"
 let m_probe_costs = Metrics.counter "scale_probe_costs_total"
 
 let slack = 2.0
+
+(* Sizes [score]'s pooled fill from measured per-cell cost. One batcher
+   for the call site (not per compactor): a fresh compactor would
+   relearn the per-cell cost from a blind seed and mis-size its first
+   fills. *)
+let score_batcher = Im_par.Pool.Batcher.create ~name:"scale_score" ()
 
 (* Per-bucket probe configurations and the leader's sampled costs over
    them (parallel arrays). *)
@@ -50,6 +57,9 @@ type t = {
   sc_jaccard : float;
   sc_by_sig : (string, bucket) Hashtbl.t;
   sc_by_query : (int, member) Hashtbl.t;
+  sc_batches_lock : Mutex.t;
+      (* [sc_batches] is read under pool fan-out in [score]; intake
+         stays single-threaded but shares the same accessor *)
   sc_batches : (int, Derive.Batch.t) Hashtbl.t;
   mutable sc_order : bucket list;  (* reversed creation order *)
   mutable sc_buckets : int;
@@ -73,6 +83,7 @@ let create ?(eps = 0.05) ?(jaccard = 0.0) service =
     sc_jaccard = jaccard;
     sc_by_sig = Hashtbl.create 256;
     sc_by_query = Hashtbl.create 1024;
+    sc_batches_lock = Mutex.create ();
     sc_batches = Hashtbl.create 256;
     sc_order = [];
     sc_buckets = 0;
@@ -87,14 +98,24 @@ let create ?(eps = 0.05) ?(jaccard = 0.0) service =
 
 let eps t = t.sc_eps
 
-let batch_for t q =
-  let qid = Query.intern q in
-  match Hashtbl.find_opt t.sc_batches qid with
-  | Some b -> b
-  | None ->
-    let b = Derive.Batch.create t.sc_deriver q in
-    Hashtbl.add t.sc_batches qid b;
-    b
+(* The batch table is mutex-guarded (double-checked miss) so [score]'s
+   pool fan-out may look batches up concurrently with nothing racing;
+   the batches themselves are domain-safe. Callers that already
+   interned the query pass [~qid] so the hot intake path does not
+   re-canonicalize. *)
+let batch_for ?qid t q =
+  let qid = match qid with Some id -> id | None -> Query.intern q in
+  Mutex.lock t.sc_batches_lock;
+  let b =
+    match Hashtbl.find_opt t.sc_batches qid with
+    | Some b -> b
+    | None ->
+      let b = Derive.Batch.create t.sc_deriver q in
+      Hashtbl.add t.sc_batches qid b;
+      b
+  in
+  Mutex.unlock t.sc_batches_lock;
+  b
 
 (* ---- Probe configurations ----
 
@@ -131,8 +152,8 @@ let probe_configs q =
 
 let array_min a = Array.fold_left Float.min a.(0) a
 
-let sample_costs t probes q =
-  let batch = batch_for t q in
+let sample_costs t ~qid probes q =
+  let batch = batch_for ~qid t q in
   let n = List.length probes.pr_configs in
   t.sc_probe_costs <- t.sc_probe_costs + n;
   Metrics.Counter.add m_probe_costs n;
@@ -145,7 +166,7 @@ let ensure_probes t b =
   | None ->
     let configs = probe_configs b.bu_leader in
     let probes = { pr_configs = configs; pr_leader = [||] } in
-    let leader = sample_costs t probes b.bu_leader in
+    let leader = sample_costs t ~qid:b.bu_leader_id probes b.bu_leader in
     let probes = { probes with pr_leader = leader } in
     b.bu_probes <- Some probes;
     (* The leader's own mass starts strengthening L from here on. *)
@@ -161,13 +182,17 @@ let admits t ~spread ~floor ~freq =
   slack *. (t.sc_delta +. (freq *. spread))
   <= t.sc_eps *. (t.sc_floor +. (freq *. floor))
 
-let fold_into t b q ~freq ~spread ~floor =
+(* [qid] is the statement's interned id, computed once in [observe] —
+   the intake hot path must not re-canonicalize per fold (ROADMAP item
+   1: signature interning dominated at ~15 µs/stmt; a repeat statement
+   is now one intern + hash lookups). *)
+let fold_into t b ~qid ~freq ~spread ~floor =
   t.sc_statements <- t.sc_statements + 1;
   t.sc_mass <- t.sc_mass +. freq;
   t.sc_floor <- t.sc_floor +. (freq *. floor);
   b.bu_mass <- b.bu_mass +. freq;
   b.bu_statements <- b.bu_statements + 1;
-  if Query.intern q = b.bu_leader_id then t.sc_exact <- t.sc_exact + 1
+  if qid = b.bu_leader_id then t.sc_exact <- t.sc_exact + 1
   else begin
     t.sc_approx <- t.sc_approx + 1;
     t.sc_delta <- t.sc_delta +. (freq *. spread);
@@ -175,11 +200,11 @@ let fold_into t b q ~freq ~spread ~floor =
     b.bu_residual <- b.bu_residual +. freq
   end
 
-let create_bucket t ?bucket_sig ~primary q ~freq ~floor =
+let create_bucket t ?bucket_sig ~primary ~qid q ~freq ~floor =
   let b =
     {
       bu_leader = q;
-      bu_leader_id = Query.intern q;
+      bu_leader_id = qid;
       bu_sig = bucket_sig;
       bu_primary = primary;
       bu_mass = 0.;
@@ -201,9 +226,9 @@ let create_bucket t ?bucket_sig ~primary q ~freq ~floor =
   b.bu_statements <- 1;
   b
 
-let try_admit t b q ~freq =
+let try_admit t b ~qid q ~freq =
   let probes = ensure_probes t b in
-  let costs = sample_costs t probes q in
+  let costs = sample_costs t ~qid probes q in
   let floor = array_min costs in
   let spread = ref 0. in
   Array.iteri
@@ -211,14 +236,14 @@ let try_admit t b q ~freq =
     costs;
   let spread = !spread in
   if admits t ~spread ~floor ~freq then begin
-    Hashtbl.replace t.sc_by_query (Query.intern q)
+    Hashtbl.replace t.sc_by_query qid
       { mb_bucket = b; mb_spread = spread; mb_floor = floor };
-    fold_into t b q ~freq ~spread ~floor
+    fold_into t b ~qid ~freq ~spread ~floor
   end
   else
     (* Over budget: own bucket, exact from now on — its sampled floor
        still strengthens the denominator. *)
-    ignore (create_bucket t ~primary:false q ~freq ~floor)
+    ignore (create_bucket t ~primary:false ~qid q ~freq ~floor)
 
 let find_jaccard t sg =
   if t.sc_jaccard <= 0. then None
@@ -232,6 +257,11 @@ let find_jaccard t sg =
       (List.rev t.sc_order)
 
 let observe t ?(freq = 1.0) q =
+  (* One canonicalization per statement: [qid] is threaded through
+     every fold/admission step below, so a repeated statement (the hot
+     path at 100k–1M-statement scale) does exactly one [Query.intern]
+     plus hash lookups — never a second canonical-string build and
+     never a signature computation. *)
   let qid = Query.intern q in
   match Hashtbl.find_opt t.sc_by_query qid with
   | Some m ->
@@ -240,27 +270,30 @@ let observe t ?(freq = 1.0) q =
       (* This repeat no longer fits the budget next to its leader:
          demote the query to its own bucket (mass already folded was
          admitted under the invariant and stays accounted in Δ). *)
-      let b = create_bucket t ~primary:false q ~freq ~floor:m.mb_floor in
+      let b = create_bucket t ~primary:false ~qid q ~freq ~floor:m.mb_floor in
       m.mb_bucket <- b;
       m.mb_spread <- 0.
     end
-    else fold_into t m.mb_bucket q ~freq ~spread:m.mb_spread ~floor:m.mb_floor
+    else
+      fold_into t m.mb_bucket ~qid ~freq ~spread:m.mb_spread
+        ~floor:m.mb_floor
   | None ->
     if t.sc_eps <= 0. then
       (* ε = 0: only canonically identical statements fold — one bucket
          per distinct query, no sampling, Δ stays 0. *)
-      ignore (create_bucket t ~primary:true q ~freq ~floor:0.)
+      ignore (create_bucket t ~primary:true ~qid q ~freq ~floor:0.)
     else begin
       let sg = Compress.signature q in
       let key = Compress.signature_key sg in
       match Hashtbl.find_opt t.sc_by_sig key with
-      | Some b -> try_admit t b q ~freq
+      | Some b -> try_admit t b ~qid q ~freq
       | None ->
         (match find_jaccard t sg with
-         | Some b -> try_admit t b q ~freq
+         | Some b -> try_admit t b ~qid q ~freq
          | None ->
            let b =
-             create_bucket t ~bucket_sig:sg ~primary:true q ~freq ~floor:0.
+             create_bucket t ~bucket_sig:sg ~primary:true ~qid q ~freq
+               ~floor:0.
            in
            Hashtbl.add t.sc_by_sig key b)
     end
@@ -314,16 +347,61 @@ let snapshot ?(name = "scale") t =
        (fun b -> { Workload.query = b.bu_leader; freq = b.bu_mass })
        t.sc_order)
 
-let score t configs =
+let score ?pool t configs =
   let w = snapshot t in
-  let query_cost config q = Derive.Batch.cost (batch_for t q) config in
-  Array.of_list
-    (List.map
-       (fun config ->
-         let c = Service.workload_cost ~query_cost t.sc_service config w in
-         Metrics.Counter.incr m_batch_scores;
-         c)
-       configs)
+  match pool with
+  | Some p when Im_par.Pool.domain_count p > 0 && configs <> [] ->
+    (* Pooled path: every (leader, configuration) cell is independent,
+       so the whole cross product lands in one query-major flat score
+       table — row = leader slot, column = configuration slot — filled
+       in cost-sized contiguous ranges. Query-major means a worker's
+       range walks one leader's row: consecutive cells recombine the
+       same warm batch memo. Batches are domain-safe (per-batch
+       mutex), so cold memos racing across rows are exact too. The
+       sums then flow through [Service.workload_cost] per
+       configuration with a table-lookup override — the same
+       left-to-right fold and [c_cost_evals] accounting as the
+       sequential path, so scores and service counters are
+       bit-identical at any domain count. *)
+    let entries = Array.of_list w.Workload.entries in
+    let rows = Array.length entries in
+    let config_arr = Array.of_list configs in
+    let cols = Array.length config_arr in
+    let batches =
+      Array.map (fun (e : Workload.entry) -> batch_for t e.Workload.query)
+        entries
+    in
+    let qids =
+      Array.map (fun (e : Workload.entry) -> Query.intern e.Workload.query)
+        entries
+    in
+    let slots = Score_table.Slots.of_ids qids in
+    let table = Score_table.create ~rows ~cols () in
+    Im_par.Pool.fill_batched p ~batcher:score_batcher ~n:(rows * cols)
+      (fun k ->
+        let row = k / cols and col = k mod cols in
+        Score_table.set table ~row ~col
+          (Derive.Batch.cost batches.(row) config_arr.(col)));
+    Array.mapi
+      (fun col config ->
+        let query_cost _config q =
+          Score_table.get table
+            ~row:(Score_table.Slots.slot slots (Query.intern q))
+            ~col
+        in
+        let c = Service.workload_cost ~query_cost t.sc_service config w in
+        Metrics.Counter.incr m_batch_scores;
+        c)
+      config_arr
+  | Some _ | None ->
+    let query_cost config q = Derive.Batch.cost (batch_for t q) config in
+    Array.of_list
+      (List.map
+         (fun config ->
+           let c = Service.workload_cost ~query_cost t.sc_service config w in
+           Metrics.Counter.incr m_batch_scores;
+           c)
+         configs)
 
 let compress_workload ?eps ?jaccard service (w : Workload.t) =
   let t = create ?eps ?jaccard service in

@@ -6,7 +6,9 @@
 # derivation), the derive and cost-service benchmarks (emit
 # BENCH_derive.json / BENCH_costsvc.json), parallel-merge and derive
 # determinism smokes (the CLI must produce the same configuration at
-# --domains 0 and 4 and with and without --no-derive), and formatting
+# --domains 0 and 4, with and without --no-derive, and under
+# --compress 0.05 at both pool sizes), the par batching tests at
+# IM_DOMAINS=0 and 4, and formatting
 # when ocamlformat is installed (skipped gracefully when not — the CI
 # container does not ship it).
 set -eu
@@ -76,6 +78,29 @@ else
   echo "derive identity FAILED: --no-derive changes the merged configuration"
   exit 1
 fi
+
+echo "== compressed-search determinism (--compress 0.05, --domains 0 vs 4) =="
+# The compressed epoch path scores on the pool too (Scale.score's flat
+# table fill); the merged configuration must not depend on the domain
+# count even under approximate folding.
+compress_domains_out() {
+  dune exec bin/index_merge_cli.exe -- merge --domains "$1" --compress 0.05 \
+    -d synthetic1 -q 6 \
+    | sed -n '/merged configuration:/,$p'
+}
+if [ "$(compress_domains_out 0)" = "$(compress_domains_out 4)" ]; then
+  echo "compressed-search determinism OK"
+else
+  echo "compressed-search determinism FAILED: --compress 0.05 disagrees at --domains 0 vs 4"
+  exit 1
+fi
+
+echo "== par batching tests (IM_DOMAINS=0 and 4) =="
+# Chunk splitting, batcher sizing, batched determinism, the 4-domain
+# Derive.Batch hammer and the pooled Scale.score identity — explicitly
+# at both pool sizes, so a batching regression is impossible to miss.
+IM_DOMAINS=0 dune exec test/test_par.exe
+IM_DOMAINS=4 dune exec test/test_par.exe
 
 echo "== compression identity (--compress 0 vs plain) =="
 # eps = 0 folds only canonically identical statements, so on the
