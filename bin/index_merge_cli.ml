@@ -445,39 +445,110 @@ let read_timeout_arg =
   let doc = "Idle-connection read timeout in seconds." in
   Arg.(value & opt float 30.0 & info [ "read-timeout" ] ~docv:"SECONDS" ~doc)
 
+let max_connections_arg =
+  let doc = "Global cap on concurrent connections." in
+  Arg.(value & opt int 64 & info [ "max-connections" ] ~docv:"N" ~doc)
+
+let max_tenant_connections_arg =
+  let doc =
+    "Per-tenant cap on concurrent connections (0 = same as \
+     --max-connections)."
+  in
+  Arg.(value & opt int 0 & info [ "max-tenant-connections" ] ~docv:"N" ~doc)
+
+let max_output_bytes_arg =
+  let doc =
+    "Per-connection output-queue byte cap; a slow reader whose queue \
+     would exceed it is closed (backpressure) instead of buffering \
+     unboundedly."
+  in
+  Arg.(
+    value & opt int 1_048_576 & info [ "max-output-bytes" ] ~docv:"BYTES" ~doc)
+
+let tenant_arg =
+  let doc =
+    "Pre-create an extra tenant session at startup: NAME or NAME=DB \
+     (DB one of tpcd/synthetic1/synthetic2, default NAME). Repeatable. \
+     The -d database becomes the default tenant, named after it."
+  in
+  Arg.(value & opt_all string [] & info [ "tenant" ] ~docv:"NAME[=DB]" ~doc)
+
+let parse_tenant_spec spec =
+  match String.index_opt spec '=' with
+  | None -> (spec, spec)
+  | Some i ->
+    ( String.sub spec 0 i,
+      String.sub spec (i + 1) (String.length spec - i - 1) )
+
 let run_serve db_name sf seed schema_file data_dir port budget window decay
-    check_every drift_threshold cost_threshold compress read_timeout domains
-    no_derive metrics =
+    check_every drift_threshold cost_threshold compress read_timeout
+    max_connections max_tenant_connections max_output_bytes tenant_specs
+    domains no_derive metrics =
   apply_domains domains;
-  let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
-  let budget_pages =
-    if budget > 0 then budget else max 1 (Database.data_pages db / 2)
-  in
-  let options =
-    {
-      (Im_online.Service.default_options ~budget_pages) with
-      Im_online.Service.o_capacity = window;
-      o_decay = decay;
-      o_check_every = check_every;
-      o_div_threshold = drift_threshold;
-      o_cost_threshold = cost_threshold;
-      o_compress = compress;
-    }
-  in
-  let service =
+  (* Every tenant session is built the same way: database by name, the
+     serve options from the flags, epochs costing on the shared pool. *)
+  let make_service db =
+    let budget_pages =
+      if budget > 0 then budget else max 1 (Database.data_pages db / 2)
+    in
+    let options =
+      {
+        (Im_online.Service.default_options ~budget_pages) with
+        Im_online.Service.o_capacity = window;
+        o_decay = decay;
+        o_check_every = check_every;
+        o_div_threshold = drift_threshold;
+        o_cost_threshold = cost_threshold;
+        o_compress = compress;
+      }
+    in
     Im_online.Service.create ~options
       ~pool:(Im_par.Pool.default ())
       ~derive:(not no_derive) db ~budget_pages
   in
+  let factory dbspec =
+    (* TENANT CREATE resolves only generated databases: csv needs
+       --schema/--data paths that a remote client cannot name. *)
+    match String.lowercase_ascii dbspec with
+    | "csv" -> Error "tenant databases must be generated (tpcd/synthetic*)"
+    | _ -> Result.map make_service (build_database dbspec sf seed)
+  in
+  let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
+  let budget_pages =
+    if budget > 0 then budget else max 1 (Database.data_pages db / 2)
+  in
+  let service = make_service db in
+  let tenants =
+    List.map
+      (fun spec ->
+        let name, dbspec = parse_tenant_spec spec in
+        match factory dbspec with
+        | Ok svc -> (name, svc)
+        | Error msg ->
+          or_die (Error (Printf.sprintf "--tenant %s: %s" spec msg)))
+      tenant_specs
+  in
   let server =
-    try Im_online.Server.create ~port ~read_timeout:read_timeout service
-    with Unix.Unix_error (e, _, _) ->
+    try
+      Im_online.Server.create ~port ~read_timeout ~max_connections
+        ~max_tenant_connections ~max_output_bytes ~tenant:db_name ~tenants
+        ~factory service
+    with
+    | Unix.Unix_error (e, _, _) ->
       or_die (Error (Printf.sprintf "cannot bind port %d: %s" port
                        (Unix.error_message e)))
+    | Invalid_argument msg -> or_die (Error msg)
   in
   Printf.printf "index-merge serve: listening on 127.0.0.1:%d (budget %d \
                  pages, window %d clusters)\n%!"
     (Im_online.Server.port server) budget_pages window;
+  Printf.printf "tenants: %s (max %d connections, %d per tenant, %d \
+                 output bytes)\n%!"
+    (String.concat " " (Im_online.Server.tenants server))
+    max_connections
+    (if max_tenant_connections > 0 then max_tenant_connections
+     else max_connections)
+    max_output_bytes;
   let handle_stop _ = Im_online.Server.shutdown server in
   ignore (Sys.signal Sys.sigint (Sys.Signal_handle handle_stop));
   ignore (Sys.signal Sys.sigterm (Sys.Signal_handle handle_stop));
@@ -495,12 +566,14 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the online index-tuning daemon: stream statements over TCP, \
-          re-tune on workload drift.")
+          re-tune on workload drift, one session per tenant database.")
     Term.(
       const run_serve $ db_arg $ sf_arg $ seed_arg $ schema_arg $ data_arg
       $ port_arg $ serve_budget_arg $ window_arg $ decay_arg $ check_every_arg
       $ drift_threshold_arg $ cost_threshold_arg $ compress_arg
-      $ read_timeout_arg $ domains_arg $ no_derive_arg $ metrics_arg)
+      $ read_timeout_arg $ max_connections_arg $ max_tenant_connections_arg
+      $ max_output_bytes_arg $ tenant_arg $ domains_arg $ no_derive_arg
+      $ metrics_arg)
 
 (* ---- generate ---- *)
 

@@ -4,11 +4,20 @@ module Metrics = Im_obs.Metrics
 
 let m_commands = Metrics.counter "server_commands_total"
 let m_live = Metrics.gauge "server_connections_live"
+let m_tenants = Metrics.gauge "server_tenants"
 let m_bytes_in = Metrics.counter "server_bytes_in_total"
 let m_bytes_out = Metrics.counter "server_bytes_out_total"
 let m_reaped = Metrics.counter "server_connections_reaped_total"
 let m_rejected = Metrics.counter "server_connections_rejected_total"
 let m_write_errors = Metrics.counter "server_write_errors_total"
+let m_backpressure = Metrics.counter "server_backpressure_closed_total"
+let m_overlong = Metrics.counter "server_overlong_lines_total"
+
+(* High-water mark of any connection's queued output, and the largest
+   number of connections accepted in a single select round (1 forever
+   means the accept loop is serializing bursts again). *)
+let m_out_high_water = Metrics.gauge "server_out_queue_max_bytes"
+let m_accept_burst = Metrics.gauge "server_accept_burst_max"
 
 (* Per-verb latency histograms; unknown verbs share one "other" series
    so a hostile client cannot grow the label set. *)
@@ -18,8 +27,8 @@ let m_command_seconds =
       ( verb,
         Metrics.histogram ~labels:[ ("verb", verb) ] "server_command_seconds"
       ))
-    [ "stmt"; "stats"; "config"; "epoch"; "metrics"; "quit"; "shutdown";
-      "other" ]
+    [ "stmt"; "stats"; "config"; "epoch"; "metrics"; "tenant"; "quit";
+      "shutdown"; "other" ]
 
 let command_histogram line =
   let verb =
@@ -31,55 +40,168 @@ let command_histogram line =
   let verb = if List.mem_assoc verb m_command_seconds then verb else "other" in
   List.assoc verb m_command_seconds
 
+(* ---- Tenants ---- *)
+
+(* One tenant session: a [Service.t] (own window, drift detector,
+   costsvc/derive cache, epoch history) plus per-tenant instruments.
+   Tenant names bound metric labels, so they are restricted to a safe
+   charset. *)
+type session = {
+  s_name : string;
+  s_service : Service.t;
+  mutable s_conns : int;  (* connections currently bound here *)
+  s_live : Metrics.Gauge.t;  (* server_tenant_connections_live{tenant} *)
+  s_commands : Metrics.Counter.t;  (* server_tenant_commands_total{tenant} *)
+  s_epochs : Metrics.Counter.t;  (* server_tenant_epochs_total{tenant} *)
+}
+
+let valid_tenant_name name =
+  name <> ""
+  && String.length name <= 64
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' -> true
+         | _ -> false)
+       name
+
+let make_session name service =
+  {
+    s_name = name;
+    s_service = service;
+    s_conns = 0;
+    s_live =
+      Metrics.gauge ~labels:[ ("tenant", name) ]
+        "server_tenant_connections_live";
+    s_commands =
+      Metrics.counter ~labels:[ ("tenant", name) ]
+        "server_tenant_commands_total";
+    s_epochs =
+      Metrics.counter ~labels:[ ("tenant", name) ] "server_tenant_epochs_total";
+  }
+
+(* ---- Connections ---- *)
+
+(* Output is a byte-capped queue of reply chunks with a head offset, so
+   a partial write never re-copies the rest of the queue (the old
+   [String.sub] tail made a slow reader O(bytes^2)). *)
+type outq = {
+  oq : string Queue.t;
+  mutable oq_head : int;  (* bytes of [Queue.peek oq] already written *)
+  mutable oq_bytes : int;  (* total unsent bytes *)
+}
+
 type conn = {
   fd : Unix.file_descr;
-  buf : Buffer.t;
+  buf : Buffer.t;  (* incomplete trailing line *)
+  pending : string Queue.t;  (* complete lines awaiting dispatch *)
+  out : outq;
+  mutable session : session option;  (* None after TENANT DROP *)
   mutable last_active : float;  (* monotonic seconds, Stopwatch.now_s *)
-  mutable closing : bool;  (* close after pending output drains *)
-  mutable out : string;  (* unsent response bytes *)
+  mutable closing : bool;  (* discard input; close once output drains *)
+  mutable eof : bool;  (* peer half-closed; drain pending + output *)
+  mutable closed : bool;  (* fd is gone; every path rechecks this *)
 }
 
 type t = {
-  service : Service.t;
   listener : Unix.file_descr;
   bound_port : int;
   read_timeout : float;
   max_connections : int;
-  mutable conns : conn list;
+  max_tenant_connections : int;
+  max_output_bytes : int;
+  factory : string -> (Service.t, string) result;
+  sessions : (string, session) Hashtbl.t;
+  default_tenant : string;
+  conns : (Unix.file_descr, conn) Hashtbl.t;
   mutable running : bool;
   mutable connections_served : int;
   mutable commands_served : int;
+  mutable out_high_water : int;
 }
 
+(* Commands dispatched per connection per select round. Bounds how long
+   one pipelining client can monopolize the loop before accepts and
+   other connections get a turn; rounds with leftover pending work
+   re-select with a zero timeout. *)
+let commands_per_round = 128
+
+(* Input backpressure: a connection with this many parsed-but-undispatched
+   lines stops being read until the dispatcher catches up. *)
+let max_pending_lines = 1024
+
+(* A single line longer than this is abuse, not SQL. *)
+let max_line_bytes = 1_000_000
+
+let no_factory _ = Error "tenant creation is not configured"
+
 let create ?(host = "127.0.0.1") ?(port = 0) ?(read_timeout = 30.)
-    ?(max_connections = 64) service =
+    ?(max_connections = 64) ?max_tenant_connections
+    ?(max_output_bytes = 1_048_576) ?(tenant = "default") ?(tenants = [])
+    ?(factory = no_factory) service =
+  if not (valid_tenant_name tenant) then
+    invalid_arg ("Server.create: invalid tenant name " ^ tenant);
+  List.iter
+    (fun (name, _) ->
+      if not (valid_tenant_name name) then
+        invalid_arg ("Server.create: invalid tenant name " ^ name);
+      if name = tenant then
+        invalid_arg ("Server.create: duplicate tenant " ^ name))
+    tenants;
   let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  (* Accepted sockets inherit the listener's buffer sizes; shrinking
+     the send buffer (tests, or ops pinning memory per connection)
+     makes slow readers surface as queued output instead of hiding in
+     kernel buffers. *)
+  (match Sys.getenv_opt "IM_SERVE_SNDBUF" with
+   | Some s ->
+     (match int_of_string_opt s with
+      | Some n when n > 0 -> Unix.setsockopt_int listener Unix.SO_SNDBUF n
+      | Some _ | None -> ())
+   | None -> ());
   Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-  Unix.listen listener 16;
+  Unix.listen listener 512;
   let bound_port =
     match Unix.getsockname listener with
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> assert false
   in
+  let sessions = Hashtbl.create 8 in
+  Hashtbl.replace sessions tenant (make_session tenant service);
+  List.iter
+    (fun (name, svc) ->
+      if Hashtbl.mem sessions name then
+        invalid_arg ("Server.create: duplicate tenant " ^ name);
+      Hashtbl.replace sessions name (make_session name svc))
+    tenants;
+  Metrics.Gauge.set_int m_tenants (Hashtbl.length sessions);
   {
-    service;
     listener;
     bound_port;
     read_timeout;
     max_connections;
-    conns = [];
+    max_tenant_connections =
+      (match max_tenant_connections with
+       | Some n when n > 0 -> n
+       | Some _ | None -> max_connections);
+    max_output_bytes = max 1 max_output_bytes;
+    factory;
+    sessions;
+    default_tenant = tenant;
+    conns = Hashtbl.create 64;
     running = false;
     connections_served = 0;
     commands_served = 0;
+    out_high_water = 0;
   }
 
 let port t = t.bound_port
 let shutdown t = t.running <- false
 let connections_served t = t.connections_served
 let commands_served t = t.commands_served
+let tenants t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.sessions [])
 
-(* ---- Protocol ---- *)
+(* ---- Protocol rendering ---- *)
 
 let stats_line service =
   Service.stats service
@@ -104,98 +226,358 @@ let epoch_line (o : Epoch.outcome) =
     o.Epoch.e_new_cost o.Epoch.e_benefit o.Epoch.e_clusters_tuned
     o.Epoch.e_budget_clusters o.Epoch.e_opt_calls
 
+(* The reply to one observed-statement event. [Some epoch] outranks
+   [Some drift]: an epoch that fired carries the drift information. *)
+let stmt_reply session = function
+  | Service.Rejected msg -> "ERR " ^ msg
+  | Service.Observed { ev_epoch = Some o; _ } ->
+    Metrics.Counter.incr session.s_epochs;
+    "OK observed " ^ epoch_line o
+  | Service.Observed { ev_drift = Some v; _ } ->
+    Printf.sprintf "OK observed drift=%.3f regression=%.3f fired=%b"
+      v.Drift.v_divergence v.Drift.v_regression v.Drift.v_fired
+  | Service.Observed _ -> "OK observed"
+
+(* ---- Connection lifecycle ---- *)
+
+let close_conn t conn =
+  if not conn.closed then begin
+    conn.closed <- true;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    Hashtbl.remove t.conns conn.fd;
+    (match conn.session with
+     | Some s ->
+       s.s_conns <- s.s_conns - 1;
+       Metrics.Gauge.set_int s.s_live s.s_conns
+     | None -> ());
+    conn.session <- None;
+    Metrics.Gauge.set_int m_live (Hashtbl.length t.conns)
+  end
+
+(* Write as much queued output as the socket accepts. A peer that
+   disconnected mid-reply surfaces here as EPIPE/ECONNRESET (EBADF or
+   ENOTCONN if the fd was already torn down): that peer's failure must
+   not unwind the serve loop — count it and drop only this
+   connection. *)
+let flush_out t conn =
+  let continue = ref (not conn.closed) in
+  while !continue && not (Queue.is_empty conn.out.oq) do
+    let head = Queue.peek conn.out.oq in
+    let off = conn.out.oq_head in
+    let len = String.length head - off in
+    match Unix.write_substring conn.fd head off len with
+    | n ->
+      Metrics.Counter.add m_bytes_out n;
+      conn.out.oq_bytes <- conn.out.oq_bytes - n;
+      if n = len then begin
+        ignore (Queue.pop conn.out.oq);
+        conn.out.oq_head <- 0
+      end
+      else begin
+        conn.out.oq_head <- off + n;
+        continue := false  (* kernel buffer full: wait for writable *)
+      end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      continue := false
+    | exception
+        Unix.Unix_error
+          ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF | Unix.ENOTCONN), _, _)
+      ->
+      Metrics.Counter.incr m_write_errors;
+      Queue.clear conn.out.oq;
+      conn.out.oq_head <- 0;
+      conn.out.oq_bytes <- 0;
+      close_conn t conn;
+      continue := false
+  done
+
+(* A closing connection goes once its output drains; a half-closed one
+   additionally waits for its already-received commands to be answered
+   (the half-close reply-loss fix: the peer's FIN promises no more
+   input, not disinterest in the replies it pipelined). *)
+let maybe_close_drained t conn =
+  if
+    (not conn.closed)
+    && (conn.closing || conn.eof)
+    && Queue.is_empty conn.pending
+    && conn.out.oq_bytes = 0
+  then close_conn t conn
+
+(* Queue one reply line. Exceeding the output cap is backpressure: the
+   reader is not keeping up, so the overflowing reply is dropped, the
+   connection is marked closing (it drains what was already queued,
+   then closes) and the event is counted. *)
+let respond t conn reply =
+  if not conn.closed then begin
+    let chunk = reply ^ "\n" in
+    if conn.out.oq_bytes + String.length chunk > t.max_output_bytes then begin
+      (* Count the close once, not once per reply dropped after it. *)
+      if not conn.closing then Metrics.Counter.incr m_backpressure;
+      Queue.clear conn.pending;
+      conn.closing <- true
+    end
+    else begin
+      Queue.push chunk conn.out.oq;
+      conn.out.oq_bytes <- conn.out.oq_bytes + String.length chunk;
+      if conn.out.oq_bytes > t.out_high_water then begin
+        t.out_high_water <- conn.out.oq_bytes;
+        Metrics.Gauge.set_int m_out_high_water t.out_high_water
+      end
+    end
+  end
+
+(* ---- Command dispatch ---- *)
+
+let split_verb line =
+  match String.index_opt line ' ' with
+  | Some i ->
+    ( String.sub line 0 i,
+      String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+  | None -> (line, "")
+
+let no_tenant_reply = "ERR no tenant bound (TENANT USE <name>)"
+
+let tenant_list_lines t =
+  let rows =
+    List.map
+      (fun name ->
+        let s = Hashtbl.find t.sessions name in
+        Printf.sprintf "%s conns=%d statements=%d epochs=%d" name s.s_conns
+          (Service.statements s.s_service)
+          (List.length (Service.epochs s.s_service)))
+      (tenants t)
+  in
+  String.concat "\n"
+    (Printf.sprintf "OK %d" (List.length rows) :: rows)
+
+let bind_session t conn target =
+  match conn.session with
+  | Some s when s == target -> Ok ()
+  | prev ->
+    if
+      target.s_conns >= t.max_tenant_connections
+    then Error (Printf.sprintf "tenant %s is full" target.s_name)
+    else begin
+      (match prev with
+       | Some s ->
+         s.s_conns <- s.s_conns - 1;
+         Metrics.Gauge.set_int s.s_live s.s_conns
+       | None -> ());
+      target.s_conns <- target.s_conns + 1;
+      Metrics.Gauge.set_int target.s_live target.s_conns;
+      conn.session <- Some target;
+      Ok ()
+    end
+
+let handle_tenant t conn rest =
+  let words = List.filter (( <> ) "") (String.split_on_char ' ' rest) in
+  match words with
+  | [] -> `Reply "ERR tenant subcommand required (CREATE/USE/DROP/LIST)"
+  | sub :: args ->
+    (match (String.uppercase_ascii sub, args) with
+     | "LIST", [] -> `Reply (tenant_list_lines t)
+     | "LIST", _ -> `Reply "ERR tenant list takes no arguments"
+     | "CREATE", (name :: rest_args) when List.length rest_args <= 1 ->
+       if not (valid_tenant_name name) then
+         `Reply "ERR invalid tenant name (want [A-Za-z0-9_.-]{1,64})"
+       else if Hashtbl.mem t.sessions name then
+         `Reply (Printf.sprintf "ERR tenant %s exists" name)
+       else begin
+         let dbspec = match rest_args with [ d ] -> d | _ -> name in
+         match t.factory dbspec with
+         | Error msg -> `Reply ("ERR " ^ msg)
+         | Ok service ->
+           Hashtbl.replace t.sessions name (make_session name service);
+           Metrics.Gauge.set_int m_tenants (Hashtbl.length t.sessions);
+           `Reply (Printf.sprintf "OK tenant %s created" name)
+       end
+     | "CREATE", _ -> `Reply "ERR usage: TENANT CREATE <name> [<db>]"
+     | "USE", [ name ] ->
+       (match Hashtbl.find_opt t.sessions name with
+        | None -> `Reply (Printf.sprintf "ERR no such tenant %s" name)
+        | Some s ->
+          (match bind_session t conn s with
+           | Ok () -> `Reply (Printf.sprintf "OK tenant %s" name)
+           | Error msg -> `Reply ("ERR " ^ msg)))
+     | "USE", _ -> `Reply "ERR usage: TENANT USE <name>"
+     | "DROP", [ name ] ->
+       (match Hashtbl.find_opt t.sessions name with
+        | None -> `Reply (Printf.sprintf "ERR no such tenant %s" name)
+        | Some s ->
+          Hashtbl.remove t.sessions name;
+          Metrics.Gauge.set_int m_tenants (Hashtbl.length t.sessions);
+          (* Unbind this tenant's connections; they keep draining and
+             may rebind with TENANT USE. *)
+          let unbound = ref 0 in
+          Hashtbl.iter
+            (fun _ c ->
+              match c.session with
+              | Some s' when s' == s ->
+                c.session <- None;
+                incr unbound
+              | _ -> ())
+            t.conns;
+          s.s_conns <- 0;
+          Metrics.Gauge.set_int s.s_live 0;
+          `Reply
+            (Printf.sprintf "OK tenant %s dropped conns=%d" name !unbound))
+     | "DROP", _ -> `Reply "ERR usage: TENANT DROP <name>"
+     | _ -> `Reply "ERR unknown tenant subcommand (CREATE/USE/DROP/LIST)")
+
 (* Returns the response plus whether the daemon should stop / the
-   connection should close. *)
-let handle_command t line =
-  let verb, rest =
-    match String.index_opt line ' ' with
-    | Some i ->
-      ( String.sub line 0 i,
-        String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
-    | None -> (line, "")
+   connection should close. Service verbs dispatch through the
+   connection's bound session. *)
+let handle_command t conn line =
+  let verb, rest = split_verb line in
+  let with_session f =
+    match conn.session with
+    | None -> `Reply no_tenant_reply
+    | Some s ->
+      Metrics.Counter.incr s.s_commands;
+      f s
   in
   match (String.uppercase_ascii verb, rest) with
   | "STMT", "" -> (`Reply "ERR empty statement", `Keep)
   | "STMT", sql ->
-    (match Service.feed t.service sql with
-     | Service.Rejected msg -> (`Reply ("ERR " ^ msg), `Keep)
-     | Service.Observed { ev_epoch = Some o; _ } ->
-       (`Reply ("OK observed " ^ epoch_line o), `Keep)
-     | Service.Observed { ev_drift = Some v; _ } ->
-       ( `Reply
-           (Printf.sprintf "OK observed drift=%.3f regression=%.3f fired=%b"
-              v.Drift.v_divergence v.Drift.v_regression v.Drift.v_fired),
-         `Keep )
-     | Service.Observed _ -> (`Reply "OK observed", `Keep))
-  | "STATS", _ -> (`Reply ("OK " ^ stats_line t.service), `Keep)
+    ( with_session (fun s ->
+          `Reply (stmt_reply s (Service.feed s.s_service sql))),
+      `Keep )
+  | "STATS", _ ->
+    (with_session (fun s -> `Reply ("OK " ^ stats_line s.s_service)), `Keep)
   | "CONFIG", _ ->
-    let db = Service.database t.service in
-    let config = Service.config t.service in
-    let lines =
-      List.map
-        (fun ix ->
-          Printf.sprintf "%s %d" (Index.to_string ix) (Database.index_pages db ix))
-        config
-    in
-    ( `Reply
-        (String.concat "\n" (Printf.sprintf "OK %d" (List.length lines) :: lines)),
+    ( with_session (fun s ->
+          let db = Service.database s.s_service in
+          let config = Service.config s.s_service in
+          let lines =
+            List.map
+              (fun ix ->
+                Printf.sprintf "%s %d" (Index.to_string ix)
+                  (Database.index_pages db ix))
+              config
+          in
+          `Reply
+            (String.concat "\n"
+               (Printf.sprintf "OK %d" (List.length lines) :: lines))),
       `Keep )
   | "EPOCH", _ ->
-    (match Service.force_epoch t.service with
-     | Ok o -> (`Reply ("OK " ^ epoch_line o), `Keep)
-     | Error msg -> (`Reply ("ERR " ^ msg), `Keep))
+    ( with_session (fun s ->
+          match Service.force_epoch s.s_service with
+          | Ok o ->
+            Metrics.Counter.incr s.s_epochs;
+            `Reply ("OK " ^ epoch_line o)
+          | Error msg -> `Reply ("ERR " ^ msg)),
+      `Keep )
   | "METRICS", _ ->
     let lines = Metrics.dump_lines Metrics.default in
     ( `Reply
         (String.concat "\n"
            (Printf.sprintf "OK %d" (List.length lines) :: lines)),
       `Keep )
+  | "TENANT", _ -> (handle_tenant t conn rest, `Keep)
   | "QUIT", _ -> (`Reply "OK bye", `Close)
   | "SHUTDOWN", _ -> (`Reply "OK shutting down", `Stop)
   | "", _ -> (`Reply "ERR empty command", `Keep)
   | _ -> (`Reply "ERR unknown command", `Keep)
 
-(* ---- Event loop ---- *)
+let dispatch_one t conn line =
+  t.commands_served <- t.commands_served + 1;
+  Metrics.Counter.incr m_commands;
+  let `Reply reply, action =
+    Metrics.time (command_histogram line) (fun () ->
+        handle_command t conn line)
+  in
+  (match action with
+   | `Keep -> respond t conn reply
+   | `Close ->
+     conn.closing <- true;
+     Queue.clear conn.pending;
+     respond t conn reply
+   | `Stop ->
+     conn.closing <- true;
+     Queue.clear conn.pending;
+     respond t conn reply;
+     t.running <- false)
 
-let close_conn t conn =
-  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
-  t.conns <- List.filter (fun c -> c != conn) t.conns;
-  Metrics.Gauge.set_int m_live (List.length t.conns)
+(* Is [line] a feedable statement ("STMT <sql>" with nonempty sql)?
+   Empty STMTs answer an error without consuming a statement id, so
+   they must not join a batch. *)
+let stmt_sql line =
+  let verb, rest = split_verb line in
+  if String.uppercase_ascii verb = "STMT" && rest <> "" then Some rest
+  else None
 
-(* Write as much of [conn.out] as the socket accepts. A peer that
-   disconnected mid-reply surfaces here as EPIPE/ECONNRESET (EBADF or
-   ENOTCONN if the fd was already torn down): that peer's failure must
-   not unwind the serve loop — count it and drop only this
-   connection. *)
-let flush_out t conn =
-  if conn.out <> "" then begin
-    let b = Bytes.of_string conn.out in
-    match Unix.write conn.fd b 0 (Bytes.length b) with
-    | n ->
-      Metrics.Counter.add m_bytes_out n;
-      conn.out <- String.sub conn.out n (String.length conn.out - n)
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-    | exception
-        Unix.Unix_error
-          ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF | Unix.ENOTCONN), _, _)
-      ->
-      Metrics.Counter.incr m_write_errors;
-      conn.out <- "";
-      close_conn t conn
+(* Dispatch a contiguous pipelined run of STMT lines as one
+   [Service.feed_batch] (pool-parsed). Replies are identical to
+   one-at-a-time dispatch; the per-verb histogram records the mean
+   per-statement latency of the batch. *)
+let dispatch_stmt_batch t conn sqls =
+  let n = List.length sqls in
+  t.commands_served <- t.commands_served + n;
+  Metrics.Counter.add m_commands n;
+  match conn.session with
+  | None ->
+    List.iter (fun _ -> respond t conn no_tenant_reply) sqls
+  | Some s ->
+    Metrics.Counter.add s.s_commands n;
+    let h = List.assoc "stmt" m_command_seconds in
+    let events, elapsed =
+      Im_util.Stopwatch.time (fun () -> Service.feed_batch s.s_service sqls)
+    in
+    let per = elapsed /. float_of_int n in
+    List.iter
+      (fun ev ->
+        Metrics.Histogram.observe h per;
+        respond t conn (stmt_reply s ev))
+      events
+
+(* Dispatch up to [commands_per_round] pending lines on one
+   connection. Contiguous STMT runs go through the batch path. *)
+let process_pending t conn =
+  let budget = ref commands_per_round in
+  while
+    !budget > 0
+    && t.running
+    && (not conn.closed)
+    && (not conn.closing)
+    && not (Queue.is_empty conn.pending)
+  do
+    match stmt_sql (Queue.peek conn.pending) with
+    | None ->
+      decr budget;
+      dispatch_one t conn (Queue.pop conn.pending)
+    | Some _ ->
+      (* Gather the whole contiguous STMT run within budget. *)
+      let sqls = ref [] in
+      let continue = ref true in
+      while
+        !continue && !budget > 0 && not (Queue.is_empty conn.pending)
+      do
+        match stmt_sql (Queue.peek conn.pending) with
+        | Some sql ->
+          ignore (Queue.pop conn.pending);
+          decr budget;
+          sqls := sql :: !sqls
+        | None -> continue := false
+      done;
+      (match List.rev !sqls with
+       | [] -> ()
+       | [ sql ] ->
+         (* Preserve the exact single-command path (same timing
+            semantics) for unpipelined clients. *)
+         dispatch_one t conn ("STMT " ^ sql)
+       | sqls -> dispatch_stmt_batch t conn sqls)
+  done;
+  if not conn.closed then begin
+    flush_out t conn;
+    maybe_close_drained t conn
   end
 
-let respond t conn reply =
-  conn.out <- conn.out ^ reply ^ "\n";
-  flush_out t conn;
-  if List.memq conn t.conns && conn.out = "" && conn.closing then
-    close_conn t conn
+(* ---- Reading ---- *)
 
-(* Consume complete lines from the connection buffer. Scans from an
-   advancing offset and compacts the buffer once at the end: a
-   pipelined batch of N commands costs O(bytes), where the old
-   copy-per-line loop re-copied the whole buffer for every line and
-   made large batches O(N^2). *)
-let drain_lines t conn =
+(* Move complete lines from [conn.buf] to [conn.pending]. Scans from an
+   advancing offset and compacts the buffer once: a pipelined batch of
+   N commands costs O(bytes). *)
+let extract_lines conn =
   let s = Buffer.contents conn.buf in
   let len = String.length s in
   let pos = ref 0 in
@@ -211,88 +593,123 @@ let drain_lines t conn =
           String.sub line 0 (String.length line - 1)
         else line
       in
-      t.commands_served <- t.commands_served + 1;
-      Metrics.Counter.incr m_commands;
-      let line = String.trim line in
-      let `Reply reply, action =
-        Metrics.time (command_histogram line) (fun () -> handle_command t line)
-      in
-      (match action with
-       | `Keep -> respond t conn reply
-       | `Close ->
-         conn.closing <- true;
-         respond t conn reply
-       | `Stop ->
-         conn.closing <- true;
-         respond t conn reply;
-         t.running <- false);
-      if not (t.running && List.memq conn t.conns) then continue := false
+      Queue.push (String.trim line) conn.pending
   done;
-  if List.memq conn t.conns then begin
-    Buffer.clear conn.buf;
-    if !pos < len then Buffer.add_substring conn.buf s !pos (len - !pos)
-  end
+  Buffer.clear conn.buf;
+  if !pos < len then Buffer.add_substring conn.buf s !pos (len - !pos)
 
 let read_chunk t conn =
   let bytes = Bytes.create 4096 in
   match Unix.read conn.fd bytes 0 4096 with
-  | 0 -> close_conn t conn
+  | 0 ->
+    (* Half close: the peer promises no more input. Answer what it
+       already pipelined, drain the replies, then close — closing here
+       discarded every queued reply. *)
+    conn.eof <- true;
+    extract_lines conn;
+    Buffer.clear conn.buf;  (* a partial line can never complete now *)
+    maybe_close_drained t conn
   | n ->
     conn.last_active <- Im_util.Stopwatch.now_s ();
     Metrics.Counter.add m_bytes_in n;
     Buffer.add_subbytes conn.buf bytes 0 n;
-    if Buffer.length conn.buf > 1_000_000 then begin
-      (* a line this long is abuse, not SQL *)
-      conn.out <- "";
-      close_conn t conn
+    extract_lines conn;
+    if Buffer.length conn.buf > max_line_bytes then begin
+      (* A single line this long is abuse, not SQL: diagnose, count,
+         and close once the error (and nothing else) drains. *)
+      Metrics.Counter.incr m_overlong;
+      Buffer.clear conn.buf;
+      Queue.clear conn.pending;
+      respond t conn "ERR line too long";
+      conn.closing <- true;
+      flush_out t conn;
+      maybe_close_drained t conn
     end
-    else drain_lines t conn
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
   | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> close_conn t conn
 
-let overload_msg = "ERR too many connections\n"
+(* ---- Accepting ---- *)
 
-let accept_conn t =
-  match Unix.accept t.listener with
-  | fd, _addr ->
-    if List.length t.conns >= t.max_connections then begin
-      Metrics.Counter.incr m_rejected;
-      (try
-         ignore
-           (Unix.write fd
-              (Bytes.of_string overload_msg)
-              0
-              (String.length overload_msg))
-       with Unix.Unix_error _ -> ());
-      try Unix.close fd with Unix.Unix_error _ -> ()
-    end
+let overload_msg = "ERR too many connections\n"
+let tenant_overload_msg = "ERR too many connections for tenant\n"
+
+(* Best-effort reject: the fd is nonblocking *before* the write, so a
+   connect-and-never-read client cannot stall the accept loop; a
+   partial or failed write is ignored. *)
+let reject_fd fd msg =
+  Metrics.Counter.incr m_rejected;
+  (try ignore (Unix.write_substring fd msg 0 (String.length msg))
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let admit t fd =
+  Unix.set_nonblock fd;
+  if Hashtbl.length t.conns >= t.max_connections then reject_fd fd overload_msg
+  else begin
+    let session = Hashtbl.find_opt t.sessions t.default_tenant in
+    let tenant_full =
+      match session with
+      | Some s -> s.s_conns >= t.max_tenant_connections
+      | None -> false
+    in
+    if tenant_full then reject_fd fd tenant_overload_msg
     else begin
-      Unix.set_nonblock fd;
       t.connections_served <- t.connections_served + 1;
-      t.conns <-
+      let conn =
         {
           fd;
           buf = Buffer.create 256;
+          pending = Queue.create ();
+          out = { oq = Queue.create (); oq_head = 0; oq_bytes = 0 };
+          session = None;
           last_active = Im_util.Stopwatch.now_s ();
           closing = false;
-          out = "";
+          eof = false;
+          closed = false;
         }
-        :: t.conns;
-      Metrics.Gauge.set_int m_live (List.length t.conns)
+      in
+      (match session with
+       | Some s ->
+         s.s_conns <- s.s_conns + 1;
+         Metrics.Gauge.set_int s.s_live s.s_conns;
+         conn.session <- Some s
+       | None -> ());
+      Hashtbl.replace t.conns fd conn;
+      Metrics.Gauge.set_int m_live (Hashtbl.length t.conns)
     end
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  end
 
-let reap_idle t =
+(* Accept every connection the kernel has queued, not one per select
+   round: a burst of N connects previously took N rounds. Bounded so a
+   connect flood cannot starve established connections either. *)
+let accept_burst t =
+  let accepted = ref 0 in
+  let continue = ref true in
+  while !continue && !accepted < 1024 do
+    match Unix.accept t.listener with
+    | fd, _addr ->
+      incr accepted;
+      admit t fd
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      continue := false
+    | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _) ->
+      ()
+  done;
+  if float_of_int !accepted > Metrics.Gauge.value m_accept_burst then
+    Metrics.Gauge.set_int m_accept_burst !accepted
+
+(* ---- Reaping ---- *)
+
+let reap_idle t snapshot =
   let now = Im_util.Stopwatch.now_s () in
   List.iter
     (fun conn ->
-      if List.memq conn t.conns && now -. conn.last_active > t.read_timeout
-      then begin
+      if (not conn.closed) && now -. conn.last_active > t.read_timeout then begin
         (* Give queued replies a last chance to leave before dropping
            the connection. *)
         flush_out t conn;
-        if List.memq conn t.conns then begin
-          if conn.out = "" then begin
+        if not conn.closed then begin
+          if conn.out.oq_bytes = 0 then begin
             Metrics.Counter.incr m_reaped;
             close_conn t conn
           end
@@ -308,43 +725,68 @@ let reap_idle t =
               close_conn t conn
         end
       end)
-    t.conns
+    snapshot
+
+(* ---- Event loop ---- *)
 
 let serve t =
   t.running <- true;
   Unix.set_nonblock t.listener;
   while t.running do
-    let reads = t.listener :: List.map (fun c -> c.fd) t.conns in
+    let snapshot = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+    let reads =
+      t.listener
+      :: List.filter_map
+           (fun c ->
+             if
+               (not c.closing) && (not c.eof)
+               && Queue.length c.pending < max_pending_lines
+             then Some c.fd
+             else None)
+           snapshot
+    in
     let writes =
       List.filter_map
-        (fun c -> if c.out <> "" then Some c.fd else None)
-        t.conns
+        (fun c -> if c.out.oq_bytes > 0 then Some c.fd else None)
+        snapshot
     in
-    match Unix.select reads writes [] 1.0 with
+    let backlog =
+      List.exists (fun c -> not (Queue.is_empty c.pending)) snapshot
+    in
+    let timeout = if backlog then 0.0 else 1.0 in
+    match Unix.select reads writes [] timeout with
     | readable, writable, _ ->
-      if List.mem t.listener readable then accept_conn t;
-      (* Handlers may close connections mid-iteration: work on a
-         snapshot and recheck membership before touching each fd. *)
-      let snapshot = t.conns in
+      if List.mem t.listener readable then accept_burst t;
+      (* Handlers may close connections mid-iteration: every step
+         rechecks [conn.closed] before touching the fd. *)
       List.iter
         (fun conn ->
-          if List.memq conn t.conns && List.mem conn.fd writable then begin
+          if (not conn.closed) && List.mem conn.fd writable then begin
             flush_out t conn;
-            if List.memq conn t.conns && conn.out = "" && conn.closing then
-              close_conn t conn
+            maybe_close_drained t conn
           end)
         snapshot;
       List.iter
         (fun conn ->
-          if List.memq conn t.conns && List.mem conn.fd readable then
+          if (not conn.closed) && List.mem conn.fd readable then
             read_chunk t conn)
         snapshot;
-      reap_idle t
+      List.iter
+        (fun conn -> if not conn.closed then process_pending t conn)
+        snapshot;
+      reap_idle t snapshot
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
   (* Graceful shutdown: best-effort flush, then close everything. *)
-  List.iter (fun conn -> flush_out t conn) t.conns;
-  List.iter (fun conn -> try Unix.close conn.fd with Unix.Unix_error _ -> ())
-    t.conns;
-  t.conns <- [];
+  let remaining = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+  List.iter (fun conn -> flush_out t conn) remaining;
+  List.iter
+    (fun conn ->
+      if not conn.closed then begin
+        conn.closed <- true;
+        try Unix.close conn.fd with Unix.Unix_error _ -> ()
+      end)
+    remaining;
+  Hashtbl.reset t.conns;
+  Metrics.Gauge.set_int m_live 0;
   try Unix.close t.listener with Unix.Unix_error _ -> ()

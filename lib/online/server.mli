@@ -1,33 +1,69 @@
-(** TCP advisor daemon: a single-threaded [Unix.select] loop exposing a
-    {!Service} over a line protocol.
+(** Multi-tenant TCP advisor daemon: a single-threaded [Unix.select]
+    loop exposing one {!Service} per tenant over a line protocol.
 
     Requests are newline-terminated; responses are one [OK ...] or
-    [ERR ...] line, except [CONFIG] whose [OK <n>] line is followed by
-    [n] index lines. Commands (case-insensitive verb):
+    [ERR ...] line, except [CONFIG]/[METRICS]/[TENANT LIST] whose
+    [OK <n>] line is followed by [n] detail lines. Commands
+    (case-insensitive verb):
 
     {v
-    STMT <sql>    ingest one statement; OK observed [epoch=...] | ERR <why>
-    STATS         OK k=v k=v ...          (counters, single line)
-    CONFIG        OK <n> + n lines "<index> <pages>"
-    EPOCH         force a tuning epoch; OK epoch ... | ERR <why>
-    METRICS       OK <n> + n lines from the process metrics registry
-                  (stable [Im_obs.Metrics.dump] order)
-    QUIT          OK bye, close this connection
-    SHUTDOWN      OK shutting down, stop the whole daemon
+    STMT <sql>             ingest one statement; OK observed ... | ERR <why>
+    STATS                  OK k=v k=v ...       (tenant counters, one line)
+    CONFIG                 OK <n> + n lines "<index> <pages>"
+    EPOCH                  force a tuning epoch; OK epoch ... | ERR <why>
+    METRICS                OK <n> + n lines from the process metrics
+                           registry (stable [Im_obs.Metrics.dump] order)
+    TENANT LIST            OK <n> + n lines "<name> conns= statements= epochs="
+    TENANT CREATE <n> [db] create a tenant (session built by the factory)
+    TENANT USE <n>         bind this connection to tenant <n>
+    TENANT DROP <n>        evict tenant <n>; its connections are unbound
+    QUIT                   OK bye, close this connection
+    SHUTDOWN               OK shutting down, stop the whole daemon
     v}
+
+    Every connection is bound to the default tenant on accept, so
+    sessions that never issue a TENANT verb behave exactly like the
+    single-tenant daemon. [STMT]/[STATS]/[CONFIG]/[EPOCH] dispatch
+    through the connection's bound session; after its tenant is
+    dropped they answer [ERR no tenant bound] until a [TENANT USE].
+
+    Admission control: a global connection cap and a per-tenant cap
+    (checked on accept against the default tenant and on [TENANT
+    USE]); rejected connections get a best-effort [ERR too many
+    connections] on a nonblocking fd. Output is a per-connection
+    byte-capped queue — when a slow reader's queue would exceed
+    [max_output_bytes] the overflowing reply is dropped, the
+    connection is marked closing (it drains what was queued, then
+    closes) and [server_backpressure_closed_total] is counted.
+
+    Fairness: all queued connects are accepted per select round (not
+    one), each connection dispatches at most a bounded number of
+    commands per round, and rounds with undispatched pipelined input
+    re-select with a zero timeout — one pipelining client cannot
+    starve accepts. Contiguous pipelined [STMT] runs parse on the
+    service's [Im_par] pool via {!Service.feed_batch}; epoch re-merges
+    fan their costings onto the same pool.
 
     Connections idle longer than [read_timeout] seconds are reaped
     (after a best-effort flush of queued replies; a connection with
     pending output on a still-writable socket is left to drain); a
-    half-received line survives across reads (per-connection buffers).
-    Idle tracking uses the monotonic clock, so wall-clock jumps never
-    mass-disconnect clients. A peer that disconnects before reading
-    its reply costs only that connection ([EPIPE]/[ECONNRESET] on
-    write is counted in [server_write_errors_total], never raised out
-    of the loop). Everything runs on one thread — intake, drift checks
-    and epochs execute inline in the event loop, which is exactly the
-    paper-scale deployment shape (one advisor per server) and keeps
-    the service state free of locks. *)
+    half-received line survives across reads. A peer that half-closes
+    ([shutdown(SHUT_WR)]) after pipelining commands still receives
+    every queued reply: EOF stops intake but the pending commands are
+    answered and the output queue drains before the close. A peer that
+    disconnects before reading its reply costs only that connection
+    ([EPIPE]/[ECONNRESET] on write is counted in
+    [server_write_errors_total], never raised out of the loop). A
+    single line over 1 MB answers [ERR line too long] (counted in
+    [server_overlong_lines_total]) and closes after the error drains.
+
+    Per-tenant observability ([im_obs], labelled [{tenant="..."}]):
+    [server_tenant_connections_live], [server_tenant_commands_total],
+    [server_tenant_epochs_total]; process-wide:
+    [server_backpressure_closed_total], [server_overlong_lines_total],
+    [server_out_queue_max_bytes] (high-water),
+    [server_accept_burst_max], [server_tenants], plus the per-verb
+    latency histograms and byte counters of the single-tenant daemon. *)
 
 type t
 
@@ -36,12 +72,26 @@ val create :
   ?port:int ->
   ?read_timeout:float ->
   ?max_connections:int ->
+  ?max_tenant_connections:int ->
+  ?max_output_bytes:int ->
+  ?tenant:string ->
+  ?tenants:(string * Service.t) list ->
+  ?factory:(string -> (Service.t, string) result) ->
   Service.t ->
   t
 (** Binds and listens immediately. Defaults: host ["127.0.0.1"],
     [port = 0] (ephemeral — read the bound port back with {!port}),
-    [read_timeout = 30.], [max_connections = 64]. Raises [Unix_error]
-    when binding fails. *)
+    [read_timeout = 30.], [max_connections = 64],
+    [max_tenant_connections = max_connections] (values [<= 0] mean the
+    same), [max_output_bytes = 1_048_576], [tenant = "default"] (the
+    name of the session owning the given service, bound to every new
+    connection), [tenants = []] (extra pre-created sessions),
+    [factory] answering [Error] (so [TENANT CREATE] is off unless one
+    is provided — it receives the [db] spec, defaulting to the tenant
+    name). Tenant names are restricted to [[A-Za-z0-9_.-]{1,64}]
+    because they become metric label values; invalid or duplicate
+    names raise [Invalid_argument]. Raises [Unix_error] when binding
+    fails. *)
 
 val port : t -> int
 (** The actually bound port (useful with [port = 0]). *)
@@ -53,6 +103,9 @@ val serve : t -> unit
 
 val shutdown : t -> unit
 (** Request a graceful stop; safe to call from a signal handler. *)
+
+val tenants : t -> string list
+(** Live tenant names, sorted. *)
 
 val connections_served : t -> int
 val commands_served : t -> int

@@ -130,25 +130,71 @@ let maybe_tune t =
   end
   else (None, None)
 
+(* Apply one already-parsed statement: the shared tail of [feed] and
+   [feed_batch]. The caller has already advanced [t.seq] and counted
+   the statement. *)
+let apply_parsed t = function
+  | Error msg ->
+    t.rejected <- t.rejected + 1;
+    Rejected msg
+  | Ok q ->
+    Window.observe t.window q;
+    Im_obs.Metrics.Gauge.set_int m_window_clusters
+      (Window.cluster_count t.window);
+    let ev_drift, ev_epoch = maybe_tune t in
+    Observed { ev_drift; ev_epoch }
+
 let feed t sql =
   let event, elapsed =
     Im_util.Stopwatch.time (fun () ->
         t.seq <- t.seq + 1;
         Im_obs.Metrics.Counter.incr m_statements;
         let id = Printf.sprintf "S%d" t.seq in
-        match Parser.parse_query ~schema:(Database.schema t.db) ~id sql with
-        | Error msg ->
-          t.rejected <- t.rejected + 1;
-          Rejected msg
-        | Ok q ->
-          Window.observe t.window q;
-          Im_obs.Metrics.Gauge.set_int m_window_clusters
-            (Window.cluster_count t.window);
-          let ev_drift, ev_epoch = maybe_tune t in
-          Observed { ev_drift; ev_epoch })
+        apply_parsed t
+          (Parser.parse_query ~schema:(Database.schema t.db) ~id sql))
   in
   t.feed_seconds <- t.feed_seconds +. elapsed;
   event
+
+(* Batched intake: parsing is pure in (schema, id, sql), so a pipelined
+   run of statements parses on the pool (cost-aware chunks via
+   [Pool.Batcher]) before the window/drift/epoch state machine applies
+   each result sequentially. Statement ids are pre-assigned in arrival
+   order, so the events — and therefore a daemon's replies — are
+   identical to feeding one statement at a time. *)
+let parse_batcher = Im_par.Pool.Batcher.create ~name:"serve_parse" ()
+
+let feed_batch t sqls =
+  match sqls with
+  | [] -> []
+  | [ sql ] -> [ feed t sql ]
+  | sqls ->
+    let events, elapsed =
+      Im_util.Stopwatch.time (fun () ->
+          let schema = Database.schema t.db in
+          let base = t.seq in
+          let parse (i, sql) =
+            Parser.parse_query ~schema
+              ~id:(Printf.sprintf "S%d" (base + i + 1))
+              sql
+          in
+          let numbered = List.mapi (fun i sql -> (i, sql)) sqls in
+          let parsed =
+            match t.pool with
+            | Some pool when Im_par.Pool.domain_count pool > 0 ->
+              Im_par.Pool.map_batched pool ~batcher:parse_batcher parse
+                numbered
+            | Some _ | None -> List.map parse numbered
+          in
+          List.map
+            (fun res ->
+              t.seq <- t.seq + 1;
+              Im_obs.Metrics.Counter.incr m_statements;
+              apply_parsed t res)
+            parsed)
+    in
+    t.feed_seconds <- t.feed_seconds +. elapsed;
+    events
 
 let force_epoch t =
   if Window.cluster_count t.window = 0 then Error "window is empty"

@@ -68,6 +68,16 @@ type event =
 val feed : t -> string -> event
 (** Ingest one SQL statement (text, trailing [';'] allowed). *)
 
+val feed_batch : t -> string list -> event list
+(** Ingest a pipelined run of statements. Parsing is pure in
+    (schema, pre-assigned id, text), so when the service owns a
+    {!Im_par.Pool} with workers the batch parses on the pool in
+    cost-sized chunks ({!Im_par.Pool.Batcher}, site [serve_parse])
+    before each result is applied to the window/drift/epoch state
+    machine in arrival order. Events are identical to calling {!feed}
+    once per statement, at any pool size — the daemon batches
+    pipelined [STMT] runs through this. *)
+
 val force_epoch : t -> (Epoch.outcome, string) result
 (** Run an epoch now; [Error] on an empty window. *)
 

@@ -33,10 +33,23 @@ echo "== dune runtest (IM_VALIDATE_DERIVE=1, derivation cross-checked) =="
 IM_VALIDATE_DERIVE=1 dune runtest --force
 
 # The daemon fault paths are the regressions this repo has actually
-# hit (EPIPE unwinding the serve loop); run them explicitly even
-# though runtest covers them, so a failure is impossible to miss.
+# hit (EPIPE unwinding the serve loop, half-close reply loss,
+# one-accept-per-round, blocking overload writes, silent oversized
+# closes); run them explicitly even though runtest covers them, so a
+# failure is impossible to miss.
 echo "== daemon fault tests =="
 dune exec test/test_server_faults.exe
+
+echo "== daemon tenant isolation tests =="
+dune exec test/test_online_tenants.exe
+
+echo "== bench: serve smoke, 2 tenants x 100 pipelined clients (BENCH_serve_smoke.json) =="
+# exp_serve hard-asserts zero reply loss, zero ERR replies, zero
+# daemon write errors / backpressure closes / rejects, and an output
+# queue under the cap.
+IM_SERVE_CLIENTS=100 IM_SERVE_TENANTS=2 IM_BENCH_OUT=BENCH_serve_smoke.json \
+  dune exec bench/main.exe -- serve
+echo "wrote BENCH_serve_smoke.json"
 
 echo "== metrics smoke (--metrics exposes the registry) =="
 dune exec bin/index_merge_cli.exe -- merge -d synthetic1 -q 6 --metrics \

@@ -1,13 +1,21 @@
 (* Fault-path tests for the `serve` daemon, against the real CLI binary
    on an ephemeral port.
 
-   The centerpiece is the disconnect-mid-reply regression: a client
-   pipelines STMT/STMT/EPOCH in one write and closes without reading.
-   The whole pipeline is read before any reply is written, and the
-   close turns the peer's socket into an RST source, so the daemon's
-   reply writes hit EPIPE/ECONNRESET. A daemon that lets that error
-   unwind the serve loop dies here; the fixed one counts a write error,
-   drops that connection, and keeps serving the next client. *)
+   These pin the select-loop regressions this repo has actually hit:
+
+   - disconnect mid-reply: a peer that pipelines and closes without
+     reading must cost one connection (counted write error), never the
+     serve loop;
+   - pipelined batches must drain linearly and answer in order;
+   - half close (shutdown(SHUT_WR)) after pipelining must still
+     deliver every queued reply — the old loop closed on read() = 0
+     and discarded the whole output queue;
+   - a connect burst must be accepted within one select round, not one
+     accept per round;
+   - rejected connections are written best-effort on a nonblocking fd,
+     so a connect-and-never-read client cannot stall the accept loop;
+   - an oversized line answers `ERR line too long` (counted) before
+     the close, instead of silently dropping the connection. *)
 
 let cli () =
   let here = Filename.dirname Sys.executable_name in
@@ -25,14 +33,18 @@ type daemon = {
   port : int;
 }
 
-let start_daemon ?(check_every = 1_000_000) () =
+let start_daemon ?(check_every = 1_000_000) ?(args = []) ?(env = []) () =
   let out_read, out_write = Unix.pipe ~cloexec:false () in
+  let argv =
+    [
+      cli (); "serve"; "-d"; "synthetic1"; "--port"; "0"; "--check-every";
+      string_of_int check_every; "--read-timeout"; "30";
+    ]
+    @ args
+  in
   let pid =
-    Unix.create_process (cli ())
-      [|
-        cli (); "serve"; "-d"; "synthetic1"; "--port"; "0"; "--check-every";
-        string_of_int check_every; "--read-timeout"; "30";
-      |]
+    Unix.create_process_env (cli ()) (Array.of_list argv)
+      (Array.append (Unix.environment ()) (Array.of_list env))
       Unix.stdin out_write Unix.stderr
   in
   Unix.close out_write;
@@ -55,8 +67,11 @@ let stop_daemon d =
 
 type client = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
 
-let connect port =
+let connect ?rcvbuf port =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (match rcvbuf with
+   | Some n -> Unix.setsockopt_int fd Unix.SO_RCVBUF n
+   | None -> ());
   Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
   { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
 
@@ -156,22 +171,144 @@ let test_pipelined_batch () =
         true
         (Astring_contains.contains stats (Printf.sprintf "statements=%d" n)))
 
+let test_half_close_replies_survive () =
+  (* The half-close reply-loss regression: pipeline N commands, then
+     shutdown(SHUT_WR) before reading anything. The daemon's read()
+     returns 0 while most replies are still queued (the tiny inherited
+     send buffer keeps them out of the kernel); the old loop closed the
+     connection right there and discarded every one of them. *)
+  let n = 500 in
+  let d =
+    start_daemon
+      ~args:[ "--max-output-bytes"; "8000000" ]
+      ~env:[ "IM_SERVE_SNDBUF=4096" ] ()
+  in
+  Fun.protect
+    ~finally:(fun () -> stop_daemon d)
+    (fun () ->
+      let c = connect ~rcvbuf:4096 d.port in
+      let b = Buffer.create (n * 8) in
+      for _ = 1 to n do
+        Buffer.add_string b "STATS\n"
+      done;
+      output_string c.oc (Buffer.contents b);
+      flush c.oc;
+      Unix.shutdown c.fd Unix.SHUTDOWN_SEND;
+      (* Now read: every one of the n replies must arrive before EOF. *)
+      let received = ref 0 in
+      (try
+         while true do
+           let line = input_line c.ic in
+           expect_prefix "half-close reply" "OK " line;
+           incr received
+         done
+       with End_of_file -> ());
+      Alcotest.(check int) "all pipelined replies delivered" n !received;
+      (* The daemon is still healthy for the next client. *)
+      let c2 = connect d.port in
+      expect_prefix "stats after half-close" "OK " (request c2 "STATS");
+      expect_prefix "quit" "OK bye" (request c2 "QUIT"))
+
+let test_accept_burst () =
+  (* A burst of connects arriving while the daemon is busy chewing a
+     pipelined batch must all be accepted in one select round. The old
+     loop accepted exactly one per round, so the burst serialized and
+     server_accept_burst_max stayed at 1 (the metric did not even
+     exist). *)
+  let d = start_daemon () in
+  Fun.protect
+    ~finally:(fun () -> stop_daemon d)
+    (fun () ->
+      (* Keep the daemon busy: a large pipelined batch it will work
+         through over several bounded rounds. *)
+      let busy = connect d.port in
+      let b = Buffer.create (5000 * 48) in
+      for i = 1 to 5000 do
+        Buffer.add_string b
+          (Printf.sprintf "STMT SELECT t0_c%d FROM t0 WHERE t0_c%d = %d\n"
+             (i mod 3) (i mod 3) i)
+      done;
+      output_string busy.oc (Buffer.contents b);
+      flush busy.oc;
+      (* Burst 30 connects while it chews. The TCP handshake completes
+         against the listen backlog, so these return before the daemon
+         accepts. *)
+      let burst = List.init 30 (fun _ -> connect d.port) in
+      List.iter
+        (fun c -> expect_prefix "burst stats" "OK " (request c "STATS"))
+        burst;
+      let m = read_metrics (List.hd burst) in
+      Alcotest.(check bool)
+        (Printf.sprintf "accept burst max %.0f >= 2"
+           (metric m "server_accept_burst_max"))
+        true
+        (metric m "server_accept_burst_max" >= 2.);
+      List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+        (busy :: burst))
+
+let test_overload_reject_best_effort () =
+  (* Overflowing connections get a best-effort error on a nonblocking
+     fd; clients that connect and never read must not stall the accept
+     loop (the old path wrote on a blocking fd before set_nonblock —
+     latent until the message outgrows the kernel buffer, pinned here
+     structurally: the daemon stays responsive under a pile of
+     never-reading rejects, and each reject still sees the error). *)
+  let d = start_daemon ~args:[ "--max-connections"; "3" ] () in
+  Fun.protect
+    ~finally:(fun () -> stop_daemon d)
+    (fun () ->
+      let admitted = List.init 3 (fun _ -> connect d.port) in
+      (* Over the cap: 20 connects that never read. *)
+      let rejected = List.init 20 (fun _ -> connect d.port) in
+      (* The daemon must keep serving admitted clients promptly. *)
+      List.iter
+        (fun c -> expect_prefix "admitted stats" "OK " (request c "STATS"))
+        admitted;
+      (* Each reject got the diagnostic, then EOF. *)
+      List.iter
+        (fun c ->
+          expect_prefix "reject line" "ERR too many connections"
+            (input_line c.ic);
+          Alcotest.(check bool) "reject closed" true
+            (try
+               ignore (input_line c.ic);
+               false
+             with End_of_file -> true);
+          try Unix.close c.fd with Unix.Unix_error _ -> ())
+        rejected;
+      let m = read_metrics (List.hd admitted) in
+      Alcotest.(check bool) "rejected counted" true
+        (metric m "server_connections_rejected_total" >= 20.);
+      (* Freeing a slot readmits. *)
+      Unix.close (List.nth admitted 2).fd;
+      Unix.sleepf 0.05;
+      let late = connect d.port in
+      expect_prefix "readmitted" "OK " (request late "STATS"))
+
 let test_oversized_line () =
   let d = start_daemon () in
   Fun.protect
     ~finally:(fun () -> stop_daemon d)
     (fun () ->
       let c = connect d.port in
-      (* Over a megabyte with no newline: the daemon must drop this
-         connection as abuse, not buffer it forever. The write can hit
-         EPIPE/ECONNRESET once the daemon closes mid-stream. *)
-      let chunk = String.make 65536 'a' in
+      (* A hair over a megabyte with no newline: abuse. Write just past
+         the cap and stop, so the daemon consumes everything before
+         closing (no unread bytes, no RST racing the diagnostic). *)
+      let total = 1_002_000 in
+      let chunk = String.make 4096 'a' in
+      let sent = ref 0 in
       (try
-         for _ = 1 to 20 do
-           output_string c.oc chunk;
-           flush c.oc
+         while !sent < total do
+           let k = min 4096 (total - !sent) in
+           output_string c.oc (String.sub chunk 0 k);
+           flush c.oc;
+           sent := !sent + k
          done
        with Sys_error _ | Unix.Unix_error _ -> ());
+      (* The old daemon closed silently; now the abuse is diagnosed
+         before the close and counted. *)
+      expect_prefix "overlong diagnostic" "ERR line too long"
+        (input_line c.ic);
       let closed =
         try
           ignore (input_line c.ic);
@@ -179,8 +316,11 @@ let test_oversized_line () =
         with End_of_file | Sys_error _ | Unix.Unix_error _ -> true
       in
       Alcotest.(check bool) "oversized connection dropped" true closed;
-      (* The daemon itself survives and keeps serving. *)
+      (* The daemon itself survives, keeps serving, and counted it. *)
       let c2 = connect d.port in
+      let m = read_metrics c2 in
+      Alcotest.(check bool) "overlong line counted" true
+        (metric m "server_overlong_lines_total" >= 1.);
       expect_prefix "stats after abuse" "OK " (request c2 "STATS");
       expect_prefix "quit" "OK bye" (request c2 "QUIT"))
 
@@ -195,6 +335,12 @@ let () =
           Alcotest.test_case "disconnect mid-reply" `Slow
             test_disconnect_mid_reply;
           Alcotest.test_case "pipelined 1k batch" `Slow test_pipelined_batch;
+          Alcotest.test_case "half-close replies survive" `Slow
+            test_half_close_replies_survive;
+          Alcotest.test_case "accept burst in one round" `Slow
+            test_accept_burst;
+          Alcotest.test_case "overload reject best-effort" `Slow
+            test_overload_reject_best_effort;
           Alcotest.test_case "oversized line" `Slow test_oversized_line;
         ] );
     ]
