@@ -2,27 +2,44 @@
 
    Spawns the real CLI daemon (`serve -d synthetic1` plus --tenant
    sessions over synthetic1/synthetic2) and drives IM_SERVE_CLIENTS
-   concurrent clients (default 1000) spread round-robin across
-   IM_SERVE_TENANTS tenants (default 4, including the default tenant)
-   from a single nonblocking select loop. Each client binds its tenant
-   with TENANT USE, pipelines IM_SERVE_DEPTH commands (default 20:
-   STMTs on the tenant's own table, a STATS every tenth), reads every
-   reply back, and closes. A control pass then forces one EPOCH per
-   tenant, lists tenants, scrapes METRICS, and shuts the daemon down.
+   concurrent clients (default 2000 — past the FD_SETSIZE select
+   ceiling) spread round-robin across IM_SERVE_TENANTS tenants
+   (default 4, including the default tenant) from a single nonblocking
+   event loop on Im_evloop (epoll on Linux, poll elsewhere — the
+   client driver scales past FD_SETSIZE the same way the daemon does).
+   Each client binds its tenant with TENANT USE, pipelines
+   IM_SERVE_DEPTH commands (default 20: STMTs on the tenant's own
+   table, a STATS every tenth), reads every reply back, and closes. A
+   control pass then forces one EPOCH per tenant, lists tenants,
+   scrapes METRICS, and shuts the daemon down.
+
+   A second phase measures dispatch isolation: a fresh daemon with an
+   env-injected epoch delay (IM_EPOCH_DELAY_MS) runs a slow forced
+   epoch for one tenant while another tenant's client keeps issuing
+   sequential STMTs; the bench hard-asserts that the bystander's
+   client-observed STMT p99 stays within 2x of its no-epoch baseline.
+
+   The soft RLIMIT_NOFILE is raised toward the client count before the
+   daemon is spawned (the daemon inherits it); the run aborts with a
+   `ulimit -n` hint if the limit cannot be raised far enough.
+   IM_SERVE_BACKEND ({auto,epoll,poll,select}, default auto) selects
+   the daemon's --event-backend; select caps the fleet at ~1000.
 
    Reported: client-observed p50/p99 per verb (reply-read time minus
-   the time the command's bytes left the client), bytes in/out, and
-   the daemon's own metrics registry. Hard gates:
+   the time the command's bytes left the client), bytes in/out, the
+   isolation-phase latencies, and the daemon's own metrics registry.
+   Hard gates:
 
    - every client gets exactly one reply per command (zero reply loss)
      and zero ERR replies;
    - the daemon counted zero write errors, zero backpressure closes,
      zero rejected connections;
-   - the output-queue high-water stayed under --max-output-bytes.
+   - the output-queue high-water stayed under --max-output-bytes;
+   - bystander STMT p99 during a slow epoch <= max(2x baseline, 25ms).
 
-   JSON artifact to $IM_BENCH_OUT (default BENCH_serve.json). The
-   daemon's select loop caps at FD_SETSIZE (1024) descriptors, so
-   IM_SERVE_CLIENTS beyond ~1000 will trip admission control. *)
+   JSON artifact to $IM_BENCH_OUT (default BENCH_serve.json). *)
+
+module Evloop = Im_evloop.Evloop
 
 let getenv_int name default =
   match Sys.getenv_opt name with
@@ -33,9 +50,18 @@ let getenv_int name default =
      )
   | None -> default
 
-let n_clients () = getenv_int "IM_SERVE_CLIENTS" 1000
+let n_clients () = getenv_int "IM_SERVE_CLIENTS" 2000
 let n_tenants () = getenv_int "IM_SERVE_TENANTS" 4
 let depth () = getenv_int "IM_SERVE_DEPTH" 20
+
+let backend_name () =
+  match Sys.getenv_opt "IM_SERVE_BACKEND" with
+  | Some b when b <> "" ->
+    (match Evloop.backend_of_string b with
+     | Ok _ -> b
+     | Error e -> failwith ("IM_SERVE_BACKEND: " ^ e))
+  | _ -> "auto"
+
 let deadline_s = 300.
 
 (* ---- Daemon under test ---- *)
@@ -66,21 +92,23 @@ let tenant_specs n =
       ])
     (List.init (n - 1) Fun.id)
 
-type daemon = { pid : int; stdout : in_channel; port : int }
+type daemon = { pid : int; stdout : in_channel; port : int; backend : string }
 
-let start_daemon ~tenants ~max_connections =
+let start_daemon ?(env = []) ~tenants ~max_connections () =
   let out_read, out_write = Unix.pipe ~cloexec:false () in
   let argv =
     [
       cli_path (); "serve"; "-d"; "synthetic1"; "--port"; "0";
       "--check-every"; "1000000000"; "--read-timeout"; "120";
       "--max-connections"; string_of_int max_connections;
+      "--event-backend"; backend_name ();
     ]
     @ tenant_specs tenants
   in
   let pid =
-    Unix.create_process (cli_path ()) (Array.of_list argv) Unix.stdin
-      out_write Unix.stderr
+    Unix.create_process_env (cli_path ()) (Array.of_list argv)
+      (Array.append (Unix.environment ()) (Array.of_list env))
+      Unix.stdin out_write Unix.stderr
   in
   Unix.close out_write;
   let stdout = Unix.in_channel_of_descr out_read in
@@ -97,15 +125,26 @@ let start_daemon ~tenants ~max_connections =
         "127.0.0.1:%d" (fun p -> p)
     with _ -> failwith ("no port in daemon banner: " ^ banner)
   in
-  { pid; stdout; port }
+  (* "... backend <name>, <n> epoch workers)" at the tail of line 2. *)
+  let backend =
+    let words = String.split_on_char ' ' tenants_line in
+    let rec after = function
+      | "backend" :: b :: _ ->
+        String.map (function ',' -> ' ' | c -> c) b |> String.trim
+      | _ :: rest -> after rest
+      | [] -> "unknown"
+    in
+    after words
+  in
+  { pid; stdout; port; backend }
 
 let connect port =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   let addr =
     Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port)
   in
-  (* The daemon accepts in bursts between select rounds; a burst of
-     sequential connects can momentarily fill the listen backlog. *)
+  (* The daemon accepts in bursts between event-loop rounds; a burst
+     of sequential connects can momentarily fill the listen backlog. *)
   let rec go attempt =
     try Unix.connect fd addr
     with Unix.Unix_error ((Unix.ECONNREFUSED | Unix.EAGAIN), _, _)
@@ -208,11 +247,14 @@ let pump_writes c =
 
 let scratch = Bytes.create 65536
 
-let finish c =
-  c.closed <- true;
-  try Unix.close c.fd with Unix.Unix_error _ -> ()
+let finish ev c =
+  if not c.closed then begin
+    c.closed <- true;
+    Evloop.remove ev c.fd;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
 
-let consume_lines c =
+let consume_lines ev c =
   let total = Array.length c.cmd_verbs in
   let s = Buffer.contents c.inbuf in
   let now = Unix.gettimeofday () in
@@ -235,9 +277,9 @@ let consume_lines c =
      done
    with Not_found -> ());
   c.line_start <- !i;
-  if c.received >= total then finish c
+  if c.received >= total then finish ev c
 
-let pump_reads c =
+let pump_reads ev c =
   let rec go () =
     match Unix.read c.fd scratch 0 (Bytes.length scratch) with
     | 0 ->
@@ -246,50 +288,57 @@ let pump_reads c =
           Printf.sprintf "EOF after %d/%d replies" c.received
             (Array.length c.cmd_verbs)
           :: c.errors;
-        finish c
+        finish ev c
       end
     | n ->
       bytes_in := !bytes_in + n;
       Buffer.add_subbytes c.inbuf scratch 0 n;
-      consume_lines c;
+      consume_lines ev c;
       if not c.closed then go ()
   in
   try go () with
   | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
   | Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
     c.errors <- "connection reset" :: c.errors;
-    finish c
+    finish ev c
 
+(* The fleet runs on the same readiness layer as the daemon: Auto
+   resolves to epoll on Linux and poll elsewhere, so 2000+ client fds
+   in one loop work where Unix.select would fail outright. *)
 let drive_fleet clients =
   let t0 = Unix.gettimeofday () in
-  let live () = List.filter (fun c -> not c.closed) clients in
-  let rec loop () =
-    match live () with
-    | [] -> ()
-    | alive ->
-      if Unix.gettimeofday () -. t0 > deadline_s then
-        failwith
-          (Printf.sprintf "fleet did not drain within %.0fs (%d live)"
-             deadline_s (List.length alive));
-      let want_w =
-        List.filter (fun c -> c.off < Bytes.length c.out) alive
-      in
-      let rfds = List.map (fun c -> c.fd) alive in
-      let wfds = List.map (fun c -> c.fd) want_w in
-      let by_fd = Hashtbl.create (List.length alive) in
-      List.iter (fun c -> Hashtbl.replace by_fd c.fd c) alive;
-      (match Unix.select rfds wfds [] 1.0 with
-       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-       | r, w, _ ->
-         List.iter (fun fd -> pump_writes (Hashtbl.find by_fd fd)) w;
-         List.iter
-           (fun fd ->
-             let c = Hashtbl.find by_fd fd in
-             if not c.closed then pump_reads c)
-           r);
-      loop ()
-  in
-  loop ();
+  let ev = Evloop.create () in
+  let by_fd = Hashtbl.create (List.length clients) in
+  List.iter
+    (fun c ->
+      Hashtbl.replace by_fd c.fd c;
+      Evloop.add ev c.fd ~read:true ~write:true)
+    clients;
+  Printf.printf "client event loop backend: %s\n%!" (Evloop.backend_name ev);
+  let live = ref (List.length clients) in
+  while !live > 0 do
+    if Unix.gettimeofday () -. t0 > deadline_s then
+      failwith
+        (Printf.sprintf "fleet did not drain within %.0fs (%d live)"
+           deadline_s !live);
+    let events = Evloop.wait ev ~timeout_s:1.0 in
+    List.iter
+      (fun (e : Evloop.event) ->
+        match Hashtbl.find_opt by_fd e.ev_fd with
+        | None -> ()
+        | Some c ->
+          if (not c.closed) && e.ev_write then begin
+            pump_writes c;
+            if c.off >= Bytes.length c.out then
+              Evloop.modify ev c.fd ~read:true ~write:false
+          end;
+          if (not c.closed) && e.ev_read then begin
+            pump_reads ev c;
+            if c.closed then decr live
+          end)
+      events
+  done;
+  Evloop.close ev;
   Unix.gettimeofday () -. t0
 
 (* ---- Control pass: epochs, tenant listing, metrics, shutdown ---- *)
@@ -340,6 +389,104 @@ let control_pass port tenants =
   ignore (ctl_expect c "shutdown" "OK shutting down" "SHUTDOWN");
   (listing, metrics)
 
+(* ---- Phase 2: dispatch isolation under a slow epoch ---- *)
+
+type isolation = {
+  iso_delay_ms : int;
+  iso_baseline_p99_ms : float;
+  iso_during_p99_ms : float;
+  iso_epoch_reply_s : float;
+}
+
+let sorted_p99 samples =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  match Array.length a with
+  | 0 -> 0.
+  | n -> a.(min (n - 1) (int_of_float (0.99 *. float_of_int n)))
+
+(* Tenant B's forced epoch is slowed by IM_EPOCH_DELAY_MS while tenant
+   A keeps issuing sequential STMTs. With epochs offloaded to a worker
+   domain, A's round-trips must not see the delay. *)
+let isolation_pass () =
+  let delay_ms = getenv_int "IM_SERVE_EPOCH_DELAY_MS" 750 in
+  let d =
+    start_daemon
+      ~env:[ Printf.sprintf "IM_EPOCH_DELAY_MS=%d" delay_ms ]
+      ~tenants:2 ~max_connections:16 ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill d.pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] d.pid))
+    (fun () ->
+      let ca = ctl_connect d.port in
+      let cb = ctl_connect d.port in
+      ignore (ctl_expect cb "bind B" "OK tenant" "TENANT USE t2");
+      (* Seed both windows past the bootstrap epoch (which is itself
+         delayed — pay that once per tenant up front). *)
+      let seed c table =
+        for k = 1 to 30 do
+          ignore
+            (ctl_expect c "seed" "OK"
+               (Printf.sprintf "STMT SELECT %s_c0 FROM %s WHERE %s_c0 = %d"
+                  table table table k))
+        done
+      in
+      seed ca "t0";
+      seed cb "t1";
+      let timed_stmt c table k =
+        let t0 = Unix.gettimeofday () in
+        ignore
+          (ctl_expect c "stmt" "OK"
+             (Printf.sprintf "STMT SELECT %s_c1 FROM %s WHERE %s_c1 = %d"
+                table table table k));
+        Unix.gettimeofday () -. t0
+      in
+      let baseline = List.init 200 (fun k -> timed_stmt ca "t0" k) in
+      (* Kick off B's slow epoch without reading the reply, then keep
+         hammering A while it is in flight on the worker domain. *)
+      let t_epoch = Unix.gettimeofday () in
+      output_string cb.oc "EPOCH\n";
+      flush cb.oc;
+      let during = List.init 200 (fun k -> timed_stmt ca "t0" (1000 + k)) in
+      let reply = input_line cb.ic in
+      let epoch_s = Unix.gettimeofday () -. t_epoch in
+      if String.length reply < 8 || String.sub reply 0 8 <> "OK epoch" then
+        failwith ("B's forced epoch failed: " ^ reply);
+      if epoch_s < float_of_int delay_ms /. 1000. *. 0.9 then
+        failwith
+          (Printf.sprintf
+             "epoch replied in %.3fs — the %dms delay was not injected"
+             epoch_s delay_ms);
+      ignore (ctl_expect ca "shutdown" "OK shutting down" "SHUTDOWN");
+      let p99_base = sorted_p99 baseline and p99_during = sorted_p99 during in
+      (* The acceptance gate: a slow epoch on one tenant must not show
+         up in another tenant's client-observed latency. The 25ms
+         floor absorbs scheduler jitter on sub-ms baselines. *)
+      let ceiling = Float.max (2. *. p99_base) 0.025 in
+      if p99_during > ceiling then
+        failwith
+          (Printf.sprintf
+             "isolation violated: bystander STMT p99 %.2fms during a %dms \
+              epoch (baseline %.2fms, ceiling %.2fms)"
+             (p99_during *. 1e3) delay_ms (p99_base *. 1e3) (ceiling *. 1e3));
+      Printf.printf
+        "isolation: bystander STMT p99 %.3fms during B's %dms epoch \
+         (baseline %.3fms, epoch replied in %.3fs)\n%!"
+        (p99_during *. 1e3) delay_ms (p99_base *. 1e3) epoch_s;
+      (try
+         while true do
+           ignore (input_line d.stdout)
+         done
+       with End_of_file -> ());
+      {
+        iso_delay_ms = delay_ms;
+        iso_baseline_p99_ms = p99_base *. 1e3;
+        iso_during_p99_ms = p99_during *. 1e3;
+        iso_epoch_reply_s = epoch_s;
+      })
+
 (* ---- Reporting ---- *)
 
 let percentile sorted p =
@@ -358,10 +505,27 @@ let run () =
   let clients_n = n_clients () and tenants_n = n_tenants () in
   let depth = depth () in
   let tenants = tenant_names tenants_n in
-  (* Room for every workload client, the control client, and slack for
-     stdio — but under the daemon's FD_SETSIZE select ceiling. *)
-  let max_connections = min 1010 (clients_n + 8) in
-  let d = start_daemon ~tenants:tenants_n ~max_connections in
+  (* Room for every workload client plus control/stdio slack, both here
+     and in the daemon (which inherits our raised RLIMIT_NOFILE). *)
+  let needed = clients_n + 64 in
+  let fd_limit = Evloop.raise_fd_limit needed in
+  if fd_limit < needed then
+    failwith
+      (Printf.sprintf
+         "RLIMIT_NOFILE %d < %d needed for %d clients — raise the hard \
+          limit (`ulimit -n`) or lower IM_SERVE_CLIENTS"
+         fd_limit needed clients_n);
+  let max_connections =
+    if backend_name () = "select" then begin
+      if clients_n > 1000 then
+        failwith
+          "IM_SERVE_BACKEND=select caps at ~1000 clients (FD_SETSIZE); \
+           lower IM_SERVE_CLIENTS or pick epoll/poll/auto";
+      min 1010 (clients_n + 8)
+    end
+    else clients_n + 8
+  in
+  let d = start_daemon ~tenants:tenants_n ~max_connections () in
   let listing, daemon_metrics, elapsed_s =
     Fun.protect
       ~finally:(fun () ->
@@ -411,6 +575,7 @@ let run () =
     failwith
       (Printf.sprintf "output queue high-water %.0f exceeds the 1MiB cap"
          high_water);
+  let iso = isolation_pass () in
   let verb_rows, verb_json =
     List.split
       (List.map
@@ -453,17 +618,22 @@ let run () =
   output_string oc
     (Printf.sprintf
        "{\n  \"experiment\": \"serve\",\n  \"clients\": %d,\n\
+       \  \"event_backend\": \"%s\",\n\
        \  \"tenants\": [%s],\n  \"depth\": %d,\n  \"elapsed_s\": %.3f,\n\
        \  \"commands_per_s\": %.1f,\n  \"bytes_out\": %d,\n\
        \  \"bytes_in\": %d,\n  \"verbs\": [\n%s\n  ],\n\
+       \  \"isolation\": {\"epoch_delay_ms\": %d, \"stmt_p99_baseline_ms\": \
+        %.3f, \"stmt_p99_during_epoch_ms\": %.3f, \"epoch_reply_s\": %.3f},\n\
        \  \"tenant_listing\": [%s],\n  \"daemon_metrics\": {\n%s\n  }\n}\n"
-       clients_n
+       clients_n (json_escape d.backend)
        (String.concat ", "
           (List.map (fun t -> Printf.sprintf "\"%s\"" t) tenants))
        depth elapsed_s
        (float_of_int (clients_n * (depth + 1)) /. elapsed_s)
        !bytes_out !bytes_in
        (String.concat ",\n" verb_json)
+       iso.iso_delay_ms iso.iso_baseline_p99_ms iso.iso_during_p99_ms
+       iso.iso_epoch_reply_s
        (String.concat ", "
           (List.map (fun l -> Printf.sprintf "\"%s\"" (json_escape l)) listing))
        (String.concat ",\n"

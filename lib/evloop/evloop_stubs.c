@@ -1,0 +1,203 @@
+/* C stubs for the readiness layer: epoll(7) on Linux, poll(2)
+   everywhere, and an rlimit helper so benches can raise the
+   open-file ceiling before driving thousands of sockets.
+
+   File descriptors cross the boundary as plain ints (on Unix the
+   OCaml runtime represents Unix.file_descr as the fd integer; the
+   OCaml side converts with "%identity"). Every blocking syscall
+   releases the runtime lock so other domains keep running. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+#include <caml/unixsupport.h>
+
+#include <errno.h>
+#include <poll.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+/* Interest bits shared with evloop.ml. */
+#define IM_EV_READ 1
+#define IM_EV_WRITE 2
+
+/* ---- epoll ---- */
+
+CAMLprim value caml_im_evloop_epoll_available(value unit)
+{
+#ifdef __linux__
+  return Val_true;
+#else
+  (void)unit;
+  return Val_false;
+#endif
+}
+
+#ifdef __linux__
+
+CAMLprim value caml_im_evloop_epoll_create(value unit)
+{
+  int fd = epoll_create1(EPOLL_CLOEXEC);
+  if (fd == -1) uerror("epoll_create1", Nothing);
+  (void)unit;
+  return Val_int(fd);
+}
+
+static uint32_t events_of_interest(int interest)
+{
+  uint32_t ev = 0;
+  if (interest & IM_EV_READ) ev |= EPOLLIN;
+  if (interest & IM_EV_WRITE) ev |= EPOLLOUT;
+  return ev;
+}
+
+/* op: 0 = add, 1 = modify, 2 = delete. */
+CAMLprim value caml_im_evloop_epoll_ctl(value epfd, value op, value fd,
+                                        value interest)
+{
+  struct epoll_event ev;
+  int ops[3] = { EPOLL_CTL_ADD, EPOLL_CTL_MOD, EPOLL_CTL_DEL };
+  memset(&ev, 0, sizeof(ev));
+  ev.events = events_of_interest(Int_val(interest));
+  ev.data.fd = Int_val(fd);
+  if (epoll_ctl(Int_val(epfd), ops[Int_val(op)], Int_val(fd), &ev) == -1)
+    uerror("epoll_ctl", Nothing);
+  return Val_unit;
+}
+
+#define IM_EPOLL_MAX_EVENTS 512
+
+/* Returns an (fd, ready-bits) array. HUP/ERR surface as both readable
+   (the read path sees EOF/ECONNRESET) and writable (a pending flush
+   sees EPIPE), matching level-triggered select semantics. */
+CAMLprim value caml_im_evloop_epoll_wait(value epfd, value timeout_ms)
+{
+  CAMLparam2(epfd, timeout_ms);
+  CAMLlocal2(arr, pair);
+  struct epoll_event evs[IM_EPOLL_MAX_EVENTS];
+  int n;
+  caml_release_runtime_system();
+  n = epoll_wait(Int_val(epfd), evs, IM_EPOLL_MAX_EVENTS,
+                 Int_val(timeout_ms));
+  caml_acquire_runtime_system();
+  if (n == -1) {
+    if (errno == EINTR) n = 0;
+    else uerror("epoll_wait", Nothing);
+  }
+  arr = caml_alloc(n, 0);
+  for (int i = 0; i < n; i++) {
+    uint32_t e = evs[i].events;
+    int bits = 0;
+    if (e & (EPOLLIN | EPOLLPRI | EPOLLHUP | EPOLLERR)) bits |= IM_EV_READ;
+    if (e & (EPOLLOUT | EPOLLHUP | EPOLLERR)) bits |= IM_EV_WRITE;
+    pair = caml_alloc_tuple(2);
+    Store_field(pair, 0, Val_int(evs[i].data.fd));
+    Store_field(pair, 1, Val_int(bits));
+    Store_field(arr, i, pair);
+  }
+  CAMLreturn(arr);
+}
+
+#else /* !__linux__ */
+
+CAMLprim value caml_im_evloop_epoll_create(value unit)
+{
+  (void)unit;
+  caml_failwith("epoll is not available on this platform");
+}
+
+CAMLprim value caml_im_evloop_epoll_ctl(value epfd, value op, value fd,
+                                        value interest)
+{
+  (void)epfd; (void)op; (void)fd; (void)interest;
+  caml_failwith("epoll is not available on this platform");
+}
+
+CAMLprim value caml_im_evloop_epoll_wait(value epfd, value timeout_ms)
+{
+  (void)epfd; (void)timeout_ms;
+  caml_failwith("epoll is not available on this platform");
+}
+
+#endif
+
+/* ---- poll ---- */
+
+/* fds and interests are parallel int arrays of length n; revents is a
+   caller-allocated int array of the same length that receives the
+   ready bits (0 = not ready). Returns the number of ready fds. The
+   arrays are copied out before the runtime lock is released and
+   copied back after it is reacquired, so the GC may move them while
+   poll sleeps. */
+CAMLprim value caml_im_evloop_poll(value fds, value interests, value revents,
+                                   value n_val, value timeout_ms)
+{
+  CAMLparam5(fds, interests, revents, n_val, timeout_ms);
+  int n = Int_val(n_val);
+  struct pollfd *pfds;
+  int ready, i;
+  if (n < 0 || n > Wosize_val(fds) || n > Wosize_val(interests)
+      || n > Wosize_val(revents))
+    caml_invalid_argument("Evloop.poll: array lengths disagree");
+  pfds = caml_stat_alloc(sizeof(struct pollfd) * (n == 0 ? 1 : n));
+  for (i = 0; i < n; i++) {
+    int interest = Int_val(Field(interests, i));
+    pfds[i].fd = Int_val(Field(fds, i));
+    pfds[i].events = 0;
+    pfds[i].revents = 0;
+    if (interest & IM_EV_READ) pfds[i].events |= POLLIN;
+    if (interest & IM_EV_WRITE) pfds[i].events |= POLLOUT;
+  }
+  caml_release_runtime_system();
+  ready = poll(pfds, n, Int_val(timeout_ms));
+  caml_acquire_runtime_system();
+  if (ready == -1) {
+    int e = errno;
+    caml_stat_free(pfds);
+    if (e == EINTR) {
+      for (i = 0; i < n; i++) Store_field(revents, i, Val_int(0));
+      CAMLreturn(Val_int(0));
+    }
+    unix_error(e, "poll", Nothing);
+  }
+  for (i = 0; i < n; i++) {
+    short re = pfds[i].revents;
+    int bits = 0;
+    if (re & (POLLIN | POLLPRI | POLLHUP | POLLERR | POLLNVAL))
+      bits |= IM_EV_READ;
+    if (re & (POLLOUT | POLLHUP | POLLERR | POLLNVAL)) bits |= IM_EV_WRITE;
+    Store_field(revents, i, Val_int(bits));
+  }
+  caml_stat_free(pfds);
+  CAMLreturn(Val_int(ready));
+}
+
+/* ---- rlimit ---- */
+
+/* Raise RLIMIT_NOFILE's soft limit toward [target] (clamped to the
+   hard limit); returns the soft limit in effect afterwards. Never
+   fails: a refused setrlimit just reports the unchanged limit. */
+CAMLprim value caml_im_evloop_raise_nofile(value target)
+{
+  struct rlimit rl;
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return Val_int(1024);
+  if ((rlim_t)Long_val(target) > rl.rlim_cur) {
+    rlim_t want = (rlim_t)Long_val(target);
+    struct rlimit next = rl;
+    next.rlim_cur = (rl.rlim_max != RLIM_INFINITY && want > rl.rlim_max)
+                        ? rl.rlim_max
+                        : want;
+    if (setrlimit(RLIMIT_NOFILE, &next) == 0) rl = next;
+  }
+  if (rl.rlim_cur == RLIM_INFINITY || rl.rlim_cur > 1 << 30)
+    return Val_int(1 << 30);
+  return Val_int((int)rl.rlim_cur);
+}

@@ -56,9 +56,23 @@ type outcome = {
   e_scale : Im_scale.Scale.stats option;
 }
 
+(* Test/bench hook: IM_EPOCH_DELAY_MS injects a fixed sleep into every
+   epoch, making "a slow epoch" reproducible — the off-thread dispatch
+   isolation tests and the EXP-SERVE isolation phase depend on it. *)
+let injected_delay_s =
+  lazy
+    (match Sys.getenv_opt "IM_EPOCH_DELAY_MS" with
+    | Some v -> (
+        match int_of_string_opt (String.trim v) with
+        | Some ms when ms > 0 -> float_of_int ms /. 1000.
+        | Some _ | None -> 0.)
+    | None -> 0.)
+
 let run ?pool ?compress service ~trigger ~live ~window ~budget_pages
     ~max_clusters =
   if Workload.size window = 0 then invalid_arg "Epoch.run: empty window";
+  (let d = Lazy.force injected_delay_s in
+   if d > 0. then Unix.sleepf d);
   let db = Im_costsvc.Service.database service in
   let calls_before = Im_costsvc.Service.opt_calls service in
   let (new_config, tuned, old_cost, new_cost, scale), elapsed =

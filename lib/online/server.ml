@@ -1,6 +1,7 @@
 module Database = Im_catalog.Database
 module Index = Im_catalog.Index
 module Metrics = Im_obs.Metrics
+module Evloop = Im_evloop.Evloop
 
 let m_commands = Metrics.counter "server_commands_total"
 let m_live = Metrics.gauge "server_connections_live"
@@ -14,10 +15,19 @@ let m_backpressure = Metrics.counter "server_backpressure_closed_total"
 let m_overlong = Metrics.counter "server_overlong_lines_total"
 
 (* High-water mark of any connection's queued output, and the largest
-   number of connections accepted in a single select round (1 forever
+   number of connections accepted in a single loop round (1 forever
    means the accept loop is serializing bursts again). *)
 let m_out_high_water = Metrics.gauge "server_out_queue_max_bytes"
 let m_accept_burst = Metrics.gauge "server_accept_burst_max"
+
+(* Off-thread epochs: how many re-merges left the dispatch thread, and
+   the cumulative seconds the dispatch thread has spent blocked on
+   epoch work (inline runs count in full; offloaded epochs count only
+   their commit). Fairness: rounds where a tenant's deficit budget ran
+   out with work still queued. *)
+let m_epoch_offloaded = Metrics.counter "server_epoch_offloaded_total"
+let m_dispatch_stall = Metrics.gauge "server_dispatch_stall_seconds"
+let m_fairness_deferred = Metrics.counter "server_fairness_deferred_total"
 
 (* Per-verb latency histograms; unknown verbs share one "other" series
    so a hostile client cannot grow the label set. *)
@@ -45,10 +55,12 @@ let command_histogram line =
 (* One tenant session: a [Service.t] (own window, drift detector,
    costsvc/derive cache, epoch history) plus per-tenant instruments.
    Tenant names bound metric labels, so they are restricted to a safe
-   charset. *)
+   charset. [s_weight] scales the tenant's per-round dispatch budget
+   (deficit round-robin over sessions). *)
 type session = {
   s_name : string;
   s_service : Service.t;
+  s_weight : int;
   mutable s_conns : int;  (* connections currently bound here *)
   s_live : Metrics.Gauge.t;  (* server_tenant_connections_live{tenant} *)
   s_commands : Metrics.Counter.t;  (* server_tenant_commands_total{tenant} *)
@@ -64,10 +76,11 @@ let valid_tenant_name name =
          | _ -> false)
        name
 
-let make_session name service =
+let make_session ?(weight = 1) name service =
   {
     s_name = name;
     s_service = service;
+    s_weight = max 1 weight;
     s_conns = 0;
     s_live =
       Metrics.gauge ~labels:[ ("tenant", name) ]
@@ -100,6 +113,24 @@ type conn = {
   mutable closing : bool;  (* discard input; close once output drains *)
   mutable eof : bool;  (* peer half-closed; drain pending + output *)
   mutable closed : bool;  (* fd is gone; every path rechecks this *)
+  mutable awaiting_epoch : bool;
+      (* this connection's next reply is an epoch running off-thread;
+         dispatch is paused until the completion is delivered *)
+  mutable stalled : bool;
+      (* head-of-queue EPOCH is waiting for the tenant's in-flight
+         epoch to commit; the line stays queued, no budget is spent *)
+  mutable replay : string list;
+      (* raw STMT sqls handed back by [Service.feed_batch_async] when a
+         trigger interrupted a pipelined batch; dispatched (under their
+         already-assigned ids) before [pending] once the epoch lands *)
+}
+
+(* An off-thread epoch the dispatch loop is waiting on, keyed by the
+   [Epoch_worker.submit] ticket. *)
+type pending_epoch = {
+  pe_session : session;
+  pe_conn : conn;  (* where the reply goes (dropped if closed) *)
+  pe_kind : [ `Stmt | `Forced ];
 }
 
 type t = {
@@ -113,17 +144,33 @@ type t = {
   sessions : (string, session) Hashtbl.t;
   default_tenant : string;
   conns : (Unix.file_descr, conn) Hashtbl.t;
+  ev : Evloop.t;
+  wake_r : Unix.file_descr;  (* worker completions poke this pipe *)
+  wake_w : Unix.file_descr;
+  worker : Epoch_worker.t option;  (* None: epochs run inline (PR8) *)
+  pending_epochs : (int, pending_epoch) Hashtbl.t;
+  (* Connections with dispatchable work; drives the zero-timeout
+     re-poll and the fairness round, without rescanning every conn. *)
+  backlog : (Unix.file_descr, conn) Hashtbl.t;
+  mutable rr_cursor : int;  (* rotates tenant service order per round *)
+  mutable last_reap : float;
   mutable running : bool;
   mutable connections_served : int;
   mutable commands_served : int;
   mutable out_high_water : int;
 }
 
-(* Commands dispatched per connection per select round. Bounds how long
-   one pipelining client can monopolize the loop before accepts and
-   other connections get a turn; rounds with leftover pending work
-   re-select with a zero timeout. *)
+(* Base dispatch budget per session per loop round (scaled by the
+   session's weight, shared across its connections). Bounds how long
+   one tenant can monopolize the loop before accepts and other tenants
+   get a turn; rounds with leftover pending work re-poll with a zero
+   timeout. *)
 let commands_per_round = 128
+
+(* When a session has several connections with work, each takes at
+   most this many commands per pass so the budget round-robins among
+   them instead of draining the first connection whole. *)
+let commands_per_turn = 32
 
 (* Input backpressure: a connection with this many parsed-but-undispatched
    lines stops being read until the dispatcher catches up. *)
@@ -137,7 +184,8 @@ let no_factory _ = Error "tenant creation is not configured"
 let create ?(host = "127.0.0.1") ?(port = 0) ?(read_timeout = 30.)
     ?(max_connections = 64) ?max_tenant_connections
     ?(max_output_bytes = 1_048_576) ?(tenant = "default") ?(tenants = [])
-    ?(factory = no_factory) service =
+    ?(weights = []) ?(factory = no_factory)
+    ?(event_backend = Evloop.Auto) ?(epoch_workers = 1) service =
   if not (valid_tenant_name tenant) then
     invalid_arg ("Server.create: invalid tenant name " ^ tenant);
   List.iter
@@ -160,21 +208,42 @@ let create ?(host = "127.0.0.1") ?(port = 0) ?(read_timeout = 30.)
       | Some _ | None -> ())
    | None -> ());
   Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-  Unix.listen listener 512;
+  Unix.listen listener 2048;
   let bound_port =
     match Unix.getsockname listener with
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> assert false
   in
+  let weight_of name =
+    match List.assoc_opt name weights with Some w -> w | None -> 1
+  in
   let sessions = Hashtbl.create 8 in
-  Hashtbl.replace sessions tenant (make_session tenant service);
+  Hashtbl.replace sessions tenant
+    (make_session ~weight:(weight_of tenant) tenant service);
   List.iter
     (fun (name, svc) ->
       if Hashtbl.mem sessions name then
         invalid_arg ("Server.create: duplicate tenant " ^ name);
-      Hashtbl.replace sessions name (make_session name svc))
+      Hashtbl.replace sessions name
+        (make_session ~weight:(weight_of name) name svc))
     tenants;
   Metrics.Gauge.set_int m_tenants (Hashtbl.length sessions);
+  let ev = Evloop.create ~backend:event_backend () in
+  Evloop.add ev listener ~read:true ~write:false;
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  Evloop.add ev wake_r ~read:true ~write:false;
+  let worker =
+    if epoch_workers > 0 then
+      Some
+        (Epoch_worker.create ~workers:epoch_workers
+           ~wakeup:(fun () ->
+             (* A full pipe already guarantees a pending wake-up. *)
+             try ignore (Unix.write_substring wake_w "!" 0 1)
+             with Unix.Unix_error _ -> ()))
+    else None
+  in
   {
     listener;
     bound_port;
@@ -189,6 +258,14 @@ let create ?(host = "127.0.0.1") ?(port = 0) ?(read_timeout = 30.)
     sessions;
     default_tenant = tenant;
     conns = Hashtbl.create 64;
+    ev;
+    wake_r;
+    wake_w;
+    worker;
+    pending_epochs = Hashtbl.create 8;
+    backlog = Hashtbl.create 64;
+    rr_cursor = 0;
+    last_reap = Im_util.Stopwatch.now_s ();
     running = false;
     connections_served = 0;
     commands_served = 0;
@@ -196,6 +273,7 @@ let create ?(host = "127.0.0.1") ?(port = 0) ?(read_timeout = 30.)
   }
 
 let port t = t.bound_port
+let event_backend t = Evloop.backend_name t.ev
 let shutdown t = t.running <- false
 let connections_served t = t.connections_served
 let commands_served t = t.commands_served
@@ -227,11 +305,14 @@ let epoch_line (o : Epoch.outcome) =
     o.Epoch.e_budget_clusters o.Epoch.e_opt_calls
 
 (* The reply to one observed-statement event. [Some epoch] outranks
-   [Some drift]: an epoch that fired carries the drift information. *)
+   [Some drift]: an epoch that fired carries the drift information.
+   An inline epoch stalled the dispatch thread for its full
+   duration. *)
 let stmt_reply session = function
   | Service.Rejected msg -> "ERR " ^ msg
   | Service.Observed { ev_epoch = Some o; _ } ->
     Metrics.Counter.incr session.s_epochs;
+    Metrics.Gauge.add m_dispatch_stall o.Epoch.e_elapsed_s;
     "OK observed " ^ epoch_line o
   | Service.Observed { ev_drift = Some v; _ } ->
     Printf.sprintf "OK observed drift=%.3f regression=%.3f fired=%b"
@@ -243,8 +324,10 @@ let stmt_reply session = function
 let close_conn t conn =
   if not conn.closed then begin
     conn.closed <- true;
+    Evloop.remove t.ev conn.fd;
     (try Unix.close conn.fd with Unix.Unix_error _ -> ());
     Hashtbl.remove t.conns conn.fd;
+    Hashtbl.remove t.backlog conn.fd;
     (match conn.session with
      | Some s ->
        s.s_conns <- s.s_conns - 1;
@@ -294,11 +377,15 @@ let flush_out t conn =
 (* A closing connection goes once its output drains; a half-closed one
    additionally waits for its already-received commands to be answered
    (the half-close reply-loss fix: the peer's FIN promises no more
-   input, not disinterest in the replies it pipelined). *)
+   input, not disinterest in the replies it pipelined). A connection
+   awaiting an off-thread epoch keeps living until the reply it is
+   owed has been queued. *)
 let maybe_close_drained t conn =
   if
     (not conn.closed)
     && (conn.closing || conn.eof)
+    && (not conn.awaiting_epoch)
+    && conn.replay = []
     && Queue.is_empty conn.pending
     && conn.out.oq_bytes = 0
   then close_conn t conn
@@ -314,6 +401,7 @@ let respond t conn reply =
       (* Count the close once, not once per reply dropped after it. *)
       if not conn.closing then Metrics.Counter.incr m_backpressure;
       Queue.clear conn.pending;
+      conn.replay <- [];
       conn.closing <- true
     end
     else begin
@@ -325,6 +413,32 @@ let respond t conn reply =
       end
     end
   end
+
+(* Push this connection's desired interest set to the readiness layer;
+   [Evloop.modify] skips the syscall when nothing changed, so calling
+   this after every state transition is cheap. *)
+let sync_interest t conn =
+  if not conn.closed then begin
+    let read =
+      (not conn.closing) && (not conn.eof)
+      && Queue.length conn.pending < max_pending_lines
+    in
+    let write = conn.out.oq_bytes > 0 in
+    Evloop.modify t.ev conn.fd ~read ~write
+  end
+
+(* Does this connection have work the dispatcher could make progress
+   on right now? Paused states (awaiting an off-thread epoch result,
+   stalled behind the tenant's in-flight epoch) are excluded so they
+   do not drive zero-timeout spin rounds. *)
+let has_dispatch_work conn =
+  (not conn.closed) && (not conn.closing) && (not conn.awaiting_epoch)
+  && (not conn.stalled)
+  && (conn.replay <> [] || not (Queue.is_empty conn.pending))
+
+let note_backlog t conn =
+  if has_dispatch_work conn then Hashtbl.replace t.backlog conn.fd conn
+  else Hashtbl.remove t.backlog conn.fd
 
 (* ---- Command dispatch ---- *)
 
@@ -407,13 +521,17 @@ let handle_tenant t conn rest =
           Hashtbl.remove t.sessions name;
           Metrics.Gauge.set_int m_tenants (Hashtbl.length t.sessions);
           (* Unbind this tenant's connections; they keep draining and
-             may rebind with TENANT USE. *)
+             may rebind with TENANT USE. A connection stalled behind
+             this tenant's in-flight epoch unstalls — the session it
+             was waiting on is gone. *)
           let unbound = ref 0 in
           Hashtbl.iter
             (fun _ c ->
               match c.session with
               | Some s' when s' == s ->
                 c.session <- None;
+                c.stalled <- false;
+                note_backlog t c;
                 incr unbound
               | _ -> ())
             t.conns;
@@ -426,7 +544,8 @@ let handle_tenant t conn rest =
 
 (* Returns the response plus whether the daemon should stop / the
    connection should close. Service verbs dispatch through the
-   connection's bound session. *)
+   connection's bound session. The offloaded EPOCH path never reaches
+   here — [dispatch_conn] intercepts the verb when a worker exists. *)
 let handle_command t conn line =
   let verb, rest = split_verb line in
   let with_session f =
@@ -464,6 +583,7 @@ let handle_command t conn line =
           match Service.force_epoch s.s_service with
           | Ok o ->
             Metrics.Counter.incr s.s_epochs;
+            Metrics.Gauge.add m_dispatch_stall o.Epoch.e_elapsed_s;
             `Reply ("OK " ^ epoch_line o)
           | Error msg -> `Reply ("ERR " ^ msg)),
       `Keep )
@@ -507,9 +627,9 @@ let stmt_sql line =
   else None
 
 (* Dispatch a contiguous pipelined run of STMT lines as one
-   [Service.feed_batch] (pool-parsed). Replies are identical to
-   one-at-a-time dispatch; the per-verb histogram records the mean
-   per-statement latency of the batch. *)
+   [Service.feed_batch] (pool-parsed), epochs inline. Replies are
+   identical to one-at-a-time dispatch; the per-verb histogram records
+   the mean per-statement latency of the batch. *)
 let dispatch_stmt_batch t conn sqls =
   let n = List.length sqls in
   t.commands_served <- t.commands_served + n;
@@ -530,47 +650,272 @@ let dispatch_stmt_batch t conn sqls =
         respond t conn (stmt_reply s ev))
       events
 
-(* Dispatch up to [commands_per_round] pending lines on one
-   connection. Contiguous STMT runs go through the batch path. *)
-let process_pending t conn =
-  let budget = ref commands_per_round in
-  while
-    !budget > 0
-    && t.running
-    && (not conn.closed)
-    && (not conn.closing)
-    && not (Queue.is_empty conn.pending)
-  do
-    match stmt_sql (Queue.peek conn.pending) with
+(* Hand an epoch thunk to the worker pool and pause this connection
+   until its completion is delivered. *)
+let submit_epoch t worker s conn kind job =
+  let ticket = Epoch_worker.submit worker job in
+  Hashtbl.replace t.pending_epochs ticket
+    { pe_session = s; pe_conn = conn; pe_kind = kind };
+  conn.awaiting_epoch <- true;
+  Metrics.Counter.incr m_epoch_offloaded
+
+(* Dispatch a run of raw STMT sqls. With a worker pool the intake uses
+   the async service API: a fired trigger becomes an off-thread epoch
+   (the triggering statement's reply waits for it; the statements
+   behind it go to [conn.replay]); without one the PR8 inline paths
+   run unchanged. *)
+let dispatch_stmt_run t conn sqls =
+  match (t.worker, sqls) with
+  | _, [] -> ()
+  | None, [ sql ] ->
+    (* Preserve the exact single-command path (same timing semantics)
+       for unpipelined clients. *)
+    dispatch_one t conn ("STMT " ^ sql)
+  | None, sqls -> dispatch_stmt_batch t conn sqls
+  | Some worker, sqls -> (
+    match conn.session with
     | None ->
-      decr budget;
-      dispatch_one t conn (Queue.pop conn.pending)
-    | Some _ ->
-      (* Gather the whole contiguous STMT run within budget. *)
-      let sqls = ref [] in
-      let continue = ref true in
-      while
-        !continue && !budget > 0 && not (Queue.is_empty conn.pending)
-      do
-        match stmt_sql (Queue.peek conn.pending) with
-        | Some sql ->
+      let n = List.length sqls in
+      t.commands_served <- t.commands_served + n;
+      Metrics.Counter.add m_commands n;
+      List.iter (fun _ -> respond t conn no_tenant_reply) sqls
+    | Some s ->
+      let h = List.assoc "stmt" m_command_seconds in
+      let (events, trigger, leftover), elapsed =
+        Im_util.Stopwatch.time (fun () ->
+            Service.feed_batch_async s.s_service sqls)
+      in
+      let applied =
+        List.length events + (match trigger with Some _ -> 1 | None -> 0)
+      in
+      t.commands_served <- t.commands_served + applied;
+      Metrics.Counter.add m_commands applied;
+      Metrics.Counter.add s.s_commands applied;
+      let per =
+        if applied = 0 then 0. else elapsed /. float_of_int applied
+      in
+      List.iter
+        (fun ev ->
+          Metrics.Histogram.observe h per;
+          respond t conn (stmt_reply s ev))
+        events;
+      match trigger with
+      | None -> ()
+      | Some trig ->
+        let job = Service.begin_epoch s.s_service trig in
+        conn.replay <- leftover @ conn.replay;
+        submit_epoch t worker s conn `Stmt job)
+
+(* Dispatch up to [min !budget cap] lines on one connection,
+   decrementing the session's shared [budget]. Contiguous STMT runs go
+   through the batch path; an EPOCH verb offloads (or stalls behind
+   the tenant's in-flight epoch). *)
+let dispatch_conn t conn budget ~cap =
+  let turn = ref (min !budget cap) in
+  let spend n =
+    turn := !turn - n;
+    budget := !budget - n
+  in
+  let continue = ref true in
+  while !continue && !turn > 0 && t.running && has_dispatch_work conn do
+    if conn.replay <> [] then begin
+      (* Statements handed back when a trigger split their batch:
+         they re-feed under their pre-assigned ids, ahead of anything
+         newly read. *)
+      let rec take n l =
+        if n = 0 then ([], l)
+        else
+          match l with
+          | [] -> ([], [])
+          | x :: rest ->
+            let a, b = take (n - 1) rest in
+            (x :: a, b)
+      in
+      let now, later = take !turn conn.replay in
+      conn.replay <- later;
+      spend (List.length now);
+      dispatch_stmt_run t conn now
+    end
+    else
+      match stmt_sql (Queue.peek conn.pending) with
+      | Some _ ->
+        (* Gather the whole contiguous STMT run within this turn. *)
+        let sqls = ref [] in
+        let gathering = ref true in
+        while !gathering && !turn > 0 && not (Queue.is_empty conn.pending) do
+          match stmt_sql (Queue.peek conn.pending) with
+          | Some sql ->
+            ignore (Queue.pop conn.pending);
+            spend 1;
+            sqls := sql :: !sqls
+          | None -> gathering := false
+        done;
+        dispatch_stmt_run t conn (List.rev !sqls)
+      | None -> (
+        let line = Queue.peek conn.pending in
+        let verb, _ = split_verb line in
+        match t.worker with
+        | Some worker when String.uppercase_ascii verb = "EPOCH" -> (
+          match conn.session with
+          | None ->
+            ignore (Queue.pop conn.pending);
+            spend 1;
+            t.commands_served <- t.commands_served + 1;
+            Metrics.Counter.incr m_commands;
+            respond t conn no_tenant_reply
+          | Some s when Service.epoch_in_flight s.s_service ->
+            (* The line stays queued: it re-dispatches after this
+               tenant's in-flight epoch commits. No budget spent. *)
+            conn.stalled <- true;
+            continue := false
+          | Some s -> (
+            ignore (Queue.pop conn.pending);
+            spend 1;
+            t.commands_served <- t.commands_served + 1;
+            Metrics.Counter.incr m_commands;
+            Metrics.Counter.incr s.s_commands;
+            match Service.begin_forced_epoch s.s_service with
+            | Error msg -> respond t conn ("ERR " ^ msg)
+            | Ok job -> submit_epoch t worker s conn `Forced job))
+        | _ ->
           ignore (Queue.pop conn.pending);
-          decr budget;
-          sqls := sql :: !sqls
-        | None -> continue := false
-      done;
-      (match List.rev !sqls with
-       | [] -> ()
-       | [ sql ] ->
-         (* Preserve the exact single-command path (same timing
-            semantics) for unpipelined clients. *)
-         dispatch_one t conn ("STMT " ^ sql)
-       | sqls -> dispatch_stmt_batch t conn sqls)
+          spend 1;
+          dispatch_one t conn line)
   done;
   if not conn.closed then begin
     flush_out t conn;
-    maybe_close_drained t conn
+    maybe_close_drained t conn;
+    sync_interest t conn
+  end;
+  note_backlog t conn
+
+(* Spend one session's round budget (weight x base) across its
+   connections, round-robin in bounded turns so a single pipelining
+   connection cannot drain the whole tenant budget first. *)
+let dispatch_session t s conns =
+  let budget = ref (commands_per_round * s.s_weight) in
+  let single = match conns with [ _ ] -> true | _ -> false in
+  let progress = ref true in
+  while !budget > 0 && !progress && t.running do
+    progress := false;
+    List.iter
+      (fun conn ->
+        if !budget > 0 && has_dispatch_work conn then begin
+          let before = !budget in
+          let cap = if single then !budget else commands_per_turn in
+          dispatch_conn t conn budget ~cap;
+          if !budget < before then progress := true
+        end)
+      conns
+  done;
+  if !budget = 0 && List.exists has_dispatch_work conns then
+    Metrics.Counter.incr m_fairness_deferred
+
+(* One fairness round over every connection with dispatchable work:
+   group by session, rotate the session order, give each session its
+   weighted budget. Unbound connections (tenant dropped) share the
+   base budget each. *)
+let dispatch_round t =
+  if Hashtbl.length t.backlog > 0 then begin
+    let groups : (string, session * conn list ref) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    let unbound = ref [] in
+    Hashtbl.iter
+      (fun _ conn ->
+        if has_dispatch_work conn then
+          match conn.session with
+          | Some s -> (
+            match Hashtbl.find_opt groups s.s_name with
+            | Some (_, l) -> l := conn :: !l
+            | None -> Hashtbl.replace groups s.s_name (s, ref [ conn ]))
+          | None -> unbound := conn :: !unbound)
+      t.backlog;
+    let names =
+      List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) groups [])
+    in
+    let nnames = List.length names in
+    let names =
+      if nnames <= 1 then names
+      else begin
+        (* Rotate who goes first so equal-weight tenants alternate. *)
+        let k = t.rr_cursor mod nnames in
+        let rec rot i l =
+          if i = 0 then l
+          else match l with [] -> [] | x :: rest -> rot (i - 1) (rest @ [ x ])
+        in
+        rot k names
+      end
+    in
+    t.rr_cursor <- t.rr_cursor + 1;
+    List.iter
+      (fun name ->
+        if t.running then begin
+          let s, conns = Hashtbl.find groups name in
+          dispatch_session t s (List.rev !conns)
+        end)
+      names;
+    List.iter
+      (fun conn ->
+        if t.running && has_dispatch_work conn then begin
+          let budget = ref commands_per_round in
+          dispatch_conn t conn budget ~cap:commands_per_round
+        end)
+      (List.rev !unbound)
   end
+
+(* ---- Epoch completions ---- *)
+
+(* Land one off-thread epoch on the dispatch thread: commit (or abort)
+   the service state, answer the connection that asked, and unstall
+   any of the tenant's connections queued behind the in-flight mark.
+   The reply text matches the inline paths byte for byte. *)
+let handle_completion t (c : Epoch_worker.completion) =
+  match Hashtbl.find_opt t.pending_epochs c.Epoch_worker.c_id with
+  | None -> ()
+  | Some pe ->
+    Hashtbl.remove t.pending_epochs c.Epoch_worker.c_id;
+    let s = pe.pe_session in
+    let reply =
+      match c.Epoch_worker.c_result with
+      | Ok o ->
+        let (), commit_s =
+          Im_util.Stopwatch.time (fun () ->
+              Service.commit_epoch s.s_service o)
+        in
+        Metrics.Gauge.add m_dispatch_stall commit_s;
+        Metrics.Counter.incr s.s_epochs;
+        let verb = match pe.pe_kind with `Stmt -> "stmt" | `Forced -> "epoch" in
+        Metrics.Histogram.observe
+          (List.assoc verb m_command_seconds)
+          o.Epoch.e_elapsed_s;
+        (match pe.pe_kind with
+         | `Stmt -> "OK observed " ^ epoch_line o
+         | `Forced -> "OK " ^ epoch_line o)
+      | Error e ->
+        Service.abort_epoch s.s_service;
+        "ERR epoch failed: " ^ Printexc.to_string e
+    in
+    let conn = pe.pe_conn in
+    conn.awaiting_epoch <- false;
+    if not conn.closed then begin
+      conn.last_active <- Im_util.Stopwatch.now_s ();
+      respond t conn reply;
+      flush_out t conn;
+      maybe_close_drained t conn;
+      sync_interest t conn;
+      note_backlog t conn
+    end;
+    Hashtbl.iter
+      (fun _ c ->
+        if
+          c.stalled
+          && (match c.session with Some s' -> s' == s | None -> false)
+        then begin
+          c.stalled <- false;
+          note_backlog t c
+        end)
+      t.conns
 
 (* ---- Reading ---- *)
 
@@ -653,33 +998,41 @@ let admit t fd =
       | None -> false
     in
     if tenant_full then reject_fd fd tenant_overload_msg
-    else begin
-      t.connections_served <- t.connections_served + 1;
-      let conn =
-        {
-          fd;
-          buf = Buffer.create 256;
-          pending = Queue.create ();
-          out = { oq = Queue.create (); oq_head = 0; oq_bytes = 0 };
-          session = None;
-          last_active = Im_util.Stopwatch.now_s ();
-          closing = false;
-          eof = false;
-          closed = false;
-        }
-      in
-      (match session with
-       | Some s ->
-         s.s_conns <- s.s_conns + 1;
-         Metrics.Gauge.set_int s.s_live s.s_conns;
-         conn.session <- Some s
-       | None -> ());
-      Hashtbl.replace t.conns fd conn;
-      Metrics.Gauge.set_int m_live (Hashtbl.length t.conns)
-    end
+    else
+      match Evloop.add t.ev fd ~read:true ~write:false with
+      | exception Invalid_argument _ ->
+        (* Select backend: fd beyond FD_SETSIZE. The connection count
+           cap normally prevents this; a racing burst lands here. *)
+        reject_fd fd overload_msg
+      | () ->
+        t.connections_served <- t.connections_served + 1;
+        let conn =
+          {
+            fd;
+            buf = Buffer.create 256;
+            pending = Queue.create ();
+            out = { oq = Queue.create (); oq_head = 0; oq_bytes = 0 };
+            session = None;
+            last_active = Im_util.Stopwatch.now_s ();
+            closing = false;
+            eof = false;
+            closed = false;
+            awaiting_epoch = false;
+            stalled = false;
+            replay = [];
+          }
+        in
+        (match session with
+         | Some s ->
+           s.s_conns <- s.s_conns + 1;
+           Metrics.Gauge.set_int s.s_live s.s_conns;
+           conn.session <- Some s
+         | None -> ());
+        Hashtbl.replace t.conns fd conn;
+        Metrics.Gauge.set_int m_live (Hashtbl.length t.conns)
   end
 
-(* Accept every connection the kernel has queued, not one per select
+(* Accept every connection the kernel has queued, not one per loop
    round: a burst of N connects previously took N rounds. Bounded so a
    connect flood cannot starve established connections either. *)
 let accept_burst t =
@@ -700,84 +1053,125 @@ let accept_burst t =
 
 (* ---- Reaping ---- *)
 
-let reap_idle t snapshot =
+(* Throttled to twice a second — it walks every connection. A
+   connection owed an off-thread epoch reply (or queued behind one) is
+   never reaped: its idleness is the daemon's doing, and its reply is
+   still coming. *)
+let reap_idle t =
   let now = Im_util.Stopwatch.now_s () in
-  List.iter
-    (fun conn ->
-      if (not conn.closed) && now -. conn.last_active > t.read_timeout then begin
-        (* Give queued replies a last chance to leave before dropping
-           the connection. *)
-        flush_out t conn;
-        if not conn.closed then begin
-          if conn.out.oq_bytes = 0 then begin
-            Metrics.Counter.incr m_reaped;
-            close_conn t conn
-          end
-          else
-            (* Pending output on a still-writable socket means the main
-               loop will drain it next round; reap only sockets that
-               stopped accepting bytes. (No leak: once the kernel buffer
-               fills, the socket stops selecting writable.) *)
-            match Unix.select [] [ conn.fd ] [] 0. with
-            | _, _ :: _, _ -> ()
-            | _, [], _ | (exception Unix.Unix_error _) ->
+  if now -. t.last_reap >= 0.5 then begin
+    t.last_reap <- now;
+    let snapshot = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+    List.iter
+      (fun conn ->
+        if
+          (not conn.closed) && (not conn.awaiting_epoch)
+          && (not conn.stalled)
+          && now -. conn.last_active > t.read_timeout
+        then begin
+          (* Give queued replies a last chance to leave before dropping
+             the connection. *)
+          flush_out t conn;
+          if not conn.closed then
+            if
+              conn.out.oq_bytes = 0
+              (* Pending output on a still-writable socket means the
+                 main loop will drain it next round; reap only sockets
+                 that stopped accepting bytes. The probe goes through
+                 poll(2), which works on any fd number. *)
+              || not (Evloop.writable conn.fd)
+            then begin
               Metrics.Counter.incr m_reaped;
               close_conn t conn
-        end
-      end)
-    snapshot
+            end
+        end)
+      snapshot
+  end
 
 (* ---- Event loop ---- *)
+
+let drain_wake t =
+  let bytes = Bytes.create 256 in
+  let continue = ref true in
+  while !continue do
+    match Unix.read t.wake_r bytes 0 256 with
+    | 0 -> continue := false
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
 
 let serve t =
   t.running <- true;
   Unix.set_nonblock t.listener;
   while t.running do
-    let snapshot = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
-    let reads =
-      t.listener
-      :: List.filter_map
-           (fun c ->
-             if
-               (not c.closing) && (not c.eof)
-               && Queue.length c.pending < max_pending_lines
-             then Some c.fd
-             else None)
-           snapshot
-    in
-    let writes =
+    (* Undispatched work (fairness-deferred or newly read) re-polls
+       with a zero timeout; paused connections are not in the backlog,
+       so a long off-thread epoch leaves the loop blocking idle. *)
+    let timeout_s = if Hashtbl.length t.backlog > 0 then 0.0 else 1.0 in
+    let events = Evloop.wait t.ev ~timeout_s in
+    let listener_ready = ref false in
+    let wake_ready = ref false in
+    let ready =
       List.filter_map
-        (fun c -> if c.out.oq_bytes > 0 then Some c.fd else None)
-        snapshot
+        (fun ev ->
+          let fd = ev.Evloop.ev_fd in
+          if fd = t.listener then begin
+            if ev.Evloop.ev_read then listener_ready := true;
+            None
+          end
+          else if fd = t.wake_r then begin
+            wake_ready := true;
+            None
+          end
+          else
+            (* Handlers may close connections mid-round; the table is
+               the source of truth for who is still alive. *)
+            match Hashtbl.find_opt t.conns fd with
+            | Some conn -> Some (conn, ev)
+            | None -> None)
+        events
     in
-    let backlog =
-      List.exists (fun c -> not (Queue.is_empty c.pending)) snapshot
-    in
-    let timeout = if backlog then 0.0 else 1.0 in
-    match Unix.select reads writes [] timeout with
-    | readable, writable, _ ->
-      if List.mem t.listener readable then accept_burst t;
-      (* Handlers may close connections mid-iteration: every step
-         rechecks [conn.closed] before touching the fd. *)
-      List.iter
-        (fun conn ->
-          if (not conn.closed) && List.mem conn.fd writable then begin
-            flush_out t conn;
-            maybe_close_drained t conn
-          end)
-        snapshot;
-      List.iter
-        (fun conn ->
-          if (not conn.closed) && List.mem conn.fd readable then
-            read_chunk t conn)
-        snapshot;
-      List.iter
-        (fun conn -> if not conn.closed then process_pending t conn)
-        snapshot;
-      reap_idle t snapshot
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    if !listener_ready then accept_burst t;
+    if !wake_ready then drain_wake t;
+    List.iter
+      (fun (conn, ev) ->
+        if ev.Evloop.ev_write && (not conn.closed) && conn.out.oq_bytes > 0
+        then begin
+          flush_out t conn;
+          maybe_close_drained t conn;
+          sync_interest t conn
+        end)
+      ready;
+    List.iter
+      (fun (conn, ev) ->
+        (* Epoll and poll report HUP/ERR regardless of the interest
+           mask: gate on the interest the server actually holds so a
+           paused connection is not read early. *)
+        if
+          ev.Evloop.ev_read && (not conn.closed) && (not conn.closing)
+          && (not conn.eof)
+          && Queue.length conn.pending < max_pending_lines
+        then begin
+          read_chunk t conn;
+          sync_interest t conn;
+          note_backlog t conn
+        end)
+      ready;
+    (match t.worker with
+     | Some w -> List.iter (handle_completion t) (Epoch_worker.drain w)
+     | None -> ());
+    dispatch_round t;
+    reap_idle t
   done;
-  (* Graceful shutdown: best-effort flush, then close everything. *)
+  (* Graceful shutdown: finish in-flight epochs (their replies are
+     owed), best-effort flush, then close everything. *)
+  (match t.worker with
+   | Some w ->
+     Epoch_worker.shutdown w;
+     List.iter (handle_completion t) (Epoch_worker.drain w)
+   | None -> ());
   let remaining = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
   List.iter (fun conn -> flush_out t conn) remaining;
   List.iter
@@ -788,5 +1182,10 @@ let serve t =
       end)
     remaining;
   Hashtbl.reset t.conns;
+  Hashtbl.reset t.backlog;
+  Hashtbl.reset t.pending_epochs;
   Metrics.Gauge.set_int m_live 0;
+  Evloop.close t.ev;
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
   try Unix.close t.listener with Unix.Unix_error _ -> ()

@@ -1,5 +1,9 @@
-(** Multi-tenant TCP advisor daemon: a single-threaded [Unix.select]
-    loop exposing one {!Service} per tenant over a line protocol.
+(** Multi-tenant TCP advisor daemon: a single dispatch thread on a
+    pluggable readiness layer ({!Im_evloop.Evloop} — epoll on Linux,
+    poll elsewhere, select kept for portability tests) exposing one
+    {!Service} per tenant over a line protocol. Epoch re-merges run
+    on dedicated worker domains so a multi-hundred-millisecond tuning
+    pass never stalls the other tenants' statements.
 
     Requests are newline-terminated; responses are one [OK ...] or
     [ERR ...] line, except [CONFIG]/[METRICS]/[TENANT LIST] whose
@@ -36,17 +40,35 @@
     connection is marked closing (it drains what was queued, then
     closes) and [server_backpressure_closed_total] is counted.
 
-    Fairness: all queued connects are accepted per select round (not
-    one), each connection dispatches at most a bounded number of
-    commands per round, and rounds with undispatched pipelined input
-    re-select with a zero timeout — one pipelining client cannot
-    starve accepts. Contiguous pipelined [STMT] runs parse on the
-    service's [Im_par] pool via {!Service.feed_batch}; epoch re-merges
-    fan their costings onto the same pool.
+    Fairness: all queued connects are accepted per loop round (not
+    one), and dispatch budgets are per {e tenant}, not per connection
+    — each session gets [128 x weight] commands per round (weights via
+    [?weights], default 1), shared round-robin across its connections,
+    so one pipelining tenant cannot starve accepts or other tenants.
+    Rounds with undispatched input re-poll with a zero timeout;
+    budget-exhausted rounds count [server_fairness_deferred_total].
+    Contiguous pipelined [STMT] runs parse on the service's [Im_par]
+    pool via {!Service.feed_batch}; epoch re-merges fan their costings
+    onto the same pool.
+
+    Off-thread epochs ([epoch_workers > 0], the default): a fired
+    trigger or [EPOCH] verb snapshots the service
+    ({!Service.begin_epoch}) and runs on a worker domain; the
+    triggering connection waits for exactly that reply (its remaining
+    pipeline replays afterwards under the same statement ids, so the
+    reply stream is byte-identical to the inline path) while every
+    other connection — same tenant included — keeps dispatching
+    against the last committed configuration. A concurrent [EPOCH] on
+    the same tenant queues behind the in-flight one. Offloads count in
+    [server_epoch_offloaded_total]; the dispatch thread's cumulative
+    epoch stall (full duration inline, commit-only when offloaded) is
+    [server_dispatch_stall_seconds]. [epoch_workers = 0] restores the
+    inline single-threaded behavior exactly.
 
     Connections idle longer than [read_timeout] seconds are reaped
     (after a best-effort flush of queued replies; a connection with
-    pending output on a still-writable socket is left to drain); a
+    pending output on a still-writable socket is left to drain, and
+    one owed an off-thread epoch reply is never reaped); a
     half-received line survives across reads. A peer that half-closes
     ([shutdown(SHUT_WR)]) after pipelining commands still receives
     every queued reply: EOF stops intake but the pending commands are
@@ -76,7 +98,10 @@ val create :
   ?max_output_bytes:int ->
   ?tenant:string ->
   ?tenants:(string * Service.t) list ->
+  ?weights:(string * int) list ->
   ?factory:(string -> (Service.t, string) result) ->
+  ?event_backend:Im_evloop.Evloop.backend ->
+  ?epoch_workers:int ->
   Service.t ->
   t
 (** Binds and listens immediately. Defaults: host ["127.0.0.1"],
@@ -86,15 +111,25 @@ val create :
     same), [max_output_bytes = 1_048_576], [tenant = "default"] (the
     name of the session owning the given service, bound to every new
     connection), [tenants = []] (extra pre-created sessions),
-    [factory] answering [Error] (so [TENANT CREATE] is off unless one
-    is provided — it receives the [db] spec, defaulting to the tenant
-    name). Tenant names are restricted to [[A-Za-z0-9_.-]{1,64}]
-    because they become metric label values; invalid or duplicate
-    names raise [Invalid_argument]. Raises [Unix_error] when binding
-    fails. *)
+    [weights = []] (fairness weights by tenant name; missing or [< 1]
+    means 1), [factory] answering [Error] (so [TENANT CREATE] is off
+    unless one is provided — it receives the [db] spec, defaulting to
+    the tenant name), [event_backend = Auto] (epoll where available,
+    else poll; [Select] keeps the historical [Unix.select] loop and
+    caps admissible fds at FD_SETSIZE), [epoch_workers = 1] (worker
+    domains for off-thread epochs; [0] runs every epoch inline on the
+    dispatch thread). Tenant names are restricted to
+    [[A-Za-z0-9_.-]{1,64}] because they become metric label values;
+    invalid or duplicate names raise [Invalid_argument]. Raises
+    [Unix_error] when binding fails, [Failure] when [event_backend =
+    Epoll] is unavailable on this platform. *)
 
 val port : t -> int
 (** The actually bound port (useful with [port = 0]). *)
+
+val event_backend : t -> string
+(** The resolved readiness backend: ["epoll"], ["poll"] or
+    ["select"]. *)
 
 val serve : t -> unit
 (** Run the event loop until a client issues [SHUTDOWN] or {!shutdown}

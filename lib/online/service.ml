@@ -51,6 +51,11 @@ type t = {
   mutable rejected : int;
   mutable feed_seconds : float;
   mutable epoch_seconds : float;
+  (* An epoch snapshot is out on a worker domain and not yet
+     committed. While set, drift checks and further triggers are
+     suppressed and CONFIG/STATS keep answering from the last
+     committed state. Only ever touched by the dispatch thread. *)
+  mutable in_flight : bool;
 }
 
 let create ?options ?pool ?(initial = Config.empty) ?(derive = true) db
@@ -92,6 +97,7 @@ let create ?options ?pool ?(initial = Config.empty) ?(derive = true) db
     rejected = 0;
     feed_seconds = 0.;
     epoch_seconds = 0.;
+    in_flight = false;
   }
 
 type event =
@@ -101,34 +107,73 @@ type event =
       ev_epoch : Epoch.outcome option;
     }
 
-let run_epoch t trigger =
-  let outcome =
-    Epoch.run ?pool:t.pool ?compress:t.opts.o_compress t.cache ~trigger
-      ~live:t.live
-      ~window:(Window.to_workload t.window)
-      ~budget_pages:t.opts.o_budget_pages
-      ~max_clusters:(Budget.current t.budget)
-  in
+(* ---- Epoch lifecycle: begin (snapshot) / run / commit ----
+
+   [begin_epoch] marks the service in flight and closes the run over a
+   snapshot of everything an epoch reads — the committed live config,
+   an immutable window workload, and the current cluster budget — so
+   the returned thunk is safe to execute on a worker domain while the
+   dispatch thread keeps feeding this service (the warm what-if cache
+   and the pool are domain-safe since PR 4). [commit_epoch] installs
+   the result back on the dispatch thread; the inline [run_epoch] is
+   begin + run + commit with no interleaving, which is exactly the
+   pre-async behavior. *)
+
+let epoch_in_flight t = t.in_flight
+
+let begin_epoch t trigger =
+  if t.in_flight then invalid_arg "Service.begin_epoch: epoch already in flight";
+  t.in_flight <- true;
+  let live = t.live in
+  let window = Window.to_workload t.window in
+  let max_clusters = Budget.current t.budget in
+  fun () ->
+    Epoch.run ?pool:t.pool ?compress:t.opts.o_compress t.cache ~trigger ~live
+      ~window ~budget_pages:t.opts.o_budget_pages ~max_clusters
+
+let commit_epoch t outcome =
+  t.in_flight <- false;
   t.live <- outcome.Epoch.e_config;
   t.epochs <- outcome :: t.epochs;
   t.epoch_seconds <- t.epoch_seconds +. outcome.Epoch.e_elapsed_s;
   Budget.record t.budget ~benefit:outcome.Epoch.e_benefit;
-  Drift.rebase t.drift t.cache t.live (Window.to_workload t.window);
-  outcome
+  Drift.rebase t.drift t.cache t.live (Window.to_workload t.window)
+
+let abort_epoch t = t.in_flight <- false
+
+let run_epoch t trigger =
+  let job = begin_epoch t trigger in
+  match job () with
+  | outcome ->
+    commit_epoch t outcome;
+    outcome
+  | exception e ->
+    abort_epoch t;
+    raise e
+
+(* What should happen after this statement: run a drift check now, and
+   if so did it fire an epoch? Pure decision — running the epoch is the
+   caller's business (inline below, offloaded in the daemon). While an
+   epoch is in flight nothing further triggers: the check would compare
+   against a baseline that is about to be rebased. *)
+let tune_decision t =
+  if t.in_flight then (None, None)
+  else
+    let n = Window.statements t.window in
+    if not (Drift.has_baseline t.drift) then
+      if n >= t.opts.o_warmup then (None, Some Epoch.Bootstrap) else (None, None)
+    else if n mod t.opts.o_check_every = 0 then begin
+      let verdict =
+        Drift.check t.drift t.cache t.live (Window.to_workload t.window)
+      in
+      if verdict.Drift.v_fired then (Some verdict, Some Epoch.Drift)
+      else (Some verdict, None)
+    end
+    else (None, None)
 
 let maybe_tune t =
-  let n = Window.statements t.window in
-  if not (Drift.has_baseline t.drift) then
-    if n >= t.opts.o_warmup then (None, Some (run_epoch t Epoch.Bootstrap))
-    else (None, None)
-  else if n mod t.opts.o_check_every = 0 then begin
-    let verdict =
-      Drift.check t.drift t.cache t.live (Window.to_workload t.window)
-    in
-    if verdict.Drift.v_fired then (Some verdict, Some (run_epoch t Epoch.Drift))
-    else (Some verdict, None)
-  end
-  else (None, None)
+  let verdict, trigger = tune_decision t in
+  (verdict, Option.map (run_epoch t) trigger)
 
 (* Apply one already-parsed statement: the shared tail of [feed] and
    [feed_batch]. The caller has already advanced [t.seq] and counted
@@ -196,9 +241,85 @@ let feed_batch t sqls =
     t.feed_seconds <- t.feed_seconds +. elapsed;
     events
 
+(* ---- Async intake: observe, decide, never run the epoch ----
+
+   The daemon's offloaded path. Same window/drift state machine as
+   [apply_parsed], but a fired trigger is returned instead of run, and
+   the triggering statement's event is withheld: its reply depends on
+   the epoch outcome, which the caller delivers after commit. *)
+
+let apply_parsed_async t = function
+  | Error msg ->
+    t.rejected <- t.rejected + 1;
+    (Rejected msg, None)
+  | Ok q ->
+    Window.observe t.window q;
+    Im_obs.Metrics.Gauge.set_int m_window_clusters
+      (Window.cluster_count t.window);
+    let ev_drift, trigger = tune_decision t in
+    (Observed { ev_drift; ev_epoch = None }, trigger)
+
+let feed_async t sql =
+  let result, elapsed =
+    Im_util.Stopwatch.time (fun () ->
+        t.seq <- t.seq + 1;
+        Im_obs.Metrics.Counter.incr m_statements;
+        let id = Printf.sprintf "S%d" t.seq in
+        apply_parsed_async t
+          (Parser.parse_query ~schema:(Database.schema t.db) ~id sql))
+  in
+  t.feed_seconds <- t.feed_seconds +. elapsed;
+  result
+
+(* Batched async intake. Parses like [feed_batch] (pooled, ids
+   pre-assigned in arrival order) and applies results sequentially
+   until a statement fires a trigger; that statement is fed (window
+   observed, [seq] advanced) but produces no event, and the unapplied
+   raw statements after it are handed back for the caller to replay
+   once the epoch commits. Replayed text re-parses under the same ids
+   ([seq] only advanced past applied statements), so the event stream
+   is identical to the inline path statement for statement. *)
+let feed_batch_async t sqls =
+  let (events, trigger, leftover), elapsed =
+    Im_util.Stopwatch.time (fun () ->
+        let schema = Database.schema t.db in
+        let base = t.seq in
+        let parse (i, sql) =
+          Parser.parse_query ~schema
+            ~id:(Printf.sprintf "S%d" (base + i + 1))
+            sql
+        in
+        let numbered = List.mapi (fun i sql -> (i, sql)) sqls in
+        let parsed =
+          match t.pool with
+          | Some pool
+            when Im_par.Pool.domain_count pool > 0 && List.length sqls > 1 ->
+            Im_par.Pool.map_batched pool ~batcher:parse_batcher parse numbered
+          | Some _ | None -> List.map parse numbered
+        in
+        let rec apply acc parsed raw =
+          match (parsed, raw) with
+          | [], _ -> (List.rev acc, None, raw)
+          | res :: ptl, _ :: rtl -> (
+            t.seq <- t.seq + 1;
+            Im_obs.Metrics.Counter.incr m_statements;
+            match apply_parsed_async t res with
+            | ev, None -> apply (ev :: acc) ptl rtl
+            | _, Some trigger -> (List.rev acc, Some trigger, rtl))
+          | _ :: _, [] -> assert false
+        in
+        apply [] parsed sqls)
+  in
+  t.feed_seconds <- t.feed_seconds +. elapsed;
+  (events, trigger, leftover)
+
 let force_epoch t =
   if Window.cluster_count t.window = 0 then Error "window is empty"
   else Ok (run_epoch t Epoch.Forced)
+
+let begin_forced_epoch t =
+  if Window.cluster_count t.window = 0 then Error "window is empty"
+  else Ok (begin_epoch t Epoch.Forced)
 
 let config t = t.live
 let config_pages t = Database.config_storage_pages t.db t.live

@@ -81,6 +81,50 @@ val feed_batch : t -> string list -> event list
 val force_epoch : t -> (Epoch.outcome, string) result
 (** Run an epoch now; [Error] on an empty window. *)
 
+(** {2 Off-thread epochs}
+
+    The daemon's offloaded tuning path. [begin_*] marks the service
+    {e in flight} and returns a thunk closed over a snapshot of
+    everything the epoch reads (committed config, immutable window
+    workload, cluster budget); the thunk is safe to run on a worker
+    domain while the dispatch thread keeps feeding this service. While
+    in flight, drift checks and further triggers are suppressed and
+    [config]/[stats] answer from the last committed state. The
+    [_async] intake variants return a fired {!Epoch.trigger} instead
+    of running it inline. [commit_epoch]/[abort_epoch] must be called
+    from the dispatch thread. *)
+
+val epoch_in_flight : t -> bool
+
+val begin_epoch : t -> Epoch.trigger -> unit -> Epoch.outcome
+(** Raises [Invalid_argument] if an epoch is already in flight. *)
+
+val begin_forced_epoch : t -> (unit -> Epoch.outcome, string) result
+(** [begin_epoch t Forced]; [Error] on an empty window. *)
+
+val commit_epoch : t -> Epoch.outcome -> unit
+(** Install a completed epoch: set the live config, record the realized
+    benefit for budget reallocation, rebase drift on the current
+    window, clear the in-flight mark. *)
+
+val abort_epoch : t -> unit
+(** Clear the in-flight mark after a failed epoch, leaving the
+    committed state untouched. *)
+
+val feed_async : t -> string -> event * Epoch.trigger option
+(** Like {!feed}, but a fired trigger is returned, not run; the
+    returned event never carries [ev_epoch]. *)
+
+val feed_batch_async :
+  t -> string list -> event list * Epoch.trigger option * string list
+(** Like {!feed_batch} until the first statement that fires a trigger:
+    that statement is fed (window observed, id assigned) but produces
+    no event — its reply depends on the epoch outcome — and the raw
+    statements after it are returned unapplied for the caller to
+    replay after [commit_epoch] (they re-parse under the same
+    pre-assigned ids, so the event stream matches the inline path
+    statement for statement). *)
+
 val config : t -> Im_catalog.Config.t
 val config_pages : t -> int
 val database : t -> Im_catalog.Database.t

@@ -65,6 +65,10 @@ val select_columns : t -> string -> string list
 
 val has_aggregates : t -> bool
 
+val equal_ignoring_id : t -> t -> bool
+(** Structural equality modulo [q_id]. Implies equal
+    {!canonical_string}s, but is computed without rendering either. *)
+
 val canonical_string : t -> string
 (** Deterministic rendering used for duplicate detection in workload
     compression (identical text modulo [q_id]). *)

@@ -1,0 +1,97 @@
+(* Deterministic transcript driver for the serve daemon's
+   behavior-preservation check: spawn the real CLI with the backend and
+   epoch-worker count given on the command line, run a fixed script of
+   commands (statements crossing the bootstrap epoch, a forced EPOCH,
+   CONFIG, TENANT LIST, QUIT — nothing timing-dependent like STATS or
+   METRICS), and print every reply line to stdout. dev-check runs this
+   under `--event-backend select` and the default backend, with epochs
+   inline and offloaded, and insists the outputs are byte-identical.
+
+   Usage: serve_transcript [backend] [epoch_workers]          *)
+
+let cli () =
+  (* _build/default/test/<exe> -> _build/default/bin/index_merge_cli.exe *)
+  let here = Filename.dirname Sys.executable_name in
+  let path =
+    Filename.concat (Filename.dirname here)
+      (Filename.concat "bin" "index_merge_cli.exe")
+  in
+  if not (Sys.file_exists path) then begin
+    prerr_endline ("CLI binary not found at " ^ path);
+    exit 2
+  end;
+  path
+
+let () =
+  let backend = if Array.length Sys.argv > 1 then Sys.argv.(1) else "auto" in
+  let workers = if Array.length Sys.argv > 2 then Sys.argv.(2) else "1" in
+  let out_read, out_write = Unix.pipe ~cloexec:false () in
+  let pid =
+    Unix.create_process (cli ())
+      [|
+        cli (); "serve"; "-d"; "synthetic1"; "--port"; "0"; "--event-backend";
+        backend; "--epoch-workers"; workers;
+      |]
+      Unix.stdin out_write Unix.stderr
+  in
+  Unix.close out_write;
+  let daemon_out = Unix.in_channel_of_descr out_read in
+  let banner = input_line daemon_out in
+  let port =
+    try
+      Scanf.sscanf
+        (List.find
+           (fun s -> String.length s > 10 && String.sub s 0 10 = "127.0.0.1:")
+           (String.split_on_char ' ' banner))
+        "127.0.0.1:%d" (fun p -> p)
+    with _ ->
+      prerr_endline ("no port in banner: " ^ banner);
+      exit 2
+  in
+  let ic, oc =
+    Unix.open_connection
+      (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port))
+  in
+  let request line =
+    output_string oc (line ^ "\n");
+    flush oc;
+    let reply = input_line ic in
+    print_endline reply;
+    reply
+  in
+  let request_multi line =
+    (* "OK <n>" followed by n detail lines. *)
+    let head = request line in
+    match int_of_string_opt (String.trim (String.sub head 3 (String.length head - 3)))
+    with
+    | Some n when String.length head > 3 && String.sub head 0 3 = "OK " ->
+      for _ = 1 to n do
+        print_endline (input_line ic)
+      done
+    | _ -> ()
+  in
+  (* 40 statements: crosses the warmup-24 bootstrap epoch and the
+     check-every-32 drift check, so the transcript exercises observed /
+     drift / epoch replies. *)
+  for i = 1 to 40 do
+    let col = Printf.sprintf "t0_c%d" (i mod 3) in
+    ignore (request (Printf.sprintf "STMT SELECT %s FROM t0 WHERE %s = %d" col col i))
+  done;
+  ignore (request "EPOCH");
+  request_multi "CONFIG";
+  request_multi "TENANT LIST";
+  ignore (request "QUIT");
+  (* A second connection shuts the daemon down for a clean exit. *)
+  let ic2, oc2 =
+    Unix.open_connection
+      (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port))
+  in
+  output_string oc2 "SHUTDOWN\n";
+  flush oc2;
+  ignore (input_line ic2);
+  let _, status = Unix.waitpid [] pid in
+  match status with
+  | Unix.WEXITED 0 -> ()
+  | _ ->
+    prerr_endline "daemon did not exit cleanly";
+    exit 1

@@ -1,0 +1,297 @@
+(* Backend-parametrized tests for the readiness layer (lib/evloop).
+
+   Every behavioral case runs against each available backend: epoll
+   (Linux only), poll, and select. The daemon-level test proving a
+   slow epoch does not stall another tenant lives at the bottom and
+   drives the real CLI binary. *)
+
+module Evloop = Im_evloop.Evloop
+
+let available_backends () =
+  (if Evloop.epoll_available () then [ Evloop.Epoll ] else [])
+  @ [ Evloop.Poll; Evloop.Select ]
+
+let with_loop backend f =
+  let t = Evloop.create ~backend () in
+  Fun.protect ~finally:(fun () -> Evloop.close t) (fun () -> f t)
+
+let with_pipe f =
+  let r, w = Unix.pipe ~cloexec:true () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () -> f r w)
+
+let ready_fds events =
+  List.filter_map
+    (fun e -> if e.Evloop.ev_read then Some e.Evloop.ev_fd else None)
+    events
+
+(* backend_of_string round-trips and rejects junk. *)
+let test_backend_names () =
+  List.iter
+    (fun b ->
+      Alcotest.(check bool)
+        "round trip" true
+        (Evloop.backend_of_string (Evloop.backend_to_string b) = Ok b))
+    [ Evloop.Auto; Evloop.Epoll; Evloop.Poll; Evloop.Select ];
+  (match Evloop.backend_of_string "kqueue" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus backend accepted");
+  let auto = Evloop.create () in
+  let name = Evloop.backend_name auto in
+  Evloop.close auto;
+  Alcotest.(check bool)
+    "auto resolves to epoll or poll" true
+    (name = "epoll" || name = "poll")
+
+(* register / modify / deregister lifecycle on each backend. *)
+let test_lifecycle backend () =
+  with_loop backend @@ fun t ->
+  with_pipe @@ fun r w ->
+  Alcotest.(check bool) "not registered" false (Evloop.registered t r);
+  Evloop.add t r ~read:true ~write:false;
+  Alcotest.(check bool) "registered" true (Evloop.registered t r);
+  (match Evloop.add t r ~read:true ~write:false with
+  | () -> Alcotest.fail "double add accepted"
+  | exception Invalid_argument _ -> ());
+  (* Nothing ready yet: a zero-timeout wait returns no read events for
+     the empty pipe. *)
+  Alcotest.(check (list int))
+    "idle pipe not readable" []
+    (List.map Evloop.fd_int (ready_fds (Evloop.wait t ~timeout_s:0.)));
+  let n = Unix.write_substring w "x" 0 1 in
+  Alcotest.(check int) "wrote byte" 1 n;
+  Alcotest.(check (list int))
+    "readable after write"
+    [ Evloop.fd_int r ]
+    (List.map Evloop.fd_int (ready_fds (Evloop.wait t ~timeout_s:1.0)));
+  (* Drop read interest: same kernel state, no events. *)
+  Evloop.modify t r ~read:false ~write:false;
+  Alcotest.(check (list int))
+    "no events with empty interest" []
+    (List.map Evloop.fd_int (ready_fds (Evloop.wait t ~timeout_s:0.)));
+  Evloop.modify t r ~read:true ~write:false;
+  Evloop.remove t r;
+  Alcotest.(check bool) "deregistered" false (Evloop.registered t r);
+  Alcotest.(check (list int))
+    "no events after remove" []
+    (List.map Evloop.fd_int (ready_fds (Evloop.wait t ~timeout_s:0.)));
+  (match Evloop.modify t r ~read:true ~write:false with
+  | () -> Alcotest.fail "modify after remove accepted"
+  | exception Invalid_argument _ -> ());
+  (* Removing an unknown fd is a no-op (close paths may race). *)
+  Evloop.remove t r
+
+(* Level-triggered semantics: an fd stays readable across waits until
+   drained, then stops reporting. *)
+let test_level_triggered backend () =
+  with_loop backend @@ fun t ->
+  with_pipe @@ fun r w ->
+  Evloop.add t r ~read:true ~write:false;
+  ignore (Unix.write_substring w "ab" 0 2);
+  let readable () =
+    List.exists (fun e -> e.Evloop.ev_fd = r && e.Evloop.ev_read)
+      (Evloop.wait t ~timeout_s:1.0)
+  in
+  Alcotest.(check bool) "readable (1st wait)" true (readable ());
+  Alcotest.(check bool) "still readable (2nd wait, undrained)" true
+    (readable ());
+  let buf = Bytes.create 1 in
+  ignore (Unix.read r buf 0 1);
+  Alcotest.(check bool) "still readable (partial drain)" true (readable ());
+  ignore (Unix.read r buf 0 1);
+  let quiet =
+    List.exists (fun e -> e.Evloop.ev_fd = r && e.Evloop.ev_read)
+      (Evloop.wait t ~timeout_s:0.)
+  in
+  Alcotest.(check bool) "quiet once drained" false quiet;
+  Evloop.remove t r
+
+(* Write readiness: a fresh pipe's write end is writable; HUP on the
+   read end surfaces to the writer as ready (so a flush sees EPIPE). *)
+let test_write_readiness backend () =
+  with_loop backend @@ fun t ->
+  with_pipe @@ fun r w ->
+  ignore r;
+  Evloop.add t w ~read:false ~write:true;
+  let writable =
+    List.exists (fun e -> e.Evloop.ev_fd = w && e.Evloop.ev_write)
+      (Evloop.wait t ~timeout_s:1.0)
+  in
+  Alcotest.(check bool) "fresh pipe writable" true writable;
+  Evloop.remove t w
+
+(* dup2 the pipe's read end above FD_SETSIZE: epoll/poll must watch
+   it; select must refuse it with a clear error at [add] time. *)
+let test_beyond_fd_setsize backend () =
+  let limit = Evloop.raise_fd_limit 4096 in
+  if limit < 2048 then
+    Alcotest.skip ()
+  else
+    with_loop backend @@ fun t ->
+    with_pipe @@ fun r w ->
+    let high = 2000 in
+    let high_fd : Unix.file_descr = Obj.magic high in
+    Unix.dup2 r high_fd;
+    Fun.protect
+      ~finally:(fun () ->
+        try Unix.close high_fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Alcotest.(check int) "fd really is beyond FD_SETSIZE" high
+          (Evloop.fd_int high_fd);
+        match backend with
+        | Evloop.Select -> (
+            match Evloop.add t high_fd ~read:true ~write:false with
+            | () -> Alcotest.fail "select accepted fd >= FD_SETSIZE"
+            | exception Invalid_argument msg ->
+                Alcotest.(check bool)
+                  "error names FD_SETSIZE" true
+                  (Astring_contains.contains msg "FD_SETSIZE"))
+        | _ ->
+            Evloop.add t high_fd ~read:true ~write:false;
+            ignore (Unix.write_substring w "x" 0 1);
+            let seen =
+              List.exists
+                (fun e -> Evloop.fd_int e.Evloop.ev_fd = high && e.Evloop.ev_read)
+                (Evloop.wait t ~timeout_s:1.0)
+            in
+            Alcotest.(check bool) "high fd reported readable" true seen;
+            Evloop.remove t high_fd)
+
+let backend_cases () =
+  List.concat_map
+    (fun b ->
+      let n = Evloop.backend_to_string b in
+      [
+        Alcotest.test_case (n ^ ": lifecycle") `Quick (test_lifecycle b);
+        Alcotest.test_case (n ^ ": level-triggered") `Quick
+          (test_level_triggered b);
+        Alcotest.test_case (n ^ ": write readiness") `Quick
+          (test_write_readiness b);
+        Alcotest.test_case (n ^ ": fd beyond FD_SETSIZE") `Quick
+          (test_beyond_fd_setsize b);
+      ])
+    (available_backends ())
+
+(* ---- Off-thread epoch isolation (daemon level) ---- *)
+
+let cli () =
+  let here = Filename.dirname Sys.executable_name in
+  let path =
+    Filename.concat (Filename.dirname here)
+      (Filename.concat "bin" "index_merge_cli.exe")
+  in
+  if not (Sys.file_exists path) then
+    Alcotest.fail ("CLI binary not found at " ^ path);
+  path
+
+let start_daemon ~args ~env =
+  let out_read, out_write = Unix.pipe ~cloexec:false () in
+  let argv =
+    [ cli (); "serve"; "-d"; "synthetic1"; "--port"; "0" ] @ args
+  in
+  let pid =
+    Unix.create_process_env (cli ()) (Array.of_list argv)
+      (Array.append (Unix.environment ()) (Array.of_list env))
+      Unix.stdin out_write Unix.stderr
+  in
+  Unix.close out_write;
+  let stdout = Unix.in_channel_of_descr out_read in
+  let banner = input_line stdout in
+  let port =
+    try
+      Scanf.sscanf
+        (List.find
+           (fun s -> String.length s > 10 && String.sub s 0 10 = "127.0.0.1:")
+           (String.split_on_char ' ' banner))
+        "127.0.0.1:%d" (fun p -> p)
+    with _ -> Alcotest.fail ("no port in banner: " ^ banner)
+  in
+  (pid, port)
+
+let connect port =
+  Unix.open_connection
+    (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port))
+
+let request (ic, oc) line =
+  output_string oc (line ^ "\n");
+  flush oc;
+  input_line ic
+
+let expect_prefix what prefix resp =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %S starts with %S" what resp prefix)
+    true
+    (String.length resp >= String.length prefix
+    && String.sub resp 0 (String.length prefix) = prefix)
+
+(* Tenant B forces an epoch artificially slowed to 2 s; while it is in
+   flight on the worker domain, tenant A's STMT round-trip must stay
+   fast — the dispatch thread is no longer blocked by tuning. *)
+let test_epoch_isolation () =
+  let delay_s = 2.0 in
+  let pid, port =
+    start_daemon ~args:[] ~env:[ "IM_EPOCH_DELAY_MS=2000" ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+    (fun () ->
+      let cb = connect port in
+      expect_prefix "create tenant B" "OK tenant other created"
+        (request cb "TENANT CREATE other synthetic1");
+      expect_prefix "bind tenant B" "OK tenant other"
+        (request cb "TENANT USE other");
+      expect_prefix "seed B's window" "OK observed"
+        (request cb "STMT SELECT t0_c0 FROM t0 WHERE t0_c0 = 1");
+      let ca = connect port in
+      expect_prefix "warm tenant A" "OK observed"
+        (request ca "STMT SELECT t0_c1 FROM t0 WHERE t0_c1 = 1");
+      (* Kick off B's slow epoch without waiting for the reply. *)
+      let _, ocb = cb in
+      let t_epoch = Unix.gettimeofday () in
+      output_string ocb "EPOCH\n";
+      flush ocb;
+      Unix.sleepf 0.1;
+      (* A's statements answer while B's epoch is in flight. *)
+      let worst = ref 0. in
+      for i = 2 to 11 do
+        let t0 = Unix.gettimeofday () in
+        expect_prefix "A stmt during B's epoch" "OK observed"
+          (request ca
+             (Printf.sprintf "STMT SELECT t0_c1 FROM t0 WHERE t0_c1 = %d" i));
+        worst := Float.max !worst (Unix.gettimeofday () -. t0)
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "A's worst STMT round-trip %.3fs stays well under B's %.1fs epoch"
+           !worst delay_s)
+        true
+        (!worst < delay_s /. 2.);
+      (* CONFIG answers the last committed configuration mid-flight. *)
+      expect_prefix "A config mid-flight" "OK" (request ca "CONFIG 0");
+      (* B's reply arrives once the epoch lands, delay included. *)
+      let icb, _ = cb in
+      expect_prefix "B's epoch reply" "OK epoch" (input_line icb);
+      let b_elapsed = Unix.gettimeofday () -. t_epoch in
+      Alcotest.(check bool)
+        (Printf.sprintf "B's epoch took the injected delay (%.2fs)" b_elapsed)
+        true (b_elapsed >= delay_s *. 0.9);
+      expect_prefix "quit A" "OK bye" (request ca "QUIT");
+      expect_prefix "quit B" "OK bye" (request cb "QUIT"))
+
+let () =
+  Alcotest.run "evloop"
+    [
+      ( "backends",
+        Alcotest.test_case "names and auto resolution" `Quick
+          test_backend_names
+        :: backend_cases () );
+      ( "daemon",
+        [
+          Alcotest.test_case "slow epoch does not stall other tenants" `Slow
+            test_epoch_isolation;
+        ] );
+    ]

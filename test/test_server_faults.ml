@@ -33,12 +33,13 @@ type daemon = {
   port : int;
 }
 
-let start_daemon ?(check_every = 1_000_000) ?(args = []) ?(env = []) () =
+let start_daemon ?(check_every = 1_000_000) ?(read_timeout = "30")
+    ?(args = []) ?(env = []) () =
   let out_read, out_write = Unix.pipe ~cloexec:false () in
   let argv =
     [
       cli (); "serve"; "-d"; "synthetic1"; "--port"; "0"; "--check-every";
-      string_of_int check_every; "--read-timeout"; "30";
+      string_of_int check_every; "--read-timeout"; read_timeout;
     ]
     @ args
   in
@@ -324,6 +325,44 @@ let test_oversized_line () =
       expect_prefix "stats after abuse" "OK " (request c2 "STATS");
       expect_prefix "quit" "OK bye" (request c2 "QUIT"))
 
+let test_reap_spares_inflight_epoch () =
+  (* A connection waiting on an off-thread epoch is idle through no
+     fault of its own: the reaper must not collect it while the result
+     is pending delivery. Injected delay (3 s) far exceeds the read
+     timeout (1 s); without the in-flight exemption the connection is
+     reaped around the 1 s mark and the reply is lost. *)
+  let d =
+    start_daemon ~read_timeout:"1" ~env:[ "IM_EPOCH_DELAY_MS=3000" ] ()
+  in
+  Fun.protect
+    ~finally:(fun () -> stop_daemon d)
+    (fun () ->
+      let c = connect d.port in
+      expect_prefix "seed stmt" "OK observed"
+        (request c "STMT SELECT t0_c0 FROM t0 WHERE t0_c0 = 1");
+      let t0 = Unix.gettimeofday () in
+      let reply = request c "EPOCH" in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      expect_prefix "epoch survives reap window" "OK epoch" reply;
+      Alcotest.(check bool)
+        (Printf.sprintf "epoch ran with the injected delay (%.2fs)" elapsed)
+        true (elapsed >= 2.0);
+      (* The same connection is still usable after delivery... *)
+      expect_prefix "stmt after epoch" "OK observed"
+        (request c "STMT SELECT t0_c1 FROM t0 WHERE t0_c1 = 2");
+      (* ...and the reaper itself still works: an idle bystander that
+         is owed nothing dies at the timeout. *)
+      let idle = connect d.port in
+      Unix.sleepf 2.0;
+      let c2 = connect d.port in
+      let m = read_metrics c2 in
+      Alcotest.(check bool) "idle bystander reaped" true
+        (metric m "server_connections_reaped_total" >= 1.);
+      Alcotest.(check bool) "epoch was offloaded" true
+        (metric m "server_epoch_offloaded_total" >= 1.);
+      (try Unix.close idle.fd with Unix.Unix_error _ -> ());
+      expect_prefix "quit" "OK bye" (request c2 "QUIT"))
+
 let () =
   (* Writes to dead sockets must surface as EPIPE, not kill this test
      process. *)
@@ -342,5 +381,7 @@ let () =
           Alcotest.test_case "overload reject best-effort" `Slow
             test_overload_reject_best_effort;
           Alcotest.test_case "oversized line" `Slow test_oversized_line;
+          Alcotest.test_case "reap spares in-flight epoch" `Slow
+            test_reap_spares_inflight_epoch;
         ] );
     ]
