@@ -3,7 +3,7 @@
 
    Usage: dune exec bench/main.exe [-- experiment ...]
    where experiment is one of e0a e0b fig5 fig6 fig7 fig8 ablate costval
-   micro online costsvc par derive scale serve
+   micro online costsvc par derive scale mine serve
    (default: everything). *)
 
 let experiments =
@@ -22,6 +22,7 @@ let experiments =
     ("par", Exp_par.run);
     ("derive", Exp_derive.run);
     ("scale", Exp_scale.run);
+    ("mine", Exp_mine.run);
     ("serve", Exp_serve.run);
   ]
 

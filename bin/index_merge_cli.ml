@@ -150,6 +150,18 @@ let compress_arg =
   in
   Arg.(value & opt (some float) None & info [ "compress" ] ~docv:"EPS" ~doc)
 
+let prune_support_arg =
+  let doc =
+    "Prune merge candidates against the workload's frequent column sets: \
+     mine per-table column-set supports from the statement stream and \
+     keep only merge pairs whose merged column set carries at least \
+     fraction $(docv) of the workload mass (plus the always-kept \
+     containment and no-evidence survivors). 0 or unset disables pruning \
+     and is bit-identical to not passing the flag."
+  in
+  Arg.(
+    value & opt (some float) None & info [ "prune-support" ] ~docv:"S" ~doc)
+
 let apply_domains = function
   | None -> ()
   | Some n when n >= 0 -> Im_par.Pool.set_default_domains n
@@ -249,8 +261,8 @@ let info_cmd =
 
 (* ---- tune ---- *)
 
-let run_tune db_name sf seed wl_kind n_queries file compress schema_file
-    data_dir domains no_derive metrics =
+let run_tune db_name sf seed wl_kind n_queries file compress prune_support
+    schema_file data_dir domains no_derive metrics =
   apply_domains domains;
   let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
   let workload = or_die (build_workload ?file db wl_kind n_queries seed) in
@@ -262,17 +274,34 @@ let run_tune db_name sf seed wl_kind n_queries file compress schema_file
   let svc =
     Im_costsvc.Service.create ~shards ~derive:(not no_derive) db
   in
+  let miner =
+    match prune_support with
+    | Some s when s > 0. -> Some (Im_mine.Mine.create ())
+    | _ -> None
+  in
   let workload =
     match compress with
-    | None -> workload
+    | None ->
+      Option.iter (fun m -> Im_mine.Mine.observe_workload m workload) miner;
+      workload
     | Some eps ->
-      let w, st = Im_scale.Scale.compress_workload ~eps svc workload in
+      (* The miner rides the compactor's admission stream: bucket
+         leaders weighted by folded frequency, so the frontier reflects
+         the compressed workload the wizard actually tunes. *)
+      let w, st =
+        Im_scale.Scale.compress_workload ?mine:miner ~eps svc workload
+      in
       Printf.printf
         "compressed %d -> %d statements (%.1fx, bound eps %.4g of budget %g)\n"
         st.Im_scale.Scale.st_statements st.Im_scale.Scale.st_buckets
         (Im_scale.Scale.fold_ratio st)
         st.Im_scale.Scale.st_eps_bound st.Im_scale.Scale.st_eps_budget;
       w
+  in
+  let prune =
+    match (miner, prune_support) with
+    | Some m, Some s -> Some (Im_mine.Mine.frontier m ~support:s)
+    | _ -> None
   in
   (* Tune every query on the pool, then print in workload order. *)
   let tuned =
@@ -283,6 +312,29 @@ let run_tune db_name sf seed wl_kind n_queries file compress schema_file
             ~query_cost:(Im_costsvc.Service.query_cost svc)
             db q ))
       (Workload.queries workload)
+  in
+  (* Frontier filter: drop recommendations whose column set has workload
+     evidence but falls below the support threshold — infrequent shapes
+     the merge phase would not keep either. *)
+  let tuned =
+    match prune with
+    | None -> tuned
+    | Some fr ->
+      let before = List.fold_left (fun n (_, r) -> n + List.length r) 0 tuned in
+      let tuned =
+        List.map
+          (fun (q, recommended) ->
+            (q, List.filter (Im_mine.Mine.keep_index fr) recommended))
+          tuned
+      in
+      let after = List.fold_left (fun n (_, r) -> n + List.length r) 0 tuned in
+      let st = Im_mine.Mine.frontier_stats fr in
+      Printf.printf
+        "frontier pruning: dropped %d of %d recommendations (support %g, %d \
+         itemsets, %d supported tables)\n"
+        (before - after) before st.Im_mine.Mine.fs_support
+        st.Im_mine.Mine.fs_itemsets st.Im_mine.Mine.fs_supported_tables;
+      tuned
   in
   List.iter
     (fun (q, recommended) ->
@@ -302,14 +354,14 @@ let tune_cmd =
     (Cmd.info "tune" ~doc:"Per-query index recommendations.")
     Term.(
       const run_tune $ db_arg $ sf_arg $ seed_arg $ workload_arg $ queries_arg
-      $ workload_file_arg $ compress_arg $ schema_arg $ data_arg $ domains_arg
-      $ no_derive_arg $ metrics_arg)
+      $ workload_file_arg $ compress_arg $ prune_support_arg $ schema_arg
+      $ data_arg $ domains_arg $ no_derive_arg $ metrics_arg)
 
 (* ---- merge ---- *)
 
 let run_merge db_name sf seed wl_kind n_queries n_initial constraint_ cost_model
-    merge_pair strategy file updates compress schema_file data_dir domains
-    no_derive metrics =
+    merge_pair strategy file updates compress prune_support schema_file data_dir
+    domains no_derive metrics =
   apply_domains domains;
   let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
   let workload = or_die (build_workload ?file db wl_kind n_queries seed) in
@@ -328,7 +380,8 @@ let run_merge db_name sf seed wl_kind n_queries n_initial constraint_ cost_model
   List.iter (fun ix -> Printf.printf "  %s\n" (Index.to_string ix)) initial;
   let outcome =
     Search.run ~merge_pair ~cost_model ~cost_constraint:constraint_
-      ~derive:(not no_derive) ?compress db workload ~initial strategy
+      ~derive:(not no_derive) ?compress ?prune_support db workload ~initial
+      strategy
   in
   print_newline ();
   print_endline (Im_merging.Report.summary outcome);
@@ -346,7 +399,8 @@ let merge_cmd =
       const run_merge $ db_arg $ sf_arg $ seed_arg $ workload_arg $ queries_arg
       $ initial_arg $ constraint_arg $ cost_model_arg $ merge_pair_arg
       $ strategy_arg $ workload_file_arg $ updates_arg $ compress_arg
-      $ schema_arg $ data_arg $ domains_arg $ no_derive_arg $ metrics_arg)
+      $ prune_support_arg $ schema_arg $ data_arg $ domains_arg $ no_derive_arg
+      $ metrics_arg)
 
 (* ---- explain ---- *)
 
@@ -378,14 +432,14 @@ let budget_arg =
   let doc = "Storage budget for the recommendation, in pages." in
   Arg.(required & opt (some int) None & info [ "b"; "budget" ] ~docv:"PAGES" ~doc)
 
-let run_advise db_name sf seed wl_kind n_queries file compress budget
-    schema_file data_dir domains no_derive metrics =
+let run_advise db_name sf seed wl_kind n_queries file compress prune_support
+    budget schema_file data_dir domains no_derive metrics =
   apply_domains domains;
   let db = or_die (build_database ?schema_file ?data_dir db_name sf seed) in
   let workload = or_die (build_workload ?file db wl_kind n_queries seed) in
   let outcome =
-    Im_advisor.Advisor.advise ~derive:(not no_derive) ?compress db workload
-      ~budget_pages:budget
+    Im_advisor.Advisor.advise ~derive:(not no_derive) ?compress ?prune_support
+      db workload ~budget_pages:budget
   in
   print_endline (Im_advisor.Advisor.summary outcome);
   print_endline "recommended configuration:";
@@ -405,8 +459,9 @@ let advise_cmd =
           (selection with an integrated merging phase).")
     Term.(
       const run_advise $ db_arg $ sf_arg $ seed_arg $ workload_arg
-      $ queries_arg $ workload_file_arg $ compress_arg $ budget_arg
-      $ schema_arg $ data_arg $ domains_arg $ no_derive_arg $ metrics_arg)
+      $ queries_arg $ workload_file_arg $ compress_arg $ prune_support_arg
+      $ budget_arg $ schema_arg $ data_arg $ domains_arg $ no_derive_arg
+      $ metrics_arg)
 
 (* ---- serve ---- *)
 
@@ -483,22 +538,42 @@ let epoch_workers_arg =
 
 let tenant_arg =
   let doc =
-    "Pre-create an extra tenant session at startup: NAME or NAME=DB \
-     (DB one of tpcd/synthetic1/synthetic2, default NAME). Repeatable. \
-     The -d database becomes the default tenant, named after it."
+    "Pre-create an extra tenant session at startup: NAME, NAME=DB, or \
+     NAME[=DB]:WEIGHT (DB one of tpcd/synthetic1/synthetic2, default \
+     NAME; WEIGHT a dispatch-fairness multiplier >= 1, default 1 — a \
+     weight-3 tenant gets three times the per-round command budget). \
+     Repeatable. The -d database becomes the default tenant, named \
+     after it, at weight 1."
   in
-  Arg.(value & opt_all string [] & info [ "tenant" ] ~docv:"NAME[=DB]" ~doc)
+  Arg.(
+    value & opt_all string [] & info [ "tenant" ] ~docv:"NAME[=DB][:WEIGHT]" ~doc)
 
+(* NAME[=DB][:WEIGHT]; the weight suffix is split off first (rightmost
+   ':'), then the db spec. Database names never contain ':', so a colon
+   with a non-numeric tail is a user error, not part of the spec. *)
 let parse_tenant_spec spec =
-  match String.index_opt spec '=' with
-  | None -> (spec, spec)
+  let split_db s =
+    match String.index_opt s '=' with
+    | None -> (s, s)
+    | Some i ->
+      (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  in
+  match String.rindex_opt spec ':' with
+  | None ->
+    let name, dbspec = split_db spec in
+    Ok (name, dbspec, 1)
   | Some i ->
-    ( String.sub spec 0 i,
-      String.sub spec (i + 1) (String.length spec - i - 1) )
+    let tail = String.sub spec (i + 1) (String.length spec - i - 1) in
+    (match int_of_string_opt tail with
+     | Some w when w >= 1 ->
+       let name, dbspec = split_db (String.sub spec 0 i) in
+       Ok (name, dbspec, w)
+     | Some w -> Error (Printf.sprintf "weight must be >= 1, got %d" w)
+     | None -> Error (Printf.sprintf "bad weight %S (expected an integer)" tail))
 
 let run_serve db_name sf seed schema_file data_dir port budget window decay
-    check_every drift_threshold cost_threshold compress read_timeout
-    max_connections max_tenant_connections max_output_bytes
+    check_every drift_threshold cost_threshold compress prune_support
+    read_timeout max_connections max_tenant_connections max_output_bytes
     event_backend epoch_workers tenant_specs domains no_derive metrics =
   apply_domains domains;
   let event_backend =
@@ -519,6 +594,7 @@ let run_serve db_name sf seed schema_file data_dir port budget window decay
         o_div_threshold = drift_threshold;
         o_cost_threshold = cost_threshold;
         o_compress = compress;
+        o_prune_support = prune_support;
       }
     in
     Im_online.Service.create ~options
@@ -537,21 +613,25 @@ let run_serve db_name sf seed schema_file data_dir port budget window decay
     if budget > 0 then budget else max 1 (Database.data_pages db / 2)
   in
   let service = make_service db in
-  let tenants =
-    List.map
-      (fun spec ->
-        let name, dbspec = parse_tenant_spec spec in
+  let tenants, weights =
+    List.fold_left
+      (fun (tenants, weights) spec ->
+        let die msg = or_die (Error (Printf.sprintf "--tenant %s: %s" spec msg)) in
+        let name, dbspec, weight =
+          match parse_tenant_spec spec with Ok v -> v | Error msg -> die msg
+        in
         match factory dbspec with
-        | Ok svc -> (name, svc)
-        | Error msg ->
-          or_die (Error (Printf.sprintf "--tenant %s: %s" spec msg)))
-      tenant_specs
+        | Ok svc ->
+          ( (name, svc) :: tenants,
+            if weight > 1 then (name, weight) :: weights else weights )
+        | Error msg -> die msg)
+      ([], []) (List.rev tenant_specs)
   in
   let server =
     try
       Im_online.Server.create ~port ~read_timeout ~max_connections
         ~max_tenant_connections ~max_output_bytes ~tenant:db_name ~tenants
-        ~factory ~event_backend ~epoch_workers service
+        ~weights ~factory ~event_backend ~epoch_workers service
     with
     | Unix.Unix_error (e, _, _) ->
       or_die (Error (Printf.sprintf "cannot bind port %d: %s" port
@@ -592,7 +672,8 @@ let serve_cmd =
       const run_serve $ db_arg $ sf_arg $ seed_arg $ schema_arg $ data_arg
       $ port_arg $ serve_budget_arg $ window_arg $ decay_arg $ check_every_arg
       $ drift_threshold_arg $ cost_threshold_arg $ compress_arg
-      $ read_timeout_arg $ max_connections_arg $ max_tenant_connections_arg
+      $ prune_support_arg $ read_timeout_arg $ max_connections_arg
+      $ max_tenant_connections_arg
       $ max_output_bytes_arg $ event_backend_arg $ epoch_workers_arg
       $ tenant_arg $ domains_arg $ no_derive_arg $ metrics_arg)
 

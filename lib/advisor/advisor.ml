@@ -21,10 +21,11 @@ type outcome = {
   a_final_cost : float;
   a_optimizer_calls : int;
   a_compression : Im_scale.Scale.stats option;
+  a_pruning : Im_mine.Mine.stats option;
 }
 
-let advise ?service ?(relax = 2.0) ?(derive = true) ?compress db workload
-    ~budget_pages =
+let advise ?service ?(relax = 2.0) ?(derive = true) ?compress ?prune
+    ?prune_support db workload ~budget_pages =
   (* One memoizing cost service spans all three phases: configurations
      costed during relaxed selection are cache hits for the dual merge
      and the plain selection. With [derive] (the default) its misses
@@ -42,22 +43,42 @@ let advise ?service ?(relax = 2.0) ?(derive = true) ?compress db workload
   (* With [?compress], every phase tunes and costs the compressed
      workload — one compaction shared by selection, merging and the
      plain-selection comparison. *)
+  (* [?prune_support]: one mining pass covers all three phases —
+     through the compactor at admission time when compressing (the
+     miner then sees Ŵ's masses for free), a single workload stream
+     otherwise. An explicit [?prune] frontier (the online epoch passes
+     its window's) wins over [?prune_support]. *)
+  let miner =
+    match (prune, prune_support) with
+    | None, Some s when s > 0. -> Some (Im_mine.Mine.create ())
+    | _ -> None
+  in
   let workload, compression =
     match compress with
-    | None -> (workload, None)
+    | None ->
+      Option.iter (fun m -> Im_mine.Mine.observe_workload m workload) miner;
+      (workload, None)
     | Some eps ->
-      let w, st = Im_scale.Scale.compress_workload ~eps svc workload in
+      let w, st =
+        Im_scale.Scale.compress_workload ?mine:miner ~eps svc workload
+      in
       (w, Some st)
+  in
+  let prune =
+    match (prune, miner, prune_support) with
+    | (Some _ as p), _, _ -> p
+    | None, Some m, Some s -> Some (Im_mine.Mine.frontier m ~support:s)
+    | None, _, _ -> None
   in
   let relaxed = int_of_float (relax *. float_of_int budget_pages) in
   let selection =
-    Selection.select ~service:svc db workload ~budget_pages:relaxed
+    Selection.select ~service:svc ?prune db workload ~budget_pages:relaxed
   in
   let merged =
-    Dual.run ~service:svc db workload ~initial:selection.Selection.s_config
-      ~budget_pages
+    Dual.run ~service:svc ?prune db workload
+      ~initial:selection.Selection.s_config ~budget_pages
   in
-  let plain = Selection.select ~service:svc db workload ~budget_pages in
+  let plain = Selection.select ~service:svc ?prune db workload ~budget_pages in
   let merged_wins =
     merged.Dual.d_fits
     && merged.Dual.d_final_cost <= plain.Selection.s_final_cost
@@ -92,6 +113,7 @@ let advise ?service ?(relax = 2.0) ?(derive = true) ?compress db workload
     a_final_cost = final_cost;
     a_optimizer_calls = Im_costsvc.Service.opt_calls svc - calls_before;
     a_compression = compression;
+    a_pruning = Option.map Im_mine.Mine.frontier_stats prune;
   }
 
 let final_config o = Merge.config_of_items o.a_final
@@ -117,3 +139,11 @@ let summary o =
        Printf.sprintf "; compressed %d -> %d statements (bound eps %.4g)"
          st.Im_scale.Scale.st_statements st.Im_scale.Scale.st_buckets
          st.Im_scale.Scale.st_eps_bound)
+  ^
+  match o.a_pruning with
+  | None -> ""
+  | Some st ->
+    Printf.sprintf "; pruned %d/%d pair candidates (support %g, %d itemsets)"
+      st.Im_mine.Mine.fs_pruned
+      (st.Im_mine.Mine.fs_pruned + st.Im_mine.Mine.fs_kept)
+      st.Im_mine.Mine.fs_support st.Im_mine.Mine.fs_itemsets

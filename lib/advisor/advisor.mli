@@ -44,6 +44,8 @@ type outcome = {
           do not count. *)
   a_compression : Im_scale.Scale.stats option;
       (** workload-compression stats when [?compress] was given *)
+  a_pruning : Im_mine.Mine.stats option;
+      (** frontier-pruning tallies when pruning was active *)
 }
 
 val advise :
@@ -51,6 +53,8 @@ val advise :
   ?relax:float ->
   ?derive:bool ->
   ?compress:float ->
+  ?prune:Im_mine.Mine.frontier ->
+  ?prune_support:float ->
   Im_catalog.Database.t ->
   Im_workload.Workload.t ->
   budget_pages:int ->
@@ -67,7 +71,18 @@ val advise :
     three phases tune and cost the compressed workload. Reported costs
     refer to it, within the bound carried in [a_compression]; at
     [EPS = 0] only canonically identical statements fold, so the
-    recommendation is bit-identical on duplicate-free workloads. *)
+    recommendation is bit-identical on duplicate-free workloads.
+
+    [?prune_support] (off by default; the CLI's [--prune-support S])
+    mines the workload once — through the compactor at admission time
+    when [?compress] is also given — and threads the resulting frontier
+    through {e all three} phases: both selections filter their
+    candidate pools ({!Im_mine.Mine.keep_index}) and the dual merge
+    prunes its pair enumeration ({!Im_mine.Mine.keep_pair}).
+    [S <= 0] disables pruning and is bit-identical to today's advisor.
+    [?prune] supplies a ready-made frontier instead (the online epoch
+    re-mines its window and passes it here); it wins over
+    [?prune_support]. Tallies land in [a_pruning]. *)
 
 val final_config : outcome -> Im_catalog.Config.t
 

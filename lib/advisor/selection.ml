@@ -14,8 +14,8 @@ type outcome = {
   s_optimizer_calls : int;
 }
 
-let select ?service ?(max_indexes = 40) ?(min_benefit = 0.002) db workload
-    ~budget_pages =
+let select ?service ?(max_indexes = 40) ?(min_benefit = 0.002) ?prune db
+    workload ~budget_pages =
   let evaluator =
     Cost_eval.create ?service Cost_eval.Optimizer_estimated db workload
   in
@@ -27,6 +27,15 @@ let select ?service ?(max_indexes = 40) ?(min_benefit = 0.002) db workload
       (fun q -> Im_tuning.Candidates.for_query schema q)
       (Workload.queries workload)
     |> Im_util.List_ext.dedup_keep_order Index.equal
+  in
+  (* Frontier pruning (Aouiche-style candidate generation): only
+     candidates whose column set the workload supports — or that the
+     workload never touched at all — enter the knapsack greedy, so the
+     per-candidate costing loop shrinks with the frontier. *)
+  let candidates =
+    match prune with
+    | None -> candidates
+    | Some fr -> List.filter (Im_mine.Mine.keep_index fr) candidates
   in
   let base_cost = Cost_eval.workload_cost evaluator Config.empty in
   let pages config = Database.config_storage_pages db config in

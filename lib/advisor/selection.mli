@@ -20,6 +20,7 @@ val select :
   ?service:Im_costsvc.Service.t ->
   ?max_indexes:int ->
   ?min_benefit:float ->
+  ?prune:Im_mine.Mine.frontier ->
   Im_catalog.Database.t ->
   Im_workload.Workload.t ->
   budget_pages:int ->
@@ -28,4 +29,7 @@ val select :
     workload cost by less than 0.2 % relative. [?service] shares the
     memoizing cost service across phases (the advisor's relaxed and
     plain selections then re-cost only configurations not seen
-    before). *)
+    before). [?prune] filters the candidate pool through a
+    frequent-itemset frontier ({!Im_mine.Mine.keep_index}): only
+    candidates the workload's support threshold justifies — or that it
+    never touched at all — are costed. *)

@@ -25,7 +25,7 @@ let items_pages db items =
 
 let run ?service ?(merge_pair = Merge_pair.Cost_based)
     ?(cost_model = Cost_eval.Optimizer_estimated) ?(candidates_per_round = 6)
-    db workload ~initial ~budget_pages =
+    ?prune db workload ~initial ~budget_pages =
   let evaluator = Cost_eval.create ?service cost_model db workload in
   if not (Cost_eval.is_numeric evaluator) then
     invalid_arg "Dual.run: a numeric cost model is required";
@@ -56,6 +56,19 @@ let run ?service ?(merge_pair = Merge_pair.Cost_based)
                   a.Merge.it_index.Index.idx_table
                   = b.Merge.it_index.Index.idx_table)
                 (List_ext.pairs items)
+            in
+            (* Frontier pruning, same contract as Search.greedy: only
+               workload-justified merges (or valve-protected ones) are
+               scored and shortlisted. *)
+            let pairs =
+              match prune with
+              | None -> pairs
+              | Some fr ->
+                List.filter
+                  (fun ((a : Merge.item), (b : Merge.item)) ->
+                    Im_mine.Mine.keep_pair fr a.Merge.it_index
+                      b.Merge.it_index)
+                  pairs
             in
             let current_config = Merge.config_of_items items in
             let shrinking =
@@ -101,7 +114,15 @@ let run ?service ?(merge_pair = Merge_pair.Cost_based)
                   shortlisted
               in
               (match List_ext.min_by (fun (_, c) -> c) scored with
-               | Some (best, _) -> loop best (iterations + 1)
+               | Some (best, _) ->
+                 (* Same contract as Search.greedy: the committed merge
+                    product (head of [best]) is blessed so later rounds
+                    can chain on it. *)
+                 (match (prune, best) with
+                  | Some fr, it :: _ ->
+                    Im_mine.Mine.bless fr it.Merge.it_index
+                  | _ -> ());
+                 loop best (iterations + 1)
                | None -> (items, iterations + 1))
           end
         in

@@ -33,6 +33,7 @@ val run :
   ?merge_pair:Merge_pair.procedure ->
   ?cost_model:Cost_eval.model ->
   ?candidates_per_round:int ->
+  ?prune:Im_mine.Mine.frontier ->
   Im_catalog.Database.t ->
   Im_workload.Workload.t ->
   initial:Im_catalog.Config.t ->
@@ -44,4 +45,8 @@ val run :
     phases (the advisor threads one through selection and merging);
     [d_optimizer_calls] is the per-run delta either way. If no sequence
     of merges fits the budget, the outcome has [d_fits = false] and
-    carries the smallest configuration reached. *)
+    carries the smallest configuration reached.
+
+    [?prune] applies the same frequent-itemset frontier as
+    {!Search.run}: only same-table pairs {!Im_mine.Mine.keep_pair}
+    accepts are scored and shortlisted. *)

@@ -6,6 +6,7 @@ module List_ext = Im_util.List_ext
 module Service = Im_costsvc.Service
 module Score_table = Im_costsvc.Score_table
 module Pool = Im_par.Pool
+module Mine = Im_mine.Mine
 
 type strategy = Greedy | Exhaustive_search of { config_limit : int }
 
@@ -37,6 +38,7 @@ type outcome = {
   o_elapsed_s : float;
   o_truncated : bool;
   o_compression : Im_scale.Scale.stats option;
+  o_pruning : Im_mine.Mine.stats option;
 }
 
 let storage_reduction o =
@@ -129,8 +131,8 @@ let find_first_ordered pool ~batcher accept n =
 let greedy_score_batcher = Pool.Batcher.create ~name:"greedy_score" ()
 let greedy_accept_batcher = Pool.Batcher.create ~name:"greedy_accept" ()
 
-let greedy ~pool ~procedure ~evaluator ~service ~seek ~bound db workload
-    initial =
+let greedy ~pool ~prune ~procedure ~evaluator ~service ~seek ~bound db
+    workload initial =
   let index_pages = page_memo db in
   let merge_indexes current i1 i2 =
     Merge_pair.merge procedure ~db ~workload ~seek ?service ~current i1 i2
@@ -148,6 +150,20 @@ let greedy ~pool ~procedure ~evaluator ~service ~seek ~bound db workload
         (fun ((a : Merge.item), (b : Merge.item)) ->
           a.Merge.it_index.Index.idx_table = b.Merge.it_index.Index.idx_table)
         (List_ext.pairs items)
+    in
+    (* Frontier pruning runs before the pooled fan-out, on the calling
+       domain: only pairs the workload's frequent itemsets can justify
+       (or that the correctness valve protects) reach the batched
+       scoring below. With [prune = None] the candidate list — and
+       therefore the whole search — is bit-identical to today's. *)
+    let same_table_pairs =
+      match prune with
+      | None -> same_table_pairs
+      | Some fr ->
+        List.filter
+          (fun ((a : Merge.item), (b : Merge.item)) ->
+            Mine.keep_pair fr a.Merge.it_index b.Merge.it_index)
+          same_table_pairs
     in
     if same_table_pairs = [] then (items, iterations)
     else begin
@@ -214,7 +230,15 @@ let greedy ~pool ~procedure ~evaluator ~service ~seek ~bound db workload
       in
       match accepted with
       | None -> (items, iterations + 1)
-      | Some (k, _) -> loop successors.(order.(k)) (iterations + 1)
+      | Some (k, _) ->
+        let i = order.(k) in
+        (* The committed merge carries its justification into later
+           rounds: bless its product so chained merges involving it are
+           judged against the configuration the search actually built. *)
+        Option.iter
+          (fun fr -> Mine.bless fr (Option.get merged.(i)).Merge.it_index)
+          prune;
+        loop successors.(i) (iterations + 1)
     end
   in
   loop (Merge.items_of_config initial) 0
@@ -283,8 +307,8 @@ let exhaustive_score_batcher = Pool.Batcher.create ~name:"exhaustive_score" ()
 let exhaustive_accept_batcher =
   Pool.Batcher.create ~name:"exhaustive_accept" ()
 
-let exhaustive ~pool ~procedure ~evaluator ~service ~seek ~bound ~config_limit
-    db workload initial =
+let exhaustive ~pool ~prune ~procedure ~evaluator ~service ~seek ~bound
+    ~config_limit db workload initial =
   let numeric = Cost_eval.is_numeric evaluator in
   let index_pages = page_memo db in
   let block_batcher = exhaustive_block_batcher in
@@ -297,6 +321,20 @@ let exhaustive ~pool ~procedure ~evaluator ~service ~seek ~bound ~config_limit
       (fun (_tbl, indexes) ->
         let partitions =
           Im_util.Combin.set_partitions ~limit:config_limit indexes
+        in
+        (* Frontier pruning, before the pooled merge fan-out: drop any
+           partition with a multi-index block the workload's frequent
+           itemsets cannot justify (the valve and the subset-absorbing
+           rule in [Mine.keep_block] still protect evidence-free and
+           containment merges). Singleton-only partitions always
+           survive, so the initial configuration stays enumerable. *)
+        let partitions =
+          match prune with
+          | None -> partitions
+          | Some fr ->
+            List.filter
+              (List.for_all (fun block -> Mine.keep_block fr block))
+              partitions
         in
         (* Each partition yields one option per combination of its
            blocks' candidate merge orders. Partitions are independent
@@ -368,7 +406,8 @@ let exhaustive ~pool ~procedure ~evaluator ~service ~seek ~bound ~config_limit
 
 let run ?service ?pool ?(merge_pair = Merge_pair.Cost_based)
     ?(cost_model = Cost_eval.Optimizer_estimated) ?(cost_constraint = 0.10)
-    ?(derive = true) ?compress db workload ~initial strategy =
+    ?(derive = true) ?compress ?prune ?prune_support db workload ~initial
+    strategy =
   let pool = match pool with Some p -> p | None -> Pool.default () in
   (* A private service gets one lock stripe per evaluating domain (×4
      so same-shard collisions are rare); a shared service keeps its own
@@ -385,12 +424,33 @@ let run ?service ?pool ?(merge_pair = Merge_pair.Cost_based)
      flows through the service's deriver) and the search costs the
      compressed workload from here on. At ε = 0 only canonically
      identical statements fold. *)
+  (* [--prune-support S]: mine the workload's frequent itemsets before
+     the search proper. Compressed runs feed the miner through the
+     compactor at admission time (mining Ŵ for free); uncompressed runs
+     stream the workload once. An explicit [?prune] frontier wins over
+     [?prune_support]; S <= 0 disables pruning entirely — the search is
+     then bit-identical to today's. *)
+  let miner =
+    match (prune, prune_support) with
+    | None, Some s when s > 0. -> Some (Mine.create ())
+    | _ -> None
+  in
   let workload, compression =
     match compress with
-    | None -> (workload, None)
+    | None ->
+      Option.iter (fun m -> Mine.observe_workload m workload) miner;
+      (workload, None)
     | Some eps ->
-      let w, st = Im_scale.Scale.compress_workload ~eps svc workload in
+      let w, st =
+        Im_scale.Scale.compress_workload ?mine:miner ~eps svc workload
+      in
       (w, Some st)
+  in
+  let prune =
+    match (prune, miner, prune_support) with
+    | (Some _ as p), _, _ -> p
+    | None, Some m, Some s -> Some (Mine.frontier m ~support:s)
+    | None, _, _ -> None
   in
   let evaluator =
     match compression with
@@ -422,12 +482,12 @@ let run ?service ?pool ?(merge_pair = Merge_pair.Cost_based)
         match strategy with
         | Greedy ->
           let items, iterations =
-            greedy ~pool ~procedure:merge_pair ~evaluator
+            greedy ~pool ~prune ~procedure:merge_pair ~evaluator
               ~service:pair_service ~seek ~bound db workload initial
           in
           (items, iterations, false)
         | Exhaustive_search { config_limit } ->
-          exhaustive ~pool ~procedure:merge_pair ~evaluator
+          exhaustive ~pool ~prune ~procedure:merge_pair ~evaluator
             ~service:pair_service ~seek ~bound ~config_limit db workload
             initial)
   in
@@ -470,4 +530,5 @@ let run ?service ?pool ?(merge_pair = Merge_pair.Cost_based)
     o_elapsed_s = elapsed;
     o_truncated = truncated;
     o_compression = compression;
+    o_pruning = Option.map Mine.frontier_stats prune;
   }

@@ -42,6 +42,8 @@ type outcome = {
   o_truncated : bool;  (** exhaustive enumeration hit [config_limit] *)
   o_compression : Im_scale.Scale.stats option;
       (** workload-compression stats when [?compress] was given *)
+  o_pruning : Im_mine.Mine.stats option;
+      (** frontier-pruning tallies when pruning was active *)
 }
 
 val storage_reduction : outcome -> float
@@ -65,6 +67,8 @@ val run :
   ?cost_constraint:float ->
   ?derive:bool ->
   ?compress:float ->
+  ?prune:Im_mine.Mine.frontier ->
+  ?prune_support:float ->
   Im_catalog.Database.t ->
   Im_workload.Workload.t ->
   initial:Im_catalog.Config.t ->
@@ -106,4 +110,19 @@ val run :
     it, within the reported bound ([o_compression]) of the uncompressed
     figures. At [EPS = 0] only canonically identical statements fold,
     so the merged configuration is bit-identical to the uncompressed
-    search on duplicate-free workloads. *)
+    search on duplicate-free workloads.
+
+    [?prune_support] (off by default; the CLI's [--prune-support S])
+    mines the workload's frequent (table, column-set) itemsets before
+    the search and restricts MergePair enumeration — greedy same-table
+    pairs and exhaustive partition blocks alike, ahead of the batched
+    scoring fills — to merges whose merged column set has relative
+    support at least [S], plus the merges {!Im_mine.Mine.keep_block}'s
+    correctness valve protects (all parents evidence-free, or the union
+    collapsing into one parent). [S <= 0] disables pruning and is
+    bit-identical to today's search at any domain count. Compressed
+    runs ([?compress]) feed the miner through the compactor at
+    admission time, so they mine Ŵ for free. [?prune] supplies a
+    ready-made frontier instead (the online epoch path re-mines its
+    window once and shares the frontier across phases); it wins over
+    [?prune_support]. Pruning tallies land in [o_pruning]. *)

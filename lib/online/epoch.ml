@@ -54,6 +54,7 @@ type outcome = {
   e_opt_calls : int;
   e_elapsed_s : float;
   e_scale : Im_scale.Scale.stats option;
+  e_mine : Im_mine.Mine.stats option;
 }
 
 (* Test/bench hook: IM_EPOCH_DELAY_MS injects a fixed sleep into every
@@ -68,14 +69,28 @@ let injected_delay_s =
         | Some _ | None -> 0.)
     | None -> 0.)
 
-let run ?pool ?compress service ~trigger ~live ~window ~budget_pages
-    ~max_clusters =
+let run ?pool ?compress ?prune_support service ~trigger ~live ~window
+    ~budget_pages ~max_clusters =
   if Workload.size window = 0 then invalid_arg "Epoch.run: empty window";
   (let d = Lazy.force injected_delay_s in
    if d > 0. then Unix.sleepf d);
   let db = Im_costsvc.Service.database service in
   let calls_before = Im_costsvc.Service.opt_calls service in
-  let (new_config, tuned, old_cost, new_cost, scale), elapsed =
+  (* Re-mine every epoch: each window gets a fresh miner, so the
+     frontier the advisor prunes with tracks the decayed window masses
+     — a drift-triggered epoch gets a cheap candidate refresh instead
+     of the full quadratic frontier. *)
+  let miner =
+    match prune_support with
+    | Some s when s > 0. -> Some (Im_mine.Mine.create ())
+    | _ -> None
+  in
+  let frontier () =
+    match (miner, prune_support) with
+    | Some m, Some s -> Some (Im_mine.Mine.frontier m ~support:s)
+    | _ -> None
+  in
+  let (new_config, tuned, old_cost, new_cost, scale, mine), elapsed =
     Im_util.Stopwatch.time (fun () ->
         match compress with
         | Some eps ->
@@ -84,17 +99,19 @@ let run ?pool ?compress service ~trigger ~live ~window ~budget_pages
              compressed window, the costings answered from cached
              access-path atoms in a single batched traversal —
              fanned onto the pool ([Derive.Batch] is domain-safe;
-             scores are bit-identical at any domain count). *)
-          let compactor = Im_scale.Scale.create ~eps service in
+             scores are bit-identical at any domain count). The miner
+             rides the same stream at admission time. *)
+          let compactor = Im_scale.Scale.create ~eps ?mine:miner service in
           Im_scale.Scale.observe_workload compactor window;
           let compressed = Im_scale.Scale.snapshot compactor in
+          let prune = frontier () in
           let tuning =
             Workload.top_k_by_cost
               ~cost:(Im_costsvc.Service.query_cost service live)
               ~k:max_clusters compressed
           in
           let outcome =
-            Im_advisor.Advisor.advise ~service db tuning ~budget_pages
+            Im_advisor.Advisor.advise ~service ?prune db tuning ~budget_pages
           in
           let new_config = Im_advisor.Advisor.final_config outcome in
           let costs =
@@ -104,10 +121,13 @@ let run ?pool ?compress service ~trigger ~live ~window ~budget_pages
             Workload.size tuning,
             costs.(0),
             costs.(1),
-            Some (Im_scale.Scale.stats compactor) )
+            Some (Im_scale.Scale.stats compactor),
+            Option.map Im_mine.Mine.frontier_stats prune )
         | None ->
           (* Exact-signature dedup, then spend the cluster budget on the
              entries costing most under the live configuration. *)
+          Option.iter (fun m -> Im_mine.Mine.observe_workload m window) miner;
+          let prune = frontier () in
           let compressed = Compress.compress window in
           let tuning =
             Workload.top_k_by_cost
@@ -115,7 +135,7 @@ let run ?pool ?compress service ~trigger ~live ~window ~budget_pages
               ~k:max_clusters compressed
           in
           let outcome =
-            Im_advisor.Advisor.advise ~service db tuning ~budget_pages
+            Im_advisor.Advisor.advise ~service ?prune db tuning ~budget_pages
           in
           let new_config = Im_advisor.Advisor.final_config outcome in
           (* Both costings run over the *full* window, through the warm
@@ -129,7 +149,12 @@ let run ?pool ?compress service ~trigger ~live ~window ~budget_pages
           let new_cost =
             Im_costsvc.Service.workload_cost ?pool service new_config window
           in
-          (new_config, Workload.size tuning, old_cost, new_cost, None))
+          ( new_config,
+            Workload.size tuning,
+            old_cost,
+            new_cost,
+            None,
+            Option.map Im_mine.Mine.frontier_stats prune ))
   in
   (match List.assoc_opt trigger m_epoch_metrics with
    | Some (c, h) ->
@@ -150,6 +175,7 @@ let run ?pool ?compress service ~trigger ~live ~window ~budget_pages
     e_opt_calls = Im_costsvc.Service.opt_calls service - calls_before;
     e_elapsed_s = elapsed;
     e_scale = scale;
+    e_mine = mine;
   }
 
 let summary o =
@@ -166,3 +192,11 @@ let summary o =
        Printf.sprintf ", compressed %d -> %d statements (bound eps %.4g)"
          st.Im_scale.Scale.st_statements st.Im_scale.Scale.st_buckets
          st.Im_scale.Scale.st_eps_bound)
+  ^
+  match o.e_mine with
+  | None -> ""
+  | Some st ->
+    Printf.sprintf ", pruned %d/%d pair candidates (support %g)"
+      st.Im_mine.Mine.fs_pruned
+      (st.Im_mine.Mine.fs_pruned + st.Im_mine.Mine.fs_kept)
+      st.Im_mine.Mine.fs_support

@@ -43,11 +43,14 @@ type outcome = {
   e_elapsed_s : float;
   e_scale : Im_scale.Scale.stats option;
       (** compactor stats when [?compress] was given *)
+  e_mine : Im_mine.Mine.stats option;
+      (** frontier-pruning tallies when [?prune_support] was given *)
 }
 
 val run :
   ?pool:Im_par.Pool.t ->
   ?compress:float ->
+  ?prune_support:float ->
   Im_costsvc.Service.t ->
   trigger:trigger ->
   live:Im_catalog.Config.t ->
@@ -69,6 +72,13 @@ val run :
     cached access-path atoms in one batched traversal — fanned onto
     [?pool] too ({!Im_scale.Scale.score}'s flat-table fill; scores
     bit-identical at any domain count). [e_old_cost]/[e_new_cost] then
-    refer to the compressed window, within the bound in [e_scale]. *)
+    refer to the compressed window, within the bound in [e_scale].
+
+    [?prune_support] re-mines the window's frequent itemsets each
+    epoch — through the compactor at admission time when [?compress] is
+    also on — and hands the frontier to the advisor, so a
+    drift-triggered epoch prunes its merge enumeration against the
+    {e current} window masses: a cheap candidate refresh instead of the
+    full quadratic frontier. [S <= 0] is a no-op. *)
 
 val summary : outcome -> string

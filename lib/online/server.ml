@@ -456,9 +456,11 @@ let tenant_list_lines t =
     List.map
       (fun name ->
         let s = Hashtbl.find t.sessions name in
-        Printf.sprintf "%s conns=%d statements=%d epochs=%d" name s.s_conns
+        Printf.sprintf "%s conns=%d statements=%d epochs=%d weight=%d" name
+          s.s_conns
           (Service.statements s.s_service)
-          (List.length (Service.epochs s.s_service)))
+          (List.length (Service.epochs s.s_service))
+          s.s_weight)
       (tenants t)
   in
   String.concat "\n"

@@ -17,7 +17,8 @@
     EPOCH                  force a tuning epoch; OK epoch ... | ERR <why>
     METRICS                OK <n> + n lines from the process metrics
                            registry (stable [Im_obs.Metrics.dump] order)
-    TENANT LIST            OK <n> + n lines "<name> conns= statements= epochs="
+    TENANT LIST            OK <n> + n lines
+                           "<name> conns= statements= epochs= weight="
     TENANT CREATE <n> [db] create a tenant (session built by the factory)
     TENANT USE <n>         bind this connection to tenant <n>
     TENANT DROP <n>        evict tenant <n>; its connections are unbound

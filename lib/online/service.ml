@@ -19,6 +19,7 @@ type options = {
   o_max_clusters : int;
   o_initial_clusters : int;
   o_compress : float option;
+  o_prune_support : float option;
 }
 
 let default_options ~budget_pages =
@@ -35,6 +36,7 @@ let default_options ~budget_pages =
     o_max_clusters = 64;
     o_initial_clusters = 16;
     o_compress = None;
+    o_prune_support = None;
   }
 
 type t = {
@@ -128,8 +130,9 @@ let begin_epoch t trigger =
   let window = Window.to_workload t.window in
   let max_clusters = Budget.current t.budget in
   fun () ->
-    Epoch.run ?pool:t.pool ?compress:t.opts.o_compress t.cache ~trigger ~live
-      ~window ~budget_pages:t.opts.o_budget_pages ~max_clusters
+    Epoch.run ?pool:t.pool ?compress:t.opts.o_compress
+      ?prune_support:t.opts.o_prune_support t.cache ~trigger ~live ~window
+      ~budget_pages:t.opts.o_budget_pages ~max_clusters
 
 let commit_epoch t outcome =
   t.in_flight <- false;
@@ -366,6 +369,13 @@ let stats t =
       scale_row (fun st ->
           Printf.sprintf "%.4g of %g" st.Im_scale.Scale.st_eps_bound
             st.Im_scale.Scale.st_eps_budget) );
+    ( "mine pruned/kept pairs",
+      match List.find_map (fun (o : Epoch.outcome) -> o.Epoch.e_mine) t.epochs
+      with
+      | None -> "-"
+      | Some st ->
+        Printf.sprintf "%d/%d (support %g)" st.Im_mine.Mine.fs_pruned
+          st.Im_mine.Mine.fs_kept st.Im_mine.Mine.fs_support );
     ("cost_evals", i (Im_costsvc.Service.cost_evals t.cache));
     ("opt_calls", i (Im_costsvc.Service.opt_calls t.cache));
     ("cache_hits", i (Im_costsvc.Service.hits t.cache));

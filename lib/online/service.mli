@@ -30,12 +30,16 @@ type options = {
       (** when set, every epoch compresses its window snapshot through
           the {!Im_scale.Scale} compactor at this deviation budget
           before tuning ([--compress EPS] on [serve]) *)
+  o_prune_support : float option;
+      (** when set (> 0), every epoch re-mines its window's frequent
+          itemsets and prunes the advisor's merge enumeration at this
+          relative support ([--prune-support S] on [serve]) *)
 }
 
 val default_options : budget_pages:int -> options
 (** Capacity 48, decay 0.995, cluster threshold 0.25, divergence 0.35,
     cost regression 0.30, check every 32, warmup 24, cluster budget
-    4..64 starting at 16, compression off. *)
+    4..64 starting at 16, compression and frontier pruning off. *)
 
 type t
 

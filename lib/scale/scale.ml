@@ -55,6 +55,11 @@ type t = {
   sc_deriver : Derive.t;
   sc_eps : float;
   sc_jaccard : float;
+  (* Optional frequent-itemset miner fed at admission time: every
+     folded statement's mass lands on its bucket leader's column sets,
+     so mining the stream here equals mining the compressed snapshot Ŵ
+     — for free, O(1) per repeated statement. *)
+  sc_mine : Im_mine.Mine.t option;
   sc_by_sig : (string, bucket) Hashtbl.t;
   sc_by_query : (int, member) Hashtbl.t;
   sc_batches_lock : Mutex.t;
@@ -72,7 +77,7 @@ type t = {
   mutable sc_probe_costs : int;
 }
 
-let create ?(eps = 0.05) ?(jaccard = 0.0) service =
+let create ?(eps = 0.05) ?(jaccard = 0.0) ?mine service =
   {
     sc_service = service;
     sc_deriver =
@@ -81,6 +86,7 @@ let create ?(eps = 0.05) ?(jaccard = 0.0) service =
        | None -> Derive.create (Service.database service));
     sc_eps = Float.max 0. eps;
     sc_jaccard = jaccard;
+    sc_mine = mine;
     sc_by_sig = Hashtbl.create 256;
     sc_by_query = Hashtbl.create 1024;
     sc_batches_lock = Mutex.create ();
@@ -187,6 +193,11 @@ let admits t ~spread ~floor ~freq =
    1: signature interning dominated at ~15 µs/stmt; a repeat statement
    is now one intern + hash lookups). *)
 let fold_into t b ~qid ~freq ~spread ~floor =
+  (* Mine the fold as its leader: the statement's mass lands exactly
+     where the compressed snapshot will carry it. *)
+  Option.iter
+    (fun m -> Im_mine.Mine.observe m ~freq ~qid:b.bu_leader_id b.bu_leader)
+    t.sc_mine;
   t.sc_statements <- t.sc_statements + 1;
   t.sc_mass <- t.sc_mass +. freq;
   t.sc_floor <- t.sc_floor +. (freq *. floor);
@@ -201,6 +212,7 @@ let fold_into t b ~qid ~freq ~spread ~floor =
   end
 
 let create_bucket t ?bucket_sig ~primary ~qid q ~freq ~floor =
+  Option.iter (fun m -> Im_mine.Mine.observe m ~freq ~qid q) t.sc_mine;
   let b =
     {
       bu_leader = q;
@@ -403,8 +415,8 @@ let score ?pool t configs =
            c)
          configs)
 
-let compress_workload ?eps ?jaccard service (w : Workload.t) =
-  let t = create ?eps ?jaccard service in
+let compress_workload ?eps ?jaccard ?mine service (w : Workload.t) =
+  let t = create ?eps ?jaccard ?mine service in
   observe_workload t w;
   let compressed =
     Workload.with_updates (snapshot ~name:w.Workload.name t) w.Workload.updates

@@ -62,14 +62,19 @@ val slack : float
     rule charges [slack ·] the sampled spread and the reported bound is
     [slack · Δ / L]. *)
 
-val create : ?eps:float -> ?jaccard:float -> Im_costsvc.Service.t -> t
+val create :
+  ?eps:float -> ?jaccard:float -> ?mine:Im_mine.Mine.t -> Im_costsvc.Service.t -> t
 (** A streaming compactor costing probes through the service's deriver
     (a private deriver on the same database when the service was built
     with [~derive:false] — identical costs either way). [eps] (default
     0.05) is the deviation budget; [eps <= 0.] folds only canonically
     identical statements. [jaccard] (default 0. = off) merges a new
     signature into the first bucket whose leader signature is within
-    the threshold, under the same [eps] admission. *)
+    the threshold, under the same [eps] admission. [?mine] feeds a
+    frequent-itemset miner at admission time: every statement's mass is
+    mined as its bucket leader, so the miner sees exactly the masses of
+    the compressed snapshot [Ŵ] at O(1) extra work per repeated
+    statement. *)
 
 val eps : t -> float
 
@@ -122,9 +127,10 @@ val fold_ratio : stats -> float
 val compress_workload :
   ?eps:float ->
   ?jaccard:float ->
+  ?mine:Im_mine.Mine.t ->
   Im_costsvc.Service.t ->
   Im_workload.Workload.t ->
   Im_workload.Workload.t * stats
 (** Batch convenience: stream a workload through a fresh compactor and
     return the compressed workload (same name, update profile carried
-    over) with the compression stats. *)
+    over) with the compression stats. [?mine] as in {!create}. *)

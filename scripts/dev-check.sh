@@ -7,8 +7,9 @@
 # BENCH_derive.json / BENCH_costsvc.json), parallel-merge and derive
 # determinism smokes (the CLI must produce the same configuration at
 # --domains 0 and 4, with and without --no-derive, and under
-# --compress 0.05 at both pool sizes), the par batching tests at
-# IM_DOMAINS=0 and 4, and formatting
+# --compress 0.05 at both pool sizes, and with --prune-support 0 a
+# no-op), the par batching tests at
+# IM_DOMAINS=0 and 4, the frontier-pruning bench smoke, and formatting
 # when ocamlformat is installed (skipped gracefully when not — the CI
 # container does not ship it).
 set -eu
@@ -154,12 +155,33 @@ else
   exit 1
 fi
 
+echo "== prune identity (--prune-support 0 vs plain) =="
+# S = 0 disables frontier pruning entirely, so the merged configuration
+# must be byte-identical to the unpruned run. Same filter as above.
+prune_out() {
+  dune exec bin/index_merge_cli.exe -- merge $1 -d synthetic1 -q 6 \
+    | sed -n '/merged configuration:/,$p'
+}
+if [ "$(prune_out '--prune-support 0')" = "$(prune_out '')" ]; then
+  echo "prune identity OK"
+else
+  echo "prune identity FAILED: --prune-support 0 changes the merged configuration"
+  exit 1
+fi
+
 echo "== bench: scale compression smoke, 1k statements (BENCH_scale_smoke.json) =="
 # exp_scale hard-asserts the measured deviation is within the reported
 # bound, the bound is within the eps budget, optimizer invocations stay
 # sublinear, and --compress 0 reproduces the fig5/6 searches exactly.
 IM_SCALE_N=1000 IM_BENCH_OUT=BENCH_scale_smoke.json dune exec bench/main.exe -- scale
 echo "wrote BENCH_scale_smoke.json"
+
+echo "== bench: frontier-pruning smoke (BENCH_mine_smoke.json) =="
+# exp_mine hard-asserts the pruned searches evaluate measurably fewer
+# pairs (fast-mode bars), stay within 3% of unpruned storage/cost on
+# the fig5-8 setups, and that --prune-support 0 is bit-identical.
+IM_MINE_FAST=1 IM_BENCH_OUT=BENCH_mine_smoke.json dune exec bench/main.exe -- mine
+echo "wrote BENCH_mine_smoke.json"
 
 echo "== bench: derive identity + optimizer-call reduction (BENCH_derive.json) =="
 IM_BENCH_OUT=BENCH_derive.json dune exec bench/main.exe -- derive

@@ -201,6 +201,57 @@ let test_tenant_lifecycle_and_isolation () =
       expect "quit c2" "OK bye" (request c2 "QUIT");
       expect "quit c1" "OK bye" (request c1 "QUIT"))
 
+let test_tenant_weights () =
+  (* --tenant NAME[=DB][:WEIGHT] pre-creates weighted tenants; the
+     weight scales the session's per-round dispatch budget and must
+     survive into TENANT LIST so operators can audit the fairness
+     split. Unweighted tenants (flag or TENANT CREATE) stay at 1. *)
+  let d =
+    start_daemon
+      ~args:[ "--tenant"; "heavy=synthetic1:4"; "--tenant"; "light=synthetic1" ]
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> stop_daemon d)
+    (fun () ->
+      let c = connect d.port in
+      let head = request c "TENANT LIST" in
+      expect_prefix "list head" "OK 3" head;
+      (match read_body c head with
+       | [ heavy; light; dflt ] ->
+         expect "heavy row carries its weight"
+           "heavy conns=0 statements=0 epochs=0 weight=4" heavy;
+         expect "light row defaults to weight 1"
+           "light conns=0 statements=0 epochs=0 weight=1" light;
+         expect "default tenant row"
+           "synthetic1 conns=1 statements=0 epochs=0 weight=1" dflt
+       | rows ->
+         Alcotest.fail
+           ("unexpected TENANT LIST body: " ^ String.concat " | " rows));
+      (* Created-at-runtime tenants are unweighted. *)
+      expect "create c" "OK tenant c created"
+        (request c "TENANT CREATE c synthetic1");
+      expect "use c" "OK tenant c" (request c "TENANT USE c");
+      (* Weighted tenants serve statements like any other. *)
+      let c2 = connect d.port in
+      expect "use heavy" "OK tenant heavy" (request c2 "TENANT USE heavy");
+      feed_stmts c2 ~table:"t0" ~count:3;
+      Alcotest.(check bool) "heavy tenant accumulates its own window" true
+        (Astring_contains.contains (request c2 "STATS") "statements=3");
+      let head = request c2 "TENANT LIST" in
+      expect_prefix "list head after create" "OK 4" head;
+      (match read_body c2 head with
+       | [ c_row; heavy; _light; _dflt ] ->
+         expect "runtime tenant at weight 1"
+           "c conns=1 statements=0 epochs=0 weight=1" c_row;
+         expect "heavy row reflects its traffic"
+           "heavy conns=1 statements=3 epochs=0 weight=4" heavy
+       | rows ->
+         Alcotest.fail
+           ("unexpected TENANT LIST body: " ^ String.concat " | " rows));
+      expect "quit c2" "OK bye" (request c2 "QUIT");
+      expect "quit c" "OK bye" (request c "QUIT"))
+
 let test_backpressure_close () =
   (* A reader that pipelines 400 STATS and never drains must be closed
      once its queued replies would exceed --max-output-bytes: it gets a
@@ -266,6 +317,7 @@ let () =
         [
           Alcotest.test_case "lifecycle and isolation" `Slow
             test_tenant_lifecycle_and_isolation;
+          Alcotest.test_case "weights" `Slow test_tenant_weights;
           Alcotest.test_case "backpressure close" `Slow
             test_backpressure_close;
         ] );
